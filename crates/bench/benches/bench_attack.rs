@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the attack framework: cost of one greedy
+//! evasion search against the trained forecaster (the unit of work behind
+//! every campaign window).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lgo_attack::cgm::{attack_window, CgmAttackConfig, CgmCase};
+use lgo_attack::GreedyExplorer;
+use lgo_core::profile::ForecastModel;
+use lgo_forecast::{feature_window, ForecastConfig, GlucoseForecaster};
+use lgo_glucosim::{profile, PatientId, Simulator, Subset};
+
+fn bench_attack(c: &mut Criterion) {
+    let sim = Simulator::new(profile(PatientId::new(Subset::A, 0)));
+    let train = sim.run_days(2);
+    let forecaster = GlucoseForecaster::train_personalized(
+        &train,
+        &ForecastConfig {
+            hidden: 8,
+            epochs: 1,
+            ..ForecastConfig::default()
+        },
+    );
+    let fasting = train.channel("fasting").unwrap();
+    let case = CgmCase {
+        index: 100,
+        window: feature_window(&train, 100).unwrap(),
+        fasting: fasting[100] == 1.0,
+    };
+    let cfg = CgmAttackConfig::default();
+    let model = ForecastModel(&forecaster);
+
+    c.bench_function("greedy_attack_one_window", |b| {
+        b.iter(|| attack_window(&model, black_box(&case), &GreedyExplorer::new(6), &cfg))
+    });
+    c.bench_function("maximizing_attack_one_window", |b| {
+        b.iter(|| attack_window(&model, black_box(&case), &GreedyExplorer::maximizing(6), &cfg))
+    });
+    c.bench_function("forecaster_predict", |b| {
+        b.iter(|| forecaster.predict(black_box(&case.window)))
+    });
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

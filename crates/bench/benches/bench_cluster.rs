@@ -1,0 +1,34 @@
+//! Criterion benchmarks for hierarchical clustering (step 4) at cohort
+//! sizes and beyond.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgo_cluster::{agglomerate_points, Linkage};
+
+fn points(n: usize, dims: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dims)
+                .map(|d| ((i * 13 + d * 7) as f64 * 0.23).sin() * 10.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_agglomerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerate_avg_linkage");
+    for n in [12usize, 32, 64] {
+        let pts = points(n, 64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| agglomerate_points(black_box(pts), Linkage::Average))
+        });
+    }
+    group.finish();
+
+    let pts = points(12, 64);
+    c.bench_function("agglomerate_ward_12", |b| {
+        b.iter(|| agglomerate_points(black_box(&pts), Linkage::Ward))
+    });
+}
+
+criterion_group!(benches, bench_agglomerate);
+criterion_main!(benches);

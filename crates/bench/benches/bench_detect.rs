@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the three anomaly detectors: training and
+//! per-window scoring throughput (the inference-time cost the paper's
+//! static-defense argument is about).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lgo_detect::{
+    AnomalyDetector, Kernel, KernelSpec, KnnConfig, KnnDetector, MadGan, MadGanConfig,
+    OcSvmConfig, OneClassSvm, Window,
+};
+
+fn windows(n: usize, base: f64) -> Vec<Window> {
+    (0..n)
+        .map(|i| {
+            (0..12)
+                .map(|t| {
+                    let v = base + ((i * 7 + t) as f64 * 0.31).sin() * 20.0;
+                    vec![v, 0.2, 1.0, 70.0]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let benign = windows(2000, 110.0);
+    let malicious = windows(400, 260.0);
+    let knn = KnnDetector::fit(&benign, &malicious, &KnnConfig::default());
+    let query = &windows(1, 180.0)[0];
+    c.bench_function("knn_score_2400pts", |b| {
+        b.iter(|| knn.score(black_box(query)))
+    });
+    c.bench_function("knn_fit_2400pts", |b| {
+        b.iter(|| KnnDetector::fit(black_box(&benign), black_box(&malicious), &KnnConfig::default()))
+    });
+}
+
+fn bench_ocsvm(c: &mut Criterion) {
+    let benign = windows(400, 110.0);
+    let cfg = OcSvmConfig {
+        kernel: KernelSpec::Fixed(Kernel::Rbf { gamma: 0.05 }),
+        ..OcSvmConfig::default()
+    };
+    let svm = OneClassSvm::fit(&benign, &cfg);
+    let query = &windows(1, 200.0)[0];
+    c.bench_function("ocsvm_decision_400sv", |b| {
+        b.iter(|| svm.decision_function(black_box(query)))
+    });
+    c.bench_function("ocsvm_fit_smo_400pts", |b| {
+        b.iter(|| OneClassSvm::fit(black_box(&benign), &cfg))
+    });
+}
+
+fn bench_madgan(c: &mut Criterion) {
+    let benign = windows(64, 110.0);
+    let cfg = MadGanConfig {
+        epochs: 2,
+        hidden: 8,
+        inversion_steps: 10,
+        ..MadGanConfig::default()
+    };
+    let gan = MadGan::fit(&benign, &cfg);
+    let query = &windows(1, 250.0)[0];
+    c.bench_function("madgan_dr_score_inv10", |b| {
+        b.iter(|| gan.dr_score(black_box(query)))
+    });
+}
+
+criterion_group!(benches, bench_knn, bench_ocsvm, bench_madgan);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion benchmarks for the patient simulator: one simulated day at
+//! one-minute integration and 5-minute sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lgo_glucosim::{profile, PatientId, Simulator, Subset};
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = Simulator::new(profile(PatientId::new(Subset::B, 3)));
+    c.bench_function("simulate_one_day", |b| {
+        b.iter(|| black_box(&sim).run_days(1))
+    });
+    c.bench_function("simulate_one_week", |b| {
+        b.iter(|| black_box(&sim).run_days(7))
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

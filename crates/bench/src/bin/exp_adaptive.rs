@@ -1,0 +1,85 @@
+//! Extension experiment — the paper's §V future work: adaptive
+//! re-profiling under concept drift.
+//!
+//! Simulates three reassessment epochs. Between epochs 1 and 2 one
+//! vulnerable patient "recovers" (adopts a disciplined phenotype) — the
+//! adaptive profiler must move them into the less-vulnerable cluster and
+//! signal that detector retraining is due.
+
+use lgo_bench::{banner, forecast_config, profiler_config, Scale};
+use lgo_cluster::Linkage;
+use lgo_core::adaptive::AdaptiveProfiler;
+use lgo_forecast::GlucoseForecaster;
+use lgo_glucosim::{profile, PatientId, Simulator, Subset};
+use lgo_series::MultiSeries;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Extension", "adaptive risk profiling under concept drift", scale);
+    let (train_days, _) = scale.days();
+    let train_days = train_days.min(10); // drift study needs epochs, not bulk
+
+    let ids = [
+        PatientId::new(Subset::A, 2),
+        PatientId::new(Subset::A, 5),
+        PatientId::new(Subset::B, 2),
+        PatientId::new(Subset::B, 4),
+        PatientId::new(Subset::B, 5),
+    ];
+    let fc = forecast_config(scale);
+    let build = |p: lgo_glucosim::PatientProfile| -> (GlucoseForecaster, MultiSeries) {
+        let sim = Simulator::new(p);
+        let data = sim.run_days(train_days);
+        (GlucoseForecaster::train_personalized(&data, &fc), data)
+    };
+
+    let mut models: Vec<(GlucoseForecaster, MultiSeries)> =
+        ids.iter().map(|&id| build(profile(id))).collect();
+    let mut profiler = AdaptiveProfiler::new(profiler_config(scale), Linkage::Average);
+
+    for epoch in 0..3 {
+        if epoch == 2 {
+            // Concept drift: A_2 recovers to a disciplined phenotype.
+            println!("\n*** drift: patient A_2 adopts disciplined habits ***");
+            let mut recovered = profile(PatientId::new(Subset::A, 5));
+            recovered.id = PatientId::new(Subset::A, 2);
+            recovered.seed ^= 0xD21F;
+            models[0] = build(recovered);
+        }
+        let cohort: Vec<_> = ids
+            .iter()
+            .zip(&models)
+            .map(|(&id, (f, s))| (id, f, s))
+            .collect();
+        let record = profiler.reassess(&cohort);
+        println!("\nepoch {}:", record.epoch);
+        for p in &record.profiles {
+            println!(
+                "  {}: attack success {:>5.1}%  {}",
+                p.patient,
+                p.success_rate().unwrap_or(1.0) * 100.0,
+                if record.clusters.is_less_vulnerable(p.patient) {
+                    "[less vulnerable]"
+                } else {
+                    ""
+                }
+            );
+        }
+        println!("  retraining due: {}", profiler.retraining_due());
+    }
+
+    println!("\nmembership changes across epochs:");
+    for c in profiler.membership_changes() {
+        println!(
+            "  epoch {}: {} {}",
+            c.epoch,
+            c.patient,
+            if c.joined_less_vulnerable {
+                "joined the less-vulnerable cluster (recovered)"
+            } else {
+                "left the less-vulnerable cluster"
+            }
+        );
+    }
+    println!("stability: {:?}", profiler.stability());
+}

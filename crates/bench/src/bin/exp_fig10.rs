@@ -1,0 +1,15 @@
+//! Figure 10 (Appendix A) — percentage of originally *hypoglycemic* glucose
+//! instances misdiagnosed as hyperglycemic under the URET-style attack, for
+//! Subset A (personalized models, aggregate model, and average).
+//!
+//! Hypo→hyper is the most dangerous transition (severity 64 in Table I):
+//! the BGMS would dose insulin onto an already-low patient.
+
+use lgo_attack::cgm::OriginState;
+use lgo_bench::{banner, run_origin_experiment, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 10", "hypo -> hyper misdiagnosis %, Subset A", scale);
+    run_origin_experiment(scale, OriginState::Hypo);
+}

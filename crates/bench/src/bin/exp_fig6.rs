@@ -1,0 +1,75 @@
+//! Figure 6 — the four quadrants of glucose samples: benign/malicious ×
+//! normal/abnormal.
+//!
+//! Tallies the cohort's samples into the quadrant taxonomy and prints the
+//! counts per patient group, showing why benign-abnormal density drives
+//! false negatives.
+
+use lgo_bench::{banner, pipeline_config, Scale};
+use lgo_core::pipeline::run_pipeline;
+use lgo_core::quadrant::QuadrantCounts;
+use lgo_core::selective::{DetectorKind, TrainingStrategy};
+use lgo_core::state::StateThresholds;
+use lgo_eval::render::table;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 6", "quadrant taxonomy of glucose samples", scale);
+
+    let mut config = pipeline_config(scale);
+    config.strategies = vec![TrainingStrategy::AllPatients];
+    config.detector_kinds = vec![DetectorKind::Knn];
+    let report = run_pipeline(&config);
+    let thresholds = StateThresholds::default();
+
+    let mut rows = Vec::new();
+    for p in &report.profiles {
+        // Benign samples: the original last CGM value of every attacked
+        // window; malicious samples: the manipulated one.
+        let mut samples = Vec::new();
+        for o in &p.campaign.outcomes {
+            let adv_last = o.result.best_input.last().expect("nonempty window")[0];
+            samples.push((adv_last, o.fasting, o.result.steps > 0));
+        }
+        let data = report
+            .cohort
+            .iter()
+            .find(|d| d.patient == p.patient)
+            .expect("cohort entry");
+        for w in &data.test_benign {
+            let last = w.last().expect("nonempty window")[0];
+            // Benign windows carry no fasting flag; classify against the
+            // postprandial threshold (conservative).
+            samples.push((last, false, false));
+        }
+        let c = QuadrantCounts::tally(samples, &thresholds);
+        rows.push(vec![
+            p.patient.to_string(),
+            c.benign_normal.to_string(),
+            c.benign_abnormal.to_string(),
+            c.malicious_normal.to_string(),
+            c.malicious_abnormal.to_string(),
+            c.benign_normal_abnormal_ratio()
+                .map_or("inf".into(), |r| format!("{r:.2}")),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "patient",
+                "benign normal",
+                "benign abnormal",
+                "malicious normal",
+                "malicious abnormal",
+                "bn:ba ratio",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nMalicious samples land almost entirely in the abnormal quadrant (the attack\n\
+         pushes values into hyperglycemic ranges); patients with many *benign* abnormal\n\
+         samples give detectors cover to miss them — the false-negative mechanism."
+    );
+}

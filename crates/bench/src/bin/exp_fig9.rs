@@ -1,0 +1,13 @@
+//! Figure 9 (Appendix A) — percentage of originally *normal* glucose
+//! instances misdiagnosed as hyperglycemic under the URET-style attack, for
+//! Subset A: one personalized model per patient, the aggregate model, and
+//! the average.
+
+use lgo_attack::cgm::OriginState;
+use lgo_bench::{banner, run_origin_experiment, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 9", "normal -> hyper misdiagnosis %, Subset A", scale);
+    run_origin_experiment(scale, OriginState::Normal);
+}

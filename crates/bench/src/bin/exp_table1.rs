@@ -1,0 +1,29 @@
+//! Table I — severity coefficients for different state transitions.
+//!
+//! Prints the paper's exponential table plus the linear and uniform
+//! alternatives used by the severity-sensitivity ablation
+//! (`exp_ablation_severity`).
+
+use lgo_core::severity::SeverityTable;
+use lgo_eval::render::table;
+
+fn main() {
+    let scale = lgo_bench::Scale::from_env();
+    lgo_bench::banner("Table I", "severity coefficients per state transition", scale);
+
+    for variant in [
+        SeverityTable::paper_default(),
+        SeverityTable::linear(),
+        SeverityTable::uniform(),
+    ] {
+        println!("\ncoefficient family: {}", variant.name());
+        let rows: Vec<Vec<String>> = variant
+            .ranked_transitions()
+            .into_iter()
+            .map(|(benign, adversarial, s)| {
+                vec![benign.to_string(), adversarial.to_string(), format!("{s}")]
+            })
+            .collect();
+        print!("{}", table(&["benign", "adversarial", "severity (S)"], &rows));
+    }
+}

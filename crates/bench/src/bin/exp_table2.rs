@@ -1,0 +1,59 @@
+//! Table II — clusters of patient vulnerability to the URET-style attack.
+//!
+//! Runs steps 1–4 of the risk-profiling framework on the cohort and prints
+//! the resulting less/more-vulnerable membership per subset, next to the
+//! paper's reference clusters (less vulnerable: A_5, B_1, B_2).
+
+use lgo_bench::{banner, pipeline_config, Scale};
+use lgo_core::pipeline::run_pipeline;
+use lgo_core::selective::{DetectorKind, TrainingStrategy};
+use lgo_eval::render::table;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table II", "clusters of patient vulnerability", scale);
+
+    let mut config = pipeline_config(scale);
+    // Steps 1-4 only: skip the detector evaluations.
+    config.strategies = vec![TrainingStrategy::AllPatients];
+    config.detector_kinds = vec![DetectorKind::Knn];
+    let report = run_pipeline(&config);
+
+    println!("\nper-patient campaign outcomes:");
+    let rows: Vec<Vec<String>> = report
+        .profiles
+        .iter()
+        .map(|p| {
+            vec![
+                p.patient.to_string(),
+                format!("{:.1}%", p.success_rate().unwrap_or(0.0) * 100.0),
+                format!("{:.0}", p.risk_profile.mean()),
+                format!("{:.2}", p.risk_profile.active_fraction()),
+                if report.clusters.is_less_vulnerable(p.patient) {
+                    "LESS vulnerable".into()
+                } else {
+                    "more vulnerable".into()
+                },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["patient", "attack success", "mean risk", "active frac", "cluster"],
+            &rows,
+        )
+    );
+
+    let fmt = |ids: &[lgo_glucosim::PatientId]| {
+        let mut v: Vec<String> = ids.iter().map(|p| p.to_string()).collect();
+        v.sort();
+        v.join(", ")
+    };
+    println!("\nreproduced clusters:");
+    println!("  less vulnerable: {}", fmt(&report.clusters.less_vulnerable));
+    println!("  more vulnerable: {}", fmt(&report.clusters.more_vulnerable));
+    println!("\npaper (Table II):");
+    println!("  less vulnerable: A_5, B_1, B_2");
+    println!("  more vulnerable: A_0, A_1, A_2, A_3, A_4, B_0, B_3, B_4, B_5");
+}

@@ -1,0 +1,118 @@
+//! Runs the complete evaluation in one process: the shared pipeline once,
+//! then every pipeline-derived table/figure, so a full reproduction needs a
+//! single command:
+//!
+//! ```text
+//! LGO_SCALE=paper cargo run -p lgo-bench --release --bin repro_all
+//! ```
+//!
+//! (Figures 9/10 and the ablations run their own campaigns and are printed
+//! at the end; they can also be run individually via their `exp_*` bins.)
+
+use lgo_attack::cgm::OriginState;
+use lgo_bench::{banner, print_strategy_metric, run_origin_experiment, run_strategy_grid, Scale};
+use lgo_core::selective::TrainingStrategy;
+use lgo_core::severity::SeverityTable;
+use lgo_eval::render::table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+
+    // ---- Table I ----------------------------------------------------
+    banner("Table I", "severity coefficients", scale);
+    let severity = SeverityTable::paper_default();
+    let rows: Vec<Vec<String>> = severity
+        .ranked_transitions()
+        .into_iter()
+        .map(|(b, a, s)| vec![b.to_string(), a.to_string(), format!("{s}")])
+        .collect();
+    print!("{}", table(&["benign", "adversarial", "severity (S)"], &rows));
+
+    // ---- Shared pipeline: steps 1-5 at full strategy/detector grid ---
+    banner("Pipeline", "steps 1-5 over the cohort", scale);
+    let report = run_strategy_grid(scale);
+    println!("pipeline completed in {:?}", t0.elapsed());
+
+    // ---- Table II ----------------------------------------------------
+    banner("Table II", "vulnerability clusters", scale);
+    let fmt = |ids: &[lgo_glucosim::PatientId]| {
+        let mut v: Vec<String> = ids.iter().map(|p| p.to_string()).collect();
+        v.sort();
+        v.join(", ")
+    };
+    println!("less vulnerable: {}", fmt(&report.clusters.less_vulnerable));
+    println!("more vulnerable: {}", fmt(&report.clusters.more_vulnerable));
+    println!("paper:           less = A_5, B_1, B_2");
+
+    // ---- Figure 3 ------------------------------------------------------
+    banner("Figure 3", "dendrograms per subset", scale);
+    for (subset, clusters) in &report.clusters.per_subset {
+        println!("Subset {subset}:");
+        print!(
+            "{}",
+            clusters.dendrogram.render_ascii_with(Some(&clusters.labels))
+        );
+    }
+
+    // ---- Figure 4 ------------------------------------------------------
+    banner("Figure 4", "benign normal:abnormal ratios", scale);
+    let thresholds = lgo_core::state::StateThresholds::default();
+    for d in &report.datasets {
+        let mut normal = 0usize;
+        let mut abnormal = 0usize;
+        for series in [&d.train, &d.test] {
+            let cgm = series.channel("cgm").expect("cgm");
+            let fasting = series.channel("fasting").expect("fasting");
+            for (&g, &f) in cgm.iter().zip(&fasting) {
+                match thresholds.classify(g, f == 1.0) {
+                    lgo_core::state::GlucoseState::Normal => normal += 1,
+                    _ => abnormal += 1,
+                }
+            }
+        }
+        println!(
+            "  {:<4} ratio {:>8.2}",
+            d.profile.id.to_string(),
+            normal as f64 / (abnormal.max(1)) as f64
+        );
+    }
+
+    // ---- Figures 7, 8, 11 ---------------------------------------------
+    banner("Figure 7", "recall", scale);
+    print_strategy_metric(&report, "recall", |e| e.recall_stats());
+    banner("Figure 8", "precision", scale);
+    print_strategy_metric(&report, "precision", |e| e.precision_stats());
+    banner("Figure 11", "F1", scale);
+    print_strategy_metric(&report, "F1", |e| e.f1_stats());
+
+    // ---- Appendix D -----------------------------------------------------
+    banner("Appendix D", "generalization to unseen patients", scale);
+    for e in report
+        .evaluations
+        .iter()
+        .filter(|e| e.strategy == TrainingStrategy::LessVulnerable)
+    {
+        let mv: Vec<f64> = e
+            .per_patient
+            .iter()
+            .filter(|(id, _)| !report.clusters.is_less_vulnerable(*id))
+            .map(|(_, m)| m.recall)
+            .collect();
+        let mv_mean = mv.iter().sum::<f64>() / mv.len().max(1) as f64;
+        println!(
+            "  {:<12} recall all {:.3} | unseen-only {:.3}",
+            e.detector.name(),
+            e.mean_recall(),
+            mv_mean
+        );
+    }
+
+    // ---- Figures 9 & 10 -------------------------------------------------
+    banner("Figure 9", "normal -> hyper misdiagnosis %, Subset A", scale);
+    run_origin_experiment(scale, OriginState::Normal);
+    banner("Figure 10", "hypo -> hyper misdiagnosis %, Subset A", scale);
+    run_origin_experiment(scale, OriginState::Hypo);
+
+    println!("\ntotal wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,344 @@
+//! # lgo-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper's
+//! evaluation section (see `src/bin/exp_*.rs`), plus Criterion benchmarks
+//! for the performance-critical components (`benches/`).
+//!
+//! Every harness binary honours the `LGO_SCALE` environment variable:
+//!
+//! - `fast` — minutes-scale smoke run (small cohort, tiny models),
+//! - `mid` — the default: full 12-patient cohort at reduced data sizes,
+//! - `paper` — the OhioT1DM footprint (~10 000 train / ~2 500 test samples
+//!   per patient); expect tens of minutes of CPU time.
+//!
+//! Binaries print the same rows/series the paper reports (tables as aligned
+//! text, figures as ASCII bar/box charts) and are summarized in
+//! `EXPERIMENTS.md`.
+
+use lgo_core::pipeline::PipelineConfig;
+use lgo_core::profile::ProfilerConfig;
+use lgo_core::selective::{DetectorConfigs, DetectorKind, TrainingStrategy};
+use lgo_detect::MadGanConfig;
+use lgo_forecast::ForecastConfig;
+
+/// Experiment scale, selected by the `LGO_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale (4 patients, 2 training days).
+    Fast,
+    /// Default scale: all 12 patients, 10 training days.
+    Mid,
+    /// Paper scale: all 12 patients at the OhioT1DM footprint.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `LGO_SCALE` (`fast` / `mid` / `paper`), defaulting to `Mid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value, listing the accepted ones.
+    pub fn from_env() -> Scale {
+        match std::env::var("LGO_SCALE").as_deref() {
+            Ok("fast") => Scale::Fast,
+            Ok("mid") | Err(_) => Scale::Mid,
+            Ok("paper") => Scale::Paper,
+            Ok(other) => panic!("LGO_SCALE = {other:?}; expected fast, mid or paper"),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Fast => "fast",
+            Scale::Mid => "mid",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Simulated (train, test) days per patient at this scale.
+    pub fn days(&self) -> (usize, usize) {
+        match self {
+            Scale::Fast => (3, 1),
+            Scale::Mid => (10, 4),
+            Scale::Paper => (35, 9),
+        }
+    }
+}
+
+/// The forecaster configuration per scale.
+pub fn forecast_config(scale: Scale) -> ForecastConfig {
+    match scale {
+        Scale::Fast => ForecastConfig {
+            hidden: 8,
+            epochs: 2,
+            ..ForecastConfig::default()
+        },
+        Scale::Mid => ForecastConfig {
+            hidden: 12,
+            epochs: 3,
+            ..ForecastConfig::default()
+        },
+        Scale::Paper => ForecastConfig::default(),
+    }
+}
+
+/// The attack/risk profiler configuration per scale.
+pub fn profiler_config(scale: Scale) -> ProfilerConfig {
+    match scale {
+        Scale::Fast => ProfilerConfig {
+            stride: 24,
+            explorer_steps: 4,
+            ..ProfilerConfig::default()
+        },
+        Scale::Mid => ProfilerConfig {
+            stride: 12,
+            explorer_steps: 5,
+            ..ProfilerConfig::default()
+        },
+        Scale::Paper => ProfilerConfig {
+            stride: 6,
+            explorer_steps: 6,
+            ..ProfilerConfig::default()
+        },
+    }
+}
+
+/// Detector configurations per scale (paper hyper-parameters, with GAN
+/// training budgets reduced below paper scale).
+pub fn detector_configs(scale: Scale) -> DetectorConfigs {
+    let madgan = match scale {
+        Scale::Fast => MadGanConfig {
+            epochs: 4,
+            hidden: 8,
+            inversion_steps: 5,
+            ..MadGanConfig::default()
+        },
+        Scale::Mid => MadGanConfig {
+            epochs: 15,
+            inversion_steps: 10,
+            ..MadGanConfig::default()
+        },
+        Scale::Paper => MadGanConfig {
+            epochs: 40,
+            inversion_steps: 15,
+            ..MadGanConfig::default()
+        },
+    };
+    DetectorConfigs {
+        madgan,
+        ..DetectorConfigs::default()
+    }
+}
+
+/// The full pipeline configuration for a scale: all twelve patients (except
+/// `fast`), the paper's four training strategies and all three detectors.
+pub fn pipeline_config(scale: Scale) -> PipelineConfig {
+    let (train_days, test_days) = scale.days();
+    let patients = match scale {
+        Scale::Fast => Some(vec![
+            lgo_glucosim::PatientId::new(lgo_glucosim::Subset::A, 2),
+            lgo_glucosim::PatientId::new(lgo_glucosim::Subset::A, 5),
+            lgo_glucosim::PatientId::new(lgo_glucosim::Subset::B, 2),
+            lgo_glucosim::PatientId::new(lgo_glucosim::Subset::B, 4),
+        ]),
+        _ => None,
+    };
+    let random_runs = match scale {
+        Scale::Fast => 2,
+        Scale::Mid => 5,
+        Scale::Paper => 10,
+    };
+    PipelineConfig {
+        patients,
+        train_days,
+        test_days,
+        forecast: forecast_config(scale),
+        profiler: profiler_config(scale),
+        train_attack_stride: 48,
+        detector_stride: 4,
+        detectors: detector_configs(scale),
+        linkage: lgo_cluster::Linkage::Average,
+        strategies: vec![
+            TrainingStrategy::LessVulnerable,
+            TrainingStrategy::MoreVulnerable,
+            TrainingStrategy::RandomSamples {
+                k: 3,
+                runs: random_runs,
+                seed: 0xABCD,
+            },
+            TrainingStrategy::AllPatients,
+        ],
+        detector_kinds: DetectorKind::all().to_vec(),
+    }
+}
+
+/// Runs the full pipeline (all strategies × all detectors) at a scale —
+/// the shared workload behind Figures 7, 8 and 11 and Appendix D.
+pub fn run_strategy_grid(scale: Scale) -> lgo_core::pipeline::PipelineReport {
+    lgo_core::pipeline::run_pipeline(&pipeline_config(scale))
+}
+
+/// Prints one metric of the strategy × detector grid as per-detector box
+/// plots plus a mean-value table, mirroring the layout of the paper's
+/// Figures 7 (recall), 8 (precision) and 11 (F1).
+pub fn print_strategy_metric(
+    report: &lgo_core::pipeline::PipelineReport,
+    metric: &str,
+    extract: impl Fn(&lgo_core::selective::StrategyEvaluation) -> lgo_series::stats::BoxStats,
+) {
+    use lgo_eval::render::{box_plot, table};
+
+    let mut rows = Vec::new();
+    for kind in report
+        .evaluations
+        .iter()
+        .map(|e| e.detector)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let evals: Vec<&lgo_core::selective::StrategyEvaluation> = report
+            .evaluations
+            .iter()
+            .filter(|e| e.detector == kind)
+            .collect();
+        println!("\n{} — per-patient {metric} distribution:", kind.name());
+        let items: Vec<(String, lgo_series::stats::BoxStats)> = evals
+            .iter()
+            .map(|e| (e.strategy.name().to_string(), extract(e)))
+            .collect();
+        print!("{}", box_plot(&items, 44));
+        for e in &evals {
+            rows.push(vec![
+                kind.name().to_string(),
+                e.strategy.name().to_string(),
+                format!("{:.3}", extract(e).mean),
+                format!("{:.0}", e.mean_training_windows),
+            ]);
+        }
+    }
+    println!("\nmean {metric} per (detector, strategy):");
+    print!(
+        "{}",
+        table(&["detector", "strategy", metric, "train windows"], &rows)
+    );
+}
+
+/// Shared implementation for Figures 9 (normal origin) and 10 (hypo
+/// origin): runs personalized campaigns per Subset-A patient plus the
+/// aggregate-model campaign and prints the misdiagnosis percentages.
+pub fn run_origin_experiment(scale: Scale, origin: lgo_attack::cgm::OriginState) {
+    use lgo_core::profile::profile_patient;
+    use lgo_eval::render::bar_chart;
+    use lgo_forecast::GlucoseForecaster;
+    use lgo_glucosim::{generate_cohort_sized, Subset};
+    let origin_matches = |o: &lgo_attack::cgm::WindowOutcome| o.origin == origin;
+
+    let (train_days, test_days) = scale.days();
+    let cohort: Vec<_> = generate_cohort_sized(train_days, test_days)
+        .into_iter()
+        .filter(|d| d.profile.id.subset == Subset::A)
+        .collect();
+    let fc = forecast_config(scale);
+    let mut pc = profiler_config(scale);
+    pc.maximize = false; // attack-success experiment: early-exit semantics
+
+    let rate_for = |prof: &lgo_core::profile::PatientAttackProfile| -> Option<f64> {
+        let of_origin: Vec<_> = prof
+            .campaign
+            .outcomes
+            .iter()
+            .filter(|o| origin_matches(o))
+            .collect();
+        if of_origin.is_empty() {
+            return None;
+        }
+        Some(
+            of_origin.iter().filter(|o| o.result.achieved).count() as f64
+                / of_origin.len() as f64,
+        )
+    };
+
+    let mut items = Vec::new();
+    let mut rates = Vec::new();
+    for d in &cohort {
+        let model = GlucoseForecaster::train_personalized(&d.train, &fc);
+        let prof = profile_patient(&model, d.profile.id, &d.test, &pc);
+        if let Some(r) = rate_for(&prof) {
+            items.push((format!("Patient {}", d.profile.id), r * 100.0));
+            rates.push(r);
+        } else {
+            items.push((format!("Patient {} (no such windows)", d.profile.id), 0.0));
+        }
+    }
+
+    // Aggregate model trained on all Subset-A patients, attacked on each
+    // patient's test data; the paper reports one aggregate bar.
+    let all_train: Vec<&lgo_series::MultiSeries> = cohort.iter().map(|d| &d.train).collect();
+    let aggregate = GlucoseForecaster::train_aggregate(&all_train, &fc);
+    let mut agg_hits = 0usize;
+    let mut agg_total = 0usize;
+    for d in &cohort {
+        let prof = profile_patient(&aggregate, d.profile.id, &d.test, &pc);
+        for o in &prof.campaign.outcomes {
+            if origin_matches(o) {
+                agg_total += 1;
+                if o.result.achieved {
+                    agg_hits += 1;
+                }
+            }
+        }
+    }
+    if agg_total > 0 {
+        let r = agg_hits as f64 / agg_total as f64;
+        items.push(("All patients (aggregate)".into(), r * 100.0));
+        rates.push(r);
+    }
+    if !rates.is_empty() {
+        let avg = rates.iter().sum::<f64>() / rates.len() as f64;
+        items.push(("Average".into(), avg * 100.0));
+    }
+
+    println!("\nmisdiagnosis percentage (% of attacked windows of this origin):");
+    print!("{}", bar_chart(&items, 48));
+    println!(
+        "paper: patients respond heterogeneously to identical attack settings;\n\
+         the resilient patient (A_5) shows the lowest percentage."
+    );
+}
+
+/// Prints the standard experiment header.
+pub fn banner(experiment: &str, paper_ref: &str, scale: Scale) {
+    println!("================================================================");
+    println!("{experiment}  ({paper_ref})");
+    println!("scale: {}  (set LGO_SCALE=fast|mid|paper to change)", scale.name());
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        assert!(Scale::Fast.days().0 < Scale::Mid.days().0);
+        assert!(Scale::Mid.days().0 < Scale::Paper.days().0);
+        // Paper scale matches the OhioT1DM footprint.
+        assert_eq!(Scale::Paper.days(), (35, 9));
+    }
+
+    #[test]
+    fn paper_pipeline_includes_everything() {
+        let cfg = pipeline_config(Scale::Paper);
+        assert!(cfg.patients.is_none());
+        assert_eq!(cfg.strategies.len(), 4);
+        assert_eq!(cfg.detector_kinds.len(), 3);
+        assert_eq!(cfg.forecast.seq_len, 12);
+    }
+
+    #[test]
+    fn fast_pipeline_is_small() {
+        let cfg = pipeline_config(Scale::Fast);
+        assert_eq!(cfg.patients.as_ref().unwrap().len(), 4);
+        assert!(cfg.detectors.madgan.epochs <= 5);
+    }
+}

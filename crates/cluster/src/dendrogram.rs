@@ -1,0 +1,418 @@
+use std::fmt;
+
+/// One agglomerative merge: nodes `left` and `right` join at `height` into a
+/// cluster of `size` leaves.
+///
+/// Node ids use the scipy convention: ids below `n_leaves` are leaves, id
+/// `n_leaves + i` is the cluster formed by merge `i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First child node id.
+    pub left: usize,
+    /// Second child node id.
+    pub right: usize,
+    /// Linkage distance at which the children merge.
+    pub height: f64,
+    /// Number of leaves under the new cluster.
+    pub size: usize,
+}
+
+/// The full merge tree produced by agglomerative clustering.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_cluster::{agglomerate_points, Linkage};
+///
+/// let dendro = agglomerate_points(&[vec![0.0], vec![0.5], vec![9.0]], Linkage::Average);
+/// assert_eq!(dendro.n_leaves(), 3);
+/// assert_eq!(dendro.cut_k(2), vec![0, 0, 1]);
+/// assert!(dendro.render_ascii().contains("height"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Assembles a dendrogram from its merge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the merge count is not `n_leaves - 1` (for `n_leaves > 0`)
+    /// or any merge references an out-of-range node.
+    pub fn new(n_leaves: usize, merges: Vec<Merge>) -> Self {
+        assert!(n_leaves > 0, "Dendrogram: need at least one leaf");
+        assert_eq!(
+            merges.len(),
+            n_leaves - 1,
+            "Dendrogram: {} merges for {} leaves",
+            merges.len(),
+            n_leaves
+        );
+        for (i, m) in merges.iter().enumerate() {
+            let max_node = n_leaves + i;
+            assert!(
+                m.left < max_node && m.right < max_node,
+                "Dendrogram: merge {i} references a future node"
+            );
+            assert!(m.left != m.right, "Dendrogram: self-merge at {i}");
+        }
+        Self { n_leaves, merges }
+    }
+
+    /// Number of leaves (original observations).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merges in execution order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// The largest gap between consecutive merge heights, returned as
+    /// `(height_below, height_above)` — the natural place to cut, and how
+    /// the paper chose two clusters from its dendrograms.
+    ///
+    /// Returns `None` when there are fewer than two merges.
+    pub fn widest_gap(&self) -> Option<(f64, f64)> {
+        if self.merges.len() < 2 {
+            return None;
+        }
+        let mut heights: Vec<f64> = self.merges.iter().map(|m| m.height).collect();
+        heights.sort_by(|a, b| a.partial_cmp(b).expect("finite heights"));
+        heights
+            .windows(2)
+            .max_by(|a, b| {
+                (a[1] - a[0])
+                    .partial_cmp(&(b[1] - b[0]))
+                    .expect("finite heights")
+            })
+            .map(|w| (w[0], w[1]))
+    }
+
+    /// Cluster labels after cutting all merges with `height > h`.
+    ///
+    /// Labels are densely renumbered in order of first appearance by leaf
+    /// index.
+    pub fn cut_at_height(&self, h: f64) -> Vec<usize> {
+        // Union-find over leaves, applying merges with height <= h.
+        let mut parent: Vec<usize> = (0..self.n_leaves + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (i, m) in self.merges.iter().enumerate() {
+            let node = self.n_leaves + i;
+            if m.height <= h {
+                let rl = find(&mut parent, m.left);
+                let rr = find(&mut parent, m.right);
+                parent[rl] = node;
+                parent[rr] = node;
+            } else {
+                // Children stay separate, but the node must still exist so
+                // later merges can reference it without uniting children.
+            }
+        }
+        self.relabel(&mut parent)
+    }
+
+    /// Cluster labels for exactly `k` clusters (cutting the `k-1` highest
+    /// merges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n_leaves`.
+    pub fn cut_k(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "cut_k: k must be positive");
+        assert!(
+            k <= self.n_leaves,
+            "cut_k: k = {k} > {} leaves",
+            self.n_leaves
+        );
+        // Apply merges in height order, stopping when k clusters remain.
+        let mut order: Vec<usize> = (0..self.merges.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.merges[a]
+                .height
+                .partial_cmp(&self.merges[b].height)
+                .expect("finite heights")
+                .then(a.cmp(&b))
+        });
+        let to_apply = self.n_leaves - k;
+        let mut parent: Vec<usize> = (0..self.n_leaves + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for &mi in order.iter().take(to_apply) {
+            let m = self.merges[mi];
+            let node = self.n_leaves + mi;
+            let rl = find(&mut parent, m.left);
+            let rr = find(&mut parent, m.right);
+            parent[rl] = node;
+            parent[rr] = node;
+        }
+        self.relabel(&mut parent)
+    }
+
+    fn relabel(&self, parent: &mut Vec<usize>) -> Vec<usize> {
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut labels = Vec::with_capacity(self.n_leaves);
+        let mut mapping: Vec<(usize, usize)> = Vec::new();
+        for leaf in 0..self.n_leaves {
+            let root = find(parent, leaf);
+            let label = match mapping.iter().find(|&&(r, _)| r == root) {
+                Some(&(_, l)) => l,
+                None => {
+                    let l = mapping.len();
+                    mapping.push((root, l));
+                    l
+                }
+            };
+            labels.push(label);
+        }
+        labels
+    }
+
+    /// Leaves under a node id (leaf ids themselves or merge nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn leaves_under(&self, node: usize) -> Vec<usize> {
+        assert!(
+            node < self.n_leaves + self.merges.len(),
+            "leaves_under: node {node} out of range"
+        );
+        if node < self.n_leaves {
+            return vec![node];
+        }
+        let m = self.merges[node - self.n_leaves];
+        let mut out = self.leaves_under(m.left);
+        out.extend(self.leaves_under(m.right));
+        out.sort_unstable();
+        out
+    }
+
+    /// Renders the dendrogram as indented ASCII text, one merge per line in
+    /// execution order, with the member leaves of each side — a textual
+    /// stand-in for the paper's Figure 3 dendrograms. `labels` supplies leaf
+    /// names (falls back to indices when `None`).
+    pub fn render_ascii_with(&self, labels: Option<&[String]>) -> String {
+        let name = |leaf: usize| -> String {
+            labels
+                .and_then(|ls| ls.get(leaf))
+                .cloned()
+                .unwrap_or_else(|| leaf.to_string())
+        };
+        let mut out = String::new();
+        for (i, m) in self.merges.iter().enumerate() {
+            let left: Vec<String> = self.leaves_under(m.left).into_iter().map(name).collect();
+            let right: Vec<String> = self.leaves_under(m.right).into_iter().map(name).collect();
+            out.push_str(&format!(
+                "merge {:>2} @ height {:>10.4}: [{}] + [{}]\n",
+                i,
+                m.height,
+                left.join(", "),
+                right.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// [`Self::render_ascii_with`] with index labels.
+    pub fn render_ascii(&self) -> String {
+        self.render_ascii_with(None)
+    }
+
+    /// Cophenetic distance matrix: entry `(i, j)` is the height at which
+    /// leaves `i` and `j` first share a cluster. Comparing it against the
+    /// original distances (the cophenetic correlation) measures how
+    /// faithfully the dendrogram preserves the geometry.
+    pub fn cophenetic_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.n_leaves;
+        let mut d = vec![vec![0.0; n]; n];
+        for (i, m) in self.merges.iter().enumerate() {
+            let _ = i;
+            let left = self.leaves_under(m.left);
+            let right = self.leaves_under(m.right);
+            for &a in &left {
+                for &b in &right {
+                    d[a][b] = m.height;
+                    d[b][a] = m.height;
+                }
+            }
+        }
+        d
+    }
+
+    /// Pearson correlation between the original distances and the
+    /// cophenetic distances over all leaf pairs — the standard quality
+    /// statistic for a hierarchical clustering.
+    ///
+    /// Returns `None` when there are fewer than two leaves or either side
+    /// has zero variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is not an `n x n` matrix for `n = n_leaves`.
+    pub fn cophenetic_correlation(&self, original: &[Vec<f64>]) -> Option<f64> {
+        let n = self.n_leaves;
+        assert_eq!(original.len(), n, "cophenetic_correlation: matrix size");
+        let coph = self.cophenetic_matrix();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            assert_eq!(original[i].len(), n, "cophenetic_correlation: row {i}");
+            for j in i + 1..n {
+                xs.push(original[i][j]);
+                ys.push(coph[i][j]);
+            }
+        }
+        if xs.len() < 2 {
+            return None;
+        }
+        let nn = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / nn;
+        let my = ys.iter().sum::<f64>() / nn;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        if vx == 0.0 || vy == 0.0 {
+            return None;
+        }
+        Some(cov / (vx.sqrt() * vy.sqrt()))
+    }
+}
+
+impl fmt::Display for Dendrogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dendrogram({} leaves, {} merges)",
+            self.n_leaves,
+            self.merges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkage::{agglomerate_points, Linkage};
+
+    fn two_groups() -> Dendrogram {
+        agglomerate_points(
+            &[vec![0.0], vec![0.5], vec![10.0], vec![10.5], vec![11.0]],
+            Linkage::Average,
+        )
+    }
+
+    #[test]
+    fn cut_k_extremes() {
+        let d = two_groups();
+        assert_eq!(d.cut_k(1), vec![0, 0, 0, 0, 0]);
+        let all = d.cut_k(5);
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cut_k_two_recovers_groups() {
+        let labels = two_groups().cut_k(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cut_at_height_matches_cut_k() {
+        let d = two_groups();
+        let (below, above) = d.widest_gap().unwrap();
+        let h = (below + above) / 2.0;
+        assert_eq!(d.cut_at_height(h), d.cut_k(2));
+        // Cutting below every merge -> singletons.
+        assert_eq!(d.cut_at_height(-1.0), vec![0, 1, 2, 3, 4]);
+        // Cutting above every merge -> one cluster.
+        assert_eq!(d.cut_at_height(1e12), vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn leaves_under_nodes() {
+        let d = two_groups();
+        assert_eq!(d.leaves_under(2), vec![2]);
+        let root = d.n_leaves() + d.merges().len() - 1;
+        assert_eq!(d.leaves_under(root), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ascii_render_mentions_all_leaves() {
+        let d = two_groups();
+        let names: Vec<String> = ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let text = d.render_ascii_with(Some(&names));
+        for n in &names {
+            assert!(text.contains(n.as_str()), "missing {n} in:\n{text}");
+        }
+        assert!(!d.to_string().is_empty());
+    }
+
+    #[test]
+    fn widest_gap_identifies_group_separation() {
+        let (below, above) = two_groups().widest_gap().unwrap();
+        assert!(below < 1.0, "below = {below}");
+        assert!(above > 5.0, "above = {above}");
+    }
+
+    #[test]
+    fn cophenetic_matrix_heights() {
+        let d = two_groups();
+        let coph = d.cophenetic_matrix();
+        // Leaves in the same tight group join low; across groups they join
+        // at the top merge.
+        let top = d.merges().last().unwrap().height;
+        assert_eq!(coph[0][2], top);
+        assert!(coph[0][1] < top);
+        assert_eq!(coph[3][3], 0.0);
+    }
+
+    #[test]
+    fn cophenetic_correlation_high_for_clean_structure() {
+        let points = vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5], vec![11.0]];
+        let d = agglomerate_points(&points, Linkage::Average);
+        let original = crate::linkage::distance_matrix(&points);
+        let c = d.cophenetic_correlation(&original).unwrap();
+        assert!(c > 0.9, "cophenetic correlation {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "merges for")]
+    fn wrong_merge_count_rejected() {
+        let _ = Dendrogram::new(3, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn cut_k_zero_rejected() {
+        let _ = two_groups().cut_k(0);
+    }
+}

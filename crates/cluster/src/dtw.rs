@@ -1,0 +1,137 @@
+//! Dynamic time warping — an alternative distance for time-series risk
+//! profiles that tolerates temporal misalignment (two patients whose risk
+//! peaks at slightly different hours should still cluster together).
+
+/// Dynamic-time-warping distance between two scalar series, with an
+/// optional Sakoe–Chiba band constraint.
+///
+/// The base cost is the absolute difference; the returned value is the
+/// minimum total cost over all monotone alignments. `band = None` allows
+/// unconstrained warping; `Some(w)` restricts |i − j| ≤ w (faster and often
+/// more robust).
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_cluster::dtw;
+///
+/// // A shifted copy warps to near-zero cost.
+/// let a = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+/// let b = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0];
+/// assert!(dtw(&a, &b, None) < 0.5);
+/// // Euclidean-style pointwise distance would be much larger.
+/// let pointwise: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+/// assert!(pointwise > 2.0);
+/// ```
+pub fn dtw(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "dtw: empty series");
+    let (n, m) = (a.len(), b.len());
+    let w = band.unwrap_or(n.max(m));
+    // Effective band must at least cover the length difference.
+    let w = w.max(n.abs_diff(m));
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Pairwise DTW distance matrix over a set of series.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or any series is empty.
+pub fn dtw_distance_matrix(series: &[Vec<f64>], band: Option<usize>) -> Vec<Vec<f64>> {
+    assert!(!series.is_empty(), "dtw_distance_matrix: no series");
+    let n = series.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist = dtw(&series[i], &series[j], band);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(dtw(&a, &a, None), 0.0);
+        assert_eq!(dtw(&a, &a, Some(1)), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 4.0, 2.0];
+        let b = [1.0, 1.0, 2.0, 2.0, 3.0];
+        assert_eq!(dtw(&a, &b, None), dtw(&b, &a, None));
+    }
+
+    #[test]
+    fn warping_absorbs_time_shift() {
+        let a: Vec<f64> = (0..20).map(|t| ((t as f64) * 0.6).sin()).collect();
+        let b: Vec<f64> = (0..20).map(|t| ((t as f64 - 2.0) * 0.6).sin()).collect();
+        let warped = dtw(&a, &b, None);
+        let pointwise: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(warped < pointwise * 0.5, "warped {warped} vs pointwise {pointwise}");
+    }
+
+    #[test]
+    fn band_constraint_is_no_looser_than_unconstrained() {
+        let a: Vec<f64> = (0..15).map(|t| (t as f64 * 0.9).cos()).collect();
+        let b: Vec<f64> = (0..15).map(|t| (t as f64 * 0.8).cos() + 0.1).collect();
+        let free = dtw(&a, &b, None);
+        let banded = dtw(&a, &b, Some(2));
+        assert!(banded >= free - 1e-12);
+    }
+
+    #[test]
+    fn different_lengths_work() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 1.5, 2.0, 2.5, 3.0];
+        let d = dtw(&a, &b, Some(1));
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let series = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let d = dtw_distance_matrix(&series, None);
+        for i in 0..3 {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn empty_series_rejected() {
+        let _ = dtw(&[], &[1.0], None);
+    }
+}

@@ -1,0 +1,267 @@
+use crate::dendrogram::{Dendrogram, Merge};
+
+/// The linkage criterion deciding which clusters merge next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Nearest-neighbour distance between clusters.
+    Single,
+    /// Farthest-neighbour distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA) — the workhorse for
+    /// clinical clustering and the default here.
+    #[default]
+    Average,
+    /// Ward's minimum-variance criterion (on squared Euclidean distances).
+    Ward,
+}
+
+/// Full symmetric Euclidean distance matrix between points.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or rows have differing lengths.
+///
+/// # Examples
+///
+/// ```
+/// let d = lgo_cluster::distance_matrix(&[vec![0.0], vec![3.0]]);
+/// assert_eq!(d[0][1], 3.0);
+/// assert_eq!(d[1][0], 3.0);
+/// assert_eq!(d[0][0], 0.0);
+/// ```
+pub fn distance_matrix(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    assert!(!points.is_empty(), "distance_matrix: no points");
+    let dim = points[0].len();
+    let n = points.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        assert_eq!(
+            points[i].len(),
+            dim,
+            "distance_matrix: point {i} has dimension {} (expected {dim})",
+            points[i].len()
+        );
+        for j in i + 1..n {
+            let dist = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+/// Agglomerates points under Euclidean distance. Convenience wrapper around
+/// [`distance_matrix`] + [`agglomerate`].
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn agglomerate_points(points: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    agglomerate(&distance_matrix(points), linkage)
+}
+
+/// Agglomerative clustering over a precomputed distance matrix using the
+/// Lance–Williams recurrence.
+///
+/// Node ids follow the scipy convention: leaves are `0..n`, the cluster
+/// created by merge `i` is node `n + i`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty, non-square, or asymmetric beyond 1e-9.
+pub fn agglomerate(distances: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    let n = distances.len();
+    assert!(n > 0, "agglomerate: empty distance matrix");
+    for (i, row) in distances.iter().enumerate() {
+        assert_eq!(row.len(), n, "agglomerate: row {i} has wrong length");
+        for (j, &v) in row.iter().enumerate() {
+            assert!(
+                (v - distances[j][i]).abs() <= 1e-9,
+                "agglomerate: asymmetric at ({i},{j})"
+            );
+            assert!(v >= 0.0 && v.is_finite(), "agglomerate: bad distance at ({i},{j})");
+        }
+    }
+
+    // Ward's recurrence operates on squared distances; heights are reported
+    // back in plain distance units (scipy's convention).
+    let squared = matches!(linkage, Linkage::Ward);
+    let mut work: Vec<Vec<f64>> = distances
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&v| if squared { v * v } else { v })
+                .collect()
+        })
+        .collect();
+
+    // active[i] = Some(node_id); sizes per active slot.
+    let mut node_of: Vec<Option<usize>> = (0..n).map(Some).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if node_of[i].is_none() {
+                continue;
+            }
+            for j in i + 1..n {
+                if node_of[j].is_none() {
+                    continue;
+                }
+                let d = work[i][j];
+                if best.map_or(true, |(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, d) = best.expect("at least two active clusters");
+        let (ni, nj) = (size[i] as f64, size[j] as f64);
+        let height = if squared { d.max(0.0).sqrt() } else { d };
+        merges.push(Merge {
+            left: node_of[i].expect("active"),
+            right: node_of[j].expect("active"),
+            height,
+            size: size[i] + size[j],
+        });
+
+        // Lance–Williams update of distances from the merged cluster (kept
+        // in slot i) to every other active cluster k.
+        for k in 0..n {
+            if k == i || k == j || node_of[k].is_none() {
+                continue;
+            }
+            let dik = work[i][k];
+            let djk = work[j][k];
+            let dij = work[i][j];
+            let nk = size[k] as f64;
+            let updated = match linkage {
+                Linkage::Single => 0.5 * dik + 0.5 * djk - 0.5 * (dik - djk).abs(),
+                Linkage::Complete => 0.5 * dik + 0.5 * djk + 0.5 * (dik - djk).abs(),
+                Linkage::Average => (ni * dik + nj * djk) / (ni + nj),
+                Linkage::Ward => {
+                    let total = ni + nj + nk;
+                    ((ni + nk) * dik + (nj + nk) * djk - nk * dij) / total
+                }
+            };
+            work[i][k] = updated;
+            work[k][i] = updated;
+        }
+        node_of[i] = Some(n + step);
+        node_of[j] = None;
+        size[i] += size[j];
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points() -> Vec<Vec<f64>> {
+        vec![vec![0.0], vec![1.0], vec![10.0], vec![12.0]]
+    }
+
+    #[test]
+    fn distance_matrix_basics() {
+        let d = distance_matrix(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(d[0][1], 5.0);
+        assert_eq!(d[0][0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn ragged_points_rejected() {
+        let _ = distance_matrix(&[vec![0.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn single_linkage_hand_computed() {
+        // Points 0,1 merge at 1; 2,3 at 2; groups at 10-1=... single linkage:
+        // d({0,1},{2,3}) = min over pairs = |1-10| = 9.
+        let d = agglomerate_points(&line_points(), Linkage::Single);
+        let heights: Vec<f64> = d.merges().iter().map(|m| m.height).collect();
+        assert_eq!(heights, vec![1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn complete_linkage_hand_computed() {
+        // Complete: d({0,1},{2,3}) = max pair = |0-12| = 12.
+        let d = agglomerate_points(&line_points(), Linkage::Complete);
+        let heights: Vec<f64> = d.merges().iter().map(|m| m.height).collect();
+        assert_eq!(heights, vec![1.0, 2.0, 12.0]);
+    }
+
+    #[test]
+    fn average_linkage_hand_computed() {
+        // Average of pairs: (9+11+10+12)/4 ... wait: pairs are |0-10|,|0-12|,
+        // |1-10|,|1-12| = 10,12,9,11 -> mean 10.5.
+        let d = agglomerate_points(&line_points(), Linkage::Average);
+        let heights: Vec<f64> = d.merges().iter().map(|m| m.height).collect();
+        assert_eq!(heights[2], 10.5);
+    }
+
+    #[test]
+    fn ward_prefers_compact_merges() {
+        // Ward must also find the obvious two-cluster structure.
+        let d = agglomerate_points(&line_points(), Linkage::Ward);
+        let labels = d.cut_k(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn all_linkages_produce_n_minus_one_merges() {
+        for l in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let d = agglomerate_points(&line_points(), l);
+            assert_eq!(d.merges().len(), 3, "{l:?}");
+            assert_eq!(d.n_leaves(), 4);
+            // The final merge must contain all leaves.
+            assert_eq!(d.merges().last().unwrap().size, 4);
+        }
+    }
+
+    #[test]
+    fn monotone_heights_for_reducible_linkages() {
+        // Single/complete/average are reducible: merge heights never
+        // decrease.
+        let points: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![(i as f64 * 1.7).sin() * 5.0, (i as f64 * 0.9).cos() * 5.0])
+            .collect();
+        for l in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = agglomerate_points(&points, l);
+            let hs: Vec<f64> = d.merges().iter().map(|m| m.height).collect();
+            for w in hs.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{l:?}: heights not monotone: {hs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_dendrogram() {
+        let d = agglomerate_points(&[vec![1.0, 2.0]], Linkage::Average);
+        assert_eq!(d.merges().len(), 0);
+        assert_eq!(d.cut_k(1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn asymmetric_matrix_rejected() {
+        let m = vec![vec![0.0, 1.0], vec![2.0, 0.0]];
+        let _ = agglomerate(&m, Linkage::Average);
+    }
+}

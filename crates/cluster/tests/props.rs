@@ -1,0 +1,101 @@
+//! Property-based tests for hierarchical clustering: structural dendrogram
+//! invariants that must hold for any input point set and linkage.
+
+use lgo_cluster::{agglomerate_points, Linkage};
+use proptest::prelude::*;
+
+fn points(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, 3), n..n + 1)
+}
+
+const LINKAGES: [Linkage; 4] = [
+    Linkage::Single,
+    Linkage::Complete,
+    Linkage::Average,
+    Linkage::Ward,
+];
+
+proptest! {
+    #[test]
+    fn dendrogram_has_n_minus_one_merges(pts in points(8)) {
+        for l in LINKAGES {
+            let d = agglomerate_points(&pts, l);
+            prop_assert_eq!(d.merges().len(), 7, "{:?}", l);
+            prop_assert_eq!(d.merges().last().unwrap().size, 8);
+        }
+    }
+
+    #[test]
+    fn cut_k_produces_exactly_k_clusters(pts in points(9), k in 1usize..9) {
+        for l in LINKAGES {
+            let d = agglomerate_points(&pts, l);
+            let labels = d.cut_k(k);
+            prop_assert_eq!(labels.len(), 9);
+            let mut distinct: Vec<usize> = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k, "{:?} k={}", l, k);
+            // Labels are densely numbered 0..k.
+            prop_assert!(labels.iter().all(|&x| x < k));
+        }
+    }
+
+    #[test]
+    fn cuts_are_nested_refinements(pts in points(8), k in 1usize..7) {
+        // Each leaf pair together at k clusters must also be together at
+        // k-1 clusters (agglomerative cuts are hierarchical).
+        for l in LINKAGES {
+            let d = agglomerate_points(&pts, l);
+            let fine = d.cut_k(k + 1);
+            let coarse = d.cut_k(k);
+            for i in 0..8 {
+                for j in 0..8 {
+                    if fine[i] == fine[j] {
+                        prop_assert_eq!(coarse[i], coarse[j], "{:?}", l);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heights_are_monotone_for_reducible_linkages(pts in points(10)) {
+        for l in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = agglomerate_points(&pts, l);
+            let hs: Vec<f64> = d.merges().iter().map(|m| m.height).collect();
+            for w in hs.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-9, "{:?}: {:?}", l, hs);
+            }
+        }
+    }
+
+    #[test]
+    fn singletons_cut_matches_identity(pts in points(6)) {
+        let d = agglomerate_points(&pts, Linkage::Average);
+        prop_assert_eq!(d.cut_k(6), vec![0, 1, 2, 3, 4, 5]);
+        prop_assert_eq!(d.cut_k(1), vec![0; 6]);
+    }
+
+    #[test]
+    fn leaves_under_root_cover_everything(pts in points(7)) {
+        let d = agglomerate_points(&pts, Linkage::Complete);
+        let root = d.n_leaves() + d.merges().len() - 1;
+        prop_assert_eq!(d.leaves_under(root), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn translation_invariance(pts in points(7), shift in -50.0..50.0f64) {
+        // Distances are translation invariant, so the merge structure is.
+        let shifted: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|p| p.iter().map(|v| v + shift).collect())
+            .collect();
+        for l in LINKAGES {
+            let a = agglomerate_points(&pts, l);
+            let b = agglomerate_points(&shifted, l);
+            let ma: Vec<(usize, usize)> = a.merges().iter().map(|m| (m.left, m.right)).collect();
+            let mb: Vec<(usize, usize)> = b.merges().iter().map(|m| (m.left, m.right)).collect();
+            prop_assert_eq!(ma, mb, "{:?}", l);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # lgo-core
+//!
+//! The paper's contribution: a **risk profiling framework** that makes
+//! static anomaly detectors adaptive — at zero inference-time cost — by
+//! *selectively training them on the victims most resilient to the attack*.
+//!
+//! The five steps (paper Figure 1), each with its own module:
+//!
+//! 1. **Attack simulation** ([`profile`]) — run the URET-style evasion
+//!    attack against the deployed glucose forecaster for every victim.
+//! 2. **Risk quantification** ([`risk`]) — per-timestamp instantaneous risk
+//!    `R_t = S · Z_t` with `Z_t = (y_t − f(x_t))²` and `S` a severity
+//!    coefficient from the state-transition table ([`severity`], Table I).
+//! 3. **Risk profile construction** ([`risk::RiskProfile`]) — the time
+//!    series of `R_t` per victim.
+//! 4. **Clustering** ([`vuln`]) — hierarchical clustering of risk profiles;
+//!    the dendrogram is cut into *less vulnerable* and *more vulnerable*
+//!    clusters (Table II / Figure 3).
+//! 5. **Selective training** ([`selective`]) — train the anomaly detectors
+//!    only on the less-vulnerable victims and compare against the
+//!    indiscriminate and random baselines (Figures 7, 8, 11).
+//!
+//! [`pipeline`] wires all five steps into one reproducible run;
+//! [`quadrant`] implements the Figure-6 sample taxonomy; [`state`] holds
+//! the glucose state machine the severity table is indexed by.
+//!
+//! # Examples
+//!
+//! ```
+//! use lgo_core::severity::SeverityTable;
+//! use lgo_core::state::GlucoseState;
+//!
+//! let table = SeverityTable::paper_default();
+//! assert_eq!(table.coefficient(GlucoseState::Hypo, GlucoseState::Hyper), 64.0);
+//! assert_eq!(table.coefficient(GlucoseState::Normal, GlucoseState::Normal), 0.0);
+//! ```
+
+pub mod adaptive;
+pub mod pipeline;
+pub mod profile;
+pub mod quadrant;
+pub mod risk;
+pub mod selective;
+pub mod severity;
+pub mod state;
+pub mod vuln;

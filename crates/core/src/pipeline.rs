@@ -1,0 +1,280 @@
+//! The end-to-end five-step pipeline: simulate the cohort, train the target
+//! forecasters, attack them, quantify risk, cluster vulnerability, and
+//! evaluate every (strategy × detector) combination.
+
+use lgo_cluster::Linkage;
+use lgo_detect::Window;
+use lgo_forecast::{ForecastConfig, GlucoseForecaster, FEATURES};
+use lgo_glucosim::{generate_cohort_sized, PatientDataset, PatientId};
+use lgo_series::window::sliding;
+use lgo_series::MultiSeries;
+
+use crate::profile::{profile_patient, PatientAttackProfile, ProfilerConfig};
+use crate::selective::{
+    evaluate_strategy, DetectorConfigs, DetectorKind, PatientData, StrategyEvaluation,
+    TrainingStrategy,
+};
+use crate::vuln::{cluster_cohort, CohortClusters};
+
+/// Configuration of a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Which patients to include (`None` = the full 12-patient cohort).
+    pub patients: Option<Vec<PatientId>>,
+    /// Simulated training days per patient.
+    pub train_days: usize,
+    /// Simulated test days per patient.
+    pub test_days: usize,
+    /// Target-forecaster hyper-parameters.
+    pub forecast: ForecastConfig,
+    /// Attack/risk settings for the test-period campaign (risk profiles).
+    pub profiler: ProfilerConfig,
+    /// Window stride for the training-period campaign that generates the
+    /// supervised detector's malicious training windows.
+    pub train_attack_stride: usize,
+    /// Stride between benign detector windows.
+    pub detector_stride: usize,
+    /// Detector hyper-parameters.
+    pub detectors: DetectorConfigs,
+    /// Dendrogram linkage for step 4.
+    pub linkage: Linkage,
+    /// The strategies to evaluate.
+    pub strategies: Vec<TrainingStrategy>,
+    /// The detectors to evaluate.
+    pub detector_kinds: Vec<DetectorKind>,
+}
+
+impl PipelineConfig {
+    /// Paper-scale configuration: the full cohort at the OhioT1DM footprint
+    /// (~10 000 train / ~2 500 test samples per patient), all four
+    /// strategies, all three detectors. Expect minutes of CPU time.
+    pub fn paper_scale() -> Self {
+        Self {
+            patients: None,
+            train_days: 35,
+            test_days: 9,
+            forecast: ForecastConfig::default(),
+            profiler: ProfilerConfig::default(),
+            train_attack_stride: 12,
+            detector_stride: 3,
+            detectors: DetectorConfigs::default(),
+            linkage: Linkage::Average,
+            strategies: TrainingStrategy::paper_set().to_vec(),
+            detector_kinds: DetectorKind::all().to_vec(),
+        }
+    }
+
+    /// A reduced configuration for tests and examples: four patients, two
+    /// training days, large strides, tiny detector models.
+    pub fn fast() -> Self {
+        use lgo_detect::MadGanConfig;
+        Self {
+            patients: Some(vec![
+                PatientId::new(lgo_glucosim::Subset::A, 2),
+                PatientId::new(lgo_glucosim::Subset::A, 5),
+                PatientId::new(lgo_glucosim::Subset::B, 2),
+                PatientId::new(lgo_glucosim::Subset::B, 4),
+            ]),
+            train_days: 3,
+            test_days: 1,
+            forecast: ForecastConfig {
+                hidden: 8,
+                epochs: 2,
+                ..ForecastConfig::default()
+            },
+            profiler: ProfilerConfig {
+                stride: 24,
+                explorer_steps: 3,
+                ..ProfilerConfig::default()
+            },
+            train_attack_stride: 48,
+            detector_stride: 24,
+            detectors: DetectorConfigs {
+                madgan: MadGanConfig {
+                    epochs: 2,
+                    hidden: 6,
+                    inversion_steps: 3,
+                    ..MadGanConfig::default()
+                },
+                ..DetectorConfigs::default()
+            },
+            linkage: Linkage::Average,
+            strategies: vec![
+                TrainingStrategy::LessVulnerable,
+                TrainingStrategy::AllPatients,
+            ],
+            detector_kinds: vec![DetectorKind::Knn],
+        }
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Step 1–3 output per patient (test-period campaign + risk profile).
+    pub profiles: Vec<PatientAttackProfile>,
+    /// Step 4 output.
+    pub clusters: CohortClusters,
+    /// Detector-facing per-patient data.
+    pub cohort: Vec<PatientData>,
+    /// Step 5 output: one evaluation per (strategy × detector).
+    pub evaluations: Vec<StrategyEvaluation>,
+    /// The simulated datasets (kept for downstream analyses/figures).
+    pub datasets: Vec<PatientDataset>,
+}
+
+impl PipelineReport {
+    /// Looks up the evaluation of one (strategy, detector) cell.
+    pub fn evaluation(
+        &self,
+        strategy: TrainingStrategy,
+        detector: DetectorKind,
+    ) -> Option<&StrategyEvaluation> {
+        self.evaluations
+            .iter()
+            .find(|e| e.strategy == strategy && e.detector == detector)
+    }
+}
+
+/// Extracts benign detector windows (FEATURES channels) from a series.
+pub fn benign_windows(series: &MultiSeries, seq_len: usize, stride: usize) -> Vec<Window> {
+    let sel = series.select(&FEATURES);
+    sliding(sel.rows(), seq_len, stride)
+}
+
+/// Runs the full five-step pipeline.
+///
+/// # Panics
+///
+/// Panics if the configuration selects fewer than two patients (clustering
+/// needs at least two risk profiles) or produces empty training data.
+pub fn run_pipeline(config: &PipelineConfig) -> PipelineReport {
+    let all = generate_cohort_sized(config.train_days, config.test_days);
+    let datasets: Vec<PatientDataset> = match &config.patients {
+        Some(ids) => all
+            .into_iter()
+            .filter(|d| ids.contains(&d.profile.id))
+            .collect(),
+        None => all,
+    };
+    assert!(
+        datasets.len() >= 2,
+        "run_pipeline: need at least two patients, got {}",
+        datasets.len()
+    );
+
+    let seq_len = config.forecast.seq_len;
+    let mut profiles = Vec::with_capacity(datasets.len());
+    let mut cohort = Vec::with_capacity(datasets.len());
+    for d in &datasets {
+        // Step 0: the deployed target model (personalized, like the paper's
+        // per-patient attack study).
+        let forecaster = GlucoseForecaster::train_personalized(&d.train, &config.forecast);
+
+        // Steps 1-3 on the test period: a *maximizing* campaign so the risk
+        // profile measures the worst-case harm per window.
+        let test_profile = profile_patient(&forecaster, d.profile.id, &d.test, &config.profiler);
+
+        // Detector-facing adversarial data uses *minimal* (early-exit)
+        // attacks — what a stealthy adversary would actually inject.
+        let minimal = ProfilerConfig {
+            maximize: false,
+            ..config.profiler.clone()
+        };
+        let test_minimal = profile_patient(&forecaster, d.profile.id, &d.test, &minimal);
+        let train_minimal = profile_patient(
+            &forecaster,
+            d.profile.id,
+            &d.train,
+            &ProfilerConfig {
+                stride: config.train_attack_stride,
+                ..minimal
+            },
+        );
+
+        cohort.push(PatientData {
+            patient: d.profile.id,
+            train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
+            train_malicious: train_minimal.manipulated_windows(),
+            test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
+            test_malicious: test_minimal.manipulated_windows(),
+        });
+        profiles.push(test_profile);
+    }
+
+    // Step 4.
+    let clusters = cluster_cohort(&profiles, config.linkage);
+
+    // Step 5.
+    let mut evaluations = Vec::new();
+    for &kind in &config.detector_kinds {
+        for &strategy in &config.strategies {
+            evaluations.push(evaluate_strategy(
+                strategy,
+                kind,
+                &cohort,
+                &clusters.less_vulnerable,
+                &clusters.more_vulnerable,
+                &config.detectors,
+            ));
+        }
+    }
+
+    PipelineReport {
+        profiles,
+        clusters,
+        cohort,
+        evaluations,
+        datasets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgo_glucosim::Subset;
+
+    #[test]
+    fn fast_pipeline_end_to_end() {
+        let config = PipelineConfig::fast();
+        let report = run_pipeline(&config);
+        assert_eq!(report.profiles.len(), 4);
+        assert_eq!(report.cohort.len(), 4);
+        // 1 detector × 2 strategies.
+        assert_eq!(report.evaluations.len(), 2);
+        // Clusters partition the cohort.
+        let total = report.clusters.less_vulnerable.len() + report.clusters.more_vulnerable.len();
+        assert_eq!(total, 4);
+        assert!(!report.clusters.less_vulnerable.is_empty());
+        // Lookup works.
+        assert!(report
+            .evaluation(TrainingStrategy::AllPatients, DetectorKind::Knn)
+            .is_some());
+        assert!(report
+            .evaluation(TrainingStrategy::MoreVulnerable, DetectorKind::Knn)
+            .is_none());
+        // Every patient got detector data.
+        for d in &report.cohort {
+            assert!(!d.train_benign.is_empty(), "{}", d.patient);
+            assert!(!d.test_benign.is_empty(), "{}", d.patient);
+        }
+    }
+
+    #[test]
+    fn benign_windows_shapes() {
+        let config = PipelineConfig::fast();
+        let report = run_pipeline(&config);
+        for w in report.cohort[0].train_benign.iter().take(3) {
+            assert_eq!(w.len(), 12);
+            assert_eq!(w[0].len(), FEATURES.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two patients")]
+    fn single_patient_rejected() {
+        let mut config = PipelineConfig::fast();
+        config.patients = Some(vec![PatientId::new(Subset::A, 0)]);
+        let _ = run_pipeline(&config);
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's Figure-6 taxonomy: every glucose sample falls into one of
+//! four quadrants along two axes — benign vs. malicious (was the sample
+//! attacker-manipulated?) and normal vs. abnormal (does its value lie in
+//! the normal glucose band?).
+//!
+//! The quadrant structure explains the indiscriminate-training failure
+//! mode: patients with many *benign abnormal* samples teach the detector
+//! that abnormal values are ordinary, so *malicious abnormal* samples slip
+//! through as false negatives.
+
+use crate::state::{GlucoseState, StateThresholds};
+
+/// One of the four sample quadrants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// Normal glucose, no attack.
+    BenignNormal,
+    /// Abnormal (hypo/hyper) glucose, no attack.
+    BenignAbnormal,
+    /// Attacker-manipulated sample placed in the normal band.
+    MaliciousNormal,
+    /// Attacker-manipulated sample placed in the abnormal band.
+    MaliciousAbnormal,
+}
+
+/// Classifies one sample.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_core::quadrant::{classify, Quadrant};
+/// use lgo_core::state::StateThresholds;
+///
+/// let t = StateThresholds::default();
+/// assert_eq!(classify(100.0, true, false, &t), Quadrant::BenignNormal);
+/// assert_eq!(classify(300.0, true, true, &t), Quadrant::MaliciousAbnormal);
+/// ```
+pub fn classify(
+    glucose: f64,
+    fasting: bool,
+    malicious: bool,
+    thresholds: &StateThresholds,
+) -> Quadrant {
+    let normal = thresholds.classify(glucose, fasting) == GlucoseState::Normal;
+    match (malicious, normal) {
+        (false, true) => Quadrant::BenignNormal,
+        (false, false) => Quadrant::BenignAbnormal,
+        (true, true) => Quadrant::MaliciousNormal,
+        (true, false) => Quadrant::MaliciousAbnormal,
+    }
+}
+
+/// Counts of samples per quadrant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuadrantCounts {
+    /// Benign + normal.
+    pub benign_normal: usize,
+    /// Benign + abnormal.
+    pub benign_abnormal: usize,
+    /// Malicious + normal.
+    pub malicious_normal: usize,
+    /// Malicious + abnormal.
+    pub malicious_abnormal: usize,
+}
+
+impl QuadrantCounts {
+    /// Tallies a stream of `(glucose, fasting, malicious)` samples.
+    pub fn tally<I>(samples: I, thresholds: &StateThresholds) -> Self
+    where
+        I: IntoIterator<Item = (f64, bool, bool)>,
+    {
+        let mut c = Self::default();
+        for (g, fasting, malicious) in samples {
+            match classify(g, fasting, malicious, thresholds) {
+                Quadrant::BenignNormal => c.benign_normal += 1,
+                Quadrant::BenignAbnormal => c.benign_abnormal += 1,
+                Quadrant::MaliciousNormal => c.malicious_normal += 1,
+                Quadrant::MaliciousAbnormal => c.malicious_abnormal += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.benign_normal + self.benign_abnormal + self.malicious_normal + self.malicious_abnormal
+    }
+
+    /// The paper's Figure-4 statistic: benign normal : benign abnormal
+    /// ratio (`None` when there are no benign abnormal samples).
+    pub fn benign_normal_abnormal_ratio(&self) -> Option<f64> {
+        if self.benign_abnormal == 0 {
+            None
+        } else {
+            Some(self.benign_normal as f64 / self.benign_abnormal as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_quadrants_reachable() {
+        let t = StateThresholds::default();
+        assert_eq!(classify(100.0, false, false, &t), Quadrant::BenignNormal);
+        assert_eq!(classify(60.0, false, false, &t), Quadrant::BenignAbnormal);
+        assert_eq!(classify(100.0, false, true, &t), Quadrant::MaliciousNormal);
+        assert_eq!(classify(300.0, false, true, &t), Quadrant::MaliciousAbnormal);
+    }
+
+    #[test]
+    fn fasting_changes_quadrant_of_borderline_values() {
+        let t = StateThresholds::default();
+        // 150 mg/dL: abnormal while fasting, normal postprandially.
+        assert_eq!(classify(150.0, true, false, &t), Quadrant::BenignAbnormal);
+        assert_eq!(classify(150.0, false, false, &t), Quadrant::BenignNormal);
+    }
+
+    #[test]
+    fn tally_and_ratio() {
+        let t = StateThresholds::default();
+        let samples = vec![
+            (100.0, false, false),
+            (110.0, false, false),
+            (60.0, false, false),
+            (300.0, false, true),
+            (100.0, false, true),
+        ];
+        let c = QuadrantCounts::tally(samples, &t);
+        assert_eq!(c.benign_normal, 2);
+        assert_eq!(c.benign_abnormal, 1);
+        assert_eq!(c.malicious_abnormal, 1);
+        assert_eq!(c.malicious_normal, 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.benign_normal_abnormal_ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn ratio_none_when_no_abnormal() {
+        let t = StateThresholds::default();
+        let c = QuadrantCounts::tally(vec![(100.0, false, false)], &t);
+        assert_eq!(c.benign_normal_abnormal_ratio(), None);
+    }
+}

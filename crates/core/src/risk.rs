@@ -1,0 +1,201 @@
+//! Steps 2 and 3: risk quantification and risk-profile construction.
+//!
+//! The instantaneous risk of a manipulation at time `t` is
+//! `R_t = S · Z_t` (paper Equation 1) with `Z_t = (y_t − f(x_t))²`
+//! (Equation 2): `y_t` is the benign prediction, `f(x_t)` the prediction
+//! under attack, and `S` the severity coefficient of the induced state
+//! transition. Squaring weighs large prediction deviations more — large
+//! glucose errors are disproportionately dangerous.
+
+use crate::severity::SeverityTable;
+use crate::state::StateThresholds;
+
+/// Computes `Z_t = (y_t − f(x_t))²` (paper Equation 2).
+pub fn squared_deviation(benign_prediction: f64, adversarial_prediction: f64) -> f64 {
+    let d = benign_prediction - adversarial_prediction;
+    d * d
+}
+
+/// Computes the instantaneous risk `R_t = S · Z_t` (paper Equation 1).
+///
+/// The severity coefficient is looked up from the state transition the
+/// manipulation induces (benign prediction state → adversarial prediction
+/// state under the same fasting context). Identity transitions yield zero
+/// risk regardless of deviation magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_core::risk::instantaneous_risk;
+/// use lgo_core::severity::SeverityTable;
+/// use lgo_core::state::StateThresholds;
+///
+/// let table = SeverityTable::paper_default();
+/// let thresholds = StateThresholds::default();
+/// // Normal (90) driven to hyper (210) while fasting: S = 32, Z = 120².
+/// let r = instantaneous_risk(90.0, 210.0, true, &table, &thresholds);
+/// assert_eq!(r, 32.0 * 120.0 * 120.0);
+/// ```
+pub fn instantaneous_risk(
+    benign_prediction: f64,
+    adversarial_prediction: f64,
+    fasting: bool,
+    severity: &SeverityTable,
+    thresholds: &StateThresholds,
+) -> f64 {
+    let b = thresholds.classify(benign_prediction, fasting);
+    let a = thresholds.classify(adversarial_prediction, fasting);
+    severity.coefficient(b, a) * squared_deviation(benign_prediction, adversarial_prediction)
+}
+
+/// A victim's time-series risk profile (step 3): the sequence of
+/// instantaneous risks over the attacked windows, in time order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskProfile {
+    /// Victim identifier (e.g. `"A_5"`).
+    pub patient: String,
+    /// Instantaneous risk values in time order.
+    pub values: Vec<f64>,
+}
+
+impl RiskProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains negative/non-finite entries.
+    pub fn new(patient: impl Into<String>, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "RiskProfile: empty profile");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "RiskProfile: risks must be finite and non-negative"
+        );
+        Self {
+            patient: patient.into(),
+            values,
+        }
+    }
+
+    /// Mean instantaneous risk.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Peak instantaneous risk.
+    pub fn peak(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Fraction of timestamps with nonzero risk (how often the attack
+    /// induced a harmful transition at all).
+    pub fn active_fraction(&self) -> f64 {
+        self.values.iter().filter(|&&v| v > 0.0).count() as f64 / self.values.len() as f64
+    }
+
+    /// A fixed-length feature vector for clustering: the profile is
+    /// `log1p`-compressed (risks span orders of magnitude because of the
+    /// squared deviation) and mean-pooled into `bins` equal segments, so
+    /// patients with differently sized test periods remain comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn feature_vector(&self, bins: usize) -> Vec<f64> {
+        assert!(bins > 0, "feature_vector: bins must be positive");
+        let n = self.values.len();
+        (0..bins)
+            .map(|b| {
+                let start = b * n / bins;
+                let end = ((b + 1) * n / bins).max(start + 1).min(n);
+                let seg = &self.values[start.min(n - 1)..end];
+                seg.iter().map(|&v| v.ln_1p()).sum::<f64>() / seg.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SeverityTable {
+        SeverityTable::paper_default()
+    }
+
+    fn th() -> StateThresholds {
+        StateThresholds::default()
+    }
+
+    #[test]
+    fn squared_deviation_is_symmetric_and_quadratic() {
+        assert_eq!(squared_deviation(100.0, 110.0), 100.0);
+        assert_eq!(squared_deviation(110.0, 100.0), 100.0);
+        assert_eq!(squared_deviation(100.0, 120.0), 400.0);
+    }
+
+    #[test]
+    fn risk_weighs_transition_severity() {
+        // Same deviation magnitude, different origins.
+        let hypo_to_hyper = instantaneous_risk(60.0, 200.0, true, &table(), &th());
+        let normal_to_hyper = instantaneous_risk(90.0, 230.0, true, &table(), &th());
+        assert_eq!(hypo_to_hyper, 64.0 * 140.0 * 140.0);
+        assert_eq!(normal_to_hyper, 32.0 * 140.0 * 140.0);
+        assert!(hypo_to_hyper > normal_to_hyper);
+    }
+
+    #[test]
+    fn no_state_change_means_no_risk() {
+        // 100 -> 120 stays normal (fasting threshold 125).
+        assert_eq!(instantaneous_risk(100.0, 120.0, true, &table(), &th()), 0.0);
+        // Both hyper.
+        assert_eq!(instantaneous_risk(200.0, 300.0, true, &table(), &th()), 0.0);
+    }
+
+    #[test]
+    fn fasting_context_changes_transition() {
+        // 90 -> 150: hyper while fasting (125), normal postprandially (180).
+        assert!(instantaneous_risk(90.0, 150.0, true, &table(), &th()) > 0.0);
+        assert_eq!(instantaneous_risk(90.0, 150.0, false, &table(), &th()), 0.0);
+    }
+
+    #[test]
+    fn risk_grows_with_deviation_within_transition() {
+        let small = instantaneous_risk(90.0, 130.0, true, &table(), &th());
+        let large = instantaneous_risk(90.0, 400.0, true, &table(), &th());
+        assert!(large > small);
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let p = RiskProfile::new("A_0", vec![0.0, 4.0, 0.0, 16.0]);
+        assert_eq!(p.mean(), 5.0);
+        assert_eq!(p.peak(), 16.0);
+        assert_eq!(p.active_fraction(), 0.5);
+    }
+
+    #[test]
+    fn feature_vector_bins_and_compresses() {
+        let p = RiskProfile::new("x", vec![0.0, 0.0, 1e12, 0.0]);
+        let f = p.feature_vector(2);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0], 0.0);
+        // log1p compression keeps the huge value manageable:
+        // mean(ln(1+1e12), ln(1)) ≈ 27.63 / 2.
+        assert!((f[1] - 1e12_f64.ln_1p() / 2.0).abs() < 1e-9);
+        // More bins than values still works.
+        let p2 = RiskProfile::new("y", vec![1.0, 2.0]);
+        assert_eq!(p2.feature_vector(4).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty profile")]
+    fn empty_profile_rejected() {
+        let _ = RiskProfile::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_risk_rejected() {
+        let _ = RiskProfile::new("x", vec![-1.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! The glucose state machine: hypo / normal / hyper classification with the
+//! paper's fasting-dependent hyperglycemia thresholds.
+
+use std::fmt;
+
+/// A patient's glycemic state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GlucoseState {
+    /// Below the hypoglycemia threshold.
+    Hypo,
+    /// Within the normal band.
+    Normal,
+    /// Above the applicable hyperglycemia threshold.
+    Hyper,
+}
+
+impl fmt::Display for GlucoseState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlucoseState::Hypo => write!(f, "hypo"),
+            GlucoseState::Normal => write!(f, "normal"),
+            GlucoseState::Hyper => write!(f, "hyper"),
+        }
+    }
+}
+
+/// The classification thresholds (mg/dL). Defaults follow the paper:
+/// hypoglycemia < 70; hyperglycemia > 125 fasting, > 180 postprandial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateThresholds {
+    /// Hypoglycemia cutoff.
+    pub hypo: f64,
+    /// Hyperglycemia cutoff while fasting.
+    pub hyper_fasting: f64,
+    /// Hyperglycemia cutoff within two hours of a meal.
+    pub hyper_postprandial: f64,
+}
+
+impl Default for StateThresholds {
+    fn default() -> Self {
+        Self {
+            hypo: 70.0,
+            hyper_fasting: 125.0,
+            hyper_postprandial: 180.0,
+        }
+    }
+}
+
+impl StateThresholds {
+    /// The hyperglycemia cutoff that applies in the given fasting state.
+    pub fn hyper(&self, fasting: bool) -> f64 {
+        if fasting {
+            self.hyper_fasting
+        } else {
+            self.hyper_postprandial
+        }
+    }
+
+    /// Classifies a glucose value (mg/dL).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lgo_core::state::{GlucoseState, StateThresholds};
+    ///
+    /// let t = StateThresholds::default();
+    /// assert_eq!(t.classify(60.0, true), GlucoseState::Hypo);
+    /// assert_eq!(t.classify(150.0, true), GlucoseState::Hyper);
+    /// assert_eq!(t.classify(150.0, false), GlucoseState::Normal);
+    /// ```
+    pub fn classify(&self, glucose: f64, fasting: bool) -> GlucoseState {
+        if glucose < self.hypo {
+            GlucoseState::Hypo
+        } else if glucose > self.hyper(fasting) {
+            GlucoseState::Hyper
+        } else {
+            GlucoseState::Normal
+        }
+    }
+
+    /// Validates threshold ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < hypo < hyper_fasting <= hyper_postprandial`.
+    pub fn validate(&self) {
+        assert!(self.hypo > 0.0, "StateThresholds: hypo must be positive");
+        assert!(
+            self.hypo < self.hyper_fasting,
+            "StateThresholds: hypo >= hyper_fasting"
+        );
+        assert!(
+            self.hyper_fasting <= self.hyper_postprandial,
+            "StateThresholds: fasting threshold above postprandial"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_boundaries() {
+        let t = StateThresholds::default();
+        assert_eq!(t.classify(69.999, false), GlucoseState::Hypo);
+        assert_eq!(t.classify(70.0, false), GlucoseState::Normal);
+        assert_eq!(t.classify(125.0, true), GlucoseState::Normal);
+        assert_eq!(t.classify(125.01, true), GlucoseState::Hyper);
+        assert_eq!(t.classify(180.0, false), GlucoseState::Normal);
+        assert_eq!(t.classify(180.01, false), GlucoseState::Hyper);
+    }
+
+    #[test]
+    fn fasting_threshold_is_stricter() {
+        let t = StateThresholds::default();
+        assert!(t.hyper(true) < t.hyper(false));
+        assert_eq!(t.classify(150.0, true), GlucoseState::Hyper);
+        assert_eq!(t.classify(150.0, false), GlucoseState::Normal);
+    }
+
+    #[test]
+    fn default_validates() {
+        StateThresholds::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hypo >= hyper_fasting")]
+    fn inverted_thresholds_rejected() {
+        StateThresholds {
+            hypo: 200.0,
+            ..StateThresholds::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GlucoseState::Hypo.to_string(), "hypo");
+        assert_eq!(GlucoseState::Normal.to_string(), "normal");
+        assert_eq!(GlucoseState::Hyper.to_string(), "hyper");
+    }
+}

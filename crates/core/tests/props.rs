@@ -1,0 +1,103 @@
+//! Property-based tests for the risk-profiling framework's invariants.
+
+use lgo_core::quadrant::QuadrantCounts;
+use lgo_core::risk::{instantaneous_risk, squared_deviation, RiskProfile};
+use lgo_core::severity::SeverityTable;
+use lgo_core::state::{GlucoseState, StateThresholds};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn risk_is_nonnegative_and_zero_on_identity(
+        benign in 30.0..450.0f64,
+        adv in 30.0..450.0f64,
+        fasting in any::<bool>(),
+    ) {
+        let t = SeverityTable::paper_default();
+        let th = StateThresholds::default();
+        let r = instantaneous_risk(benign, adv, fasting, &t, &th);
+        prop_assert!(r >= 0.0);
+        if th.classify(benign, fasting) == th.classify(adv, fasting) {
+            prop_assert_eq!(r, 0.0);
+        }
+    }
+
+    #[test]
+    fn risk_scales_with_severity_family(
+        benign in 30.0..450.0f64,
+        adv in 30.0..450.0f64,
+        fasting in any::<bool>(),
+    ) {
+        // Exponential coefficients dominate linear which dominate uniform,
+        // transition by transition — so risks order the same way.
+        let th = StateThresholds::default();
+        let exp = instantaneous_risk(benign, adv, fasting, &SeverityTable::paper_default(), &th);
+        let lin = instantaneous_risk(benign, adv, fasting, &SeverityTable::linear(), &th);
+        let uni = instantaneous_risk(benign, adv, fasting, &SeverityTable::uniform(), &th);
+        prop_assert!(exp >= lin - 1e-12);
+        prop_assert!(lin >= uni - 1e-12);
+        // All three agree on zero vs nonzero.
+        prop_assert_eq!(exp == 0.0, uni == 0.0);
+    }
+
+    #[test]
+    fn risk_monotone_in_deviation_within_transition(
+        benign in 80.0..110.0f64,
+        extra in 0.0..100.0f64,
+    ) {
+        // Fixed normal->hyper transition (fasting): larger deviation, larger risk.
+        let t = SeverityTable::paper_default();
+        let th = StateThresholds::default();
+        let near = instantaneous_risk(benign, 130.0, true, &t, &th);
+        let far = instantaneous_risk(benign, 130.0 + extra, true, &t, &th);
+        prop_assert!(far >= near);
+    }
+
+    #[test]
+    fn squared_deviation_properties(a in -500.0..500.0f64, b in -500.0..500.0f64) {
+        prop_assert!(squared_deviation(a, b) >= 0.0);
+        prop_assert_eq!(squared_deviation(a, b), squared_deviation(b, a));
+        prop_assert_eq!(squared_deviation(a, a), 0.0);
+    }
+
+    #[test]
+    fn classification_is_total_and_ordered(g in 0.0..600.0f64, fasting in any::<bool>()) {
+        let th = StateThresholds::default();
+        let state = th.classify(g, fasting);
+        match state {
+            GlucoseState::Hypo => prop_assert!(g < th.hypo),
+            GlucoseState::Hyper => prop_assert!(g > th.hyper(fasting)),
+            GlucoseState::Normal => {
+                prop_assert!(g >= th.hypo && g <= th.hyper(fasting));
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_tally_is_conservative(
+        samples in proptest::collection::vec(
+            (20.0..500.0f64, any::<bool>(), any::<bool>()),
+            0..60,
+        )
+    ) {
+        let th = StateThresholds::default();
+        let n = samples.len();
+        let c = QuadrantCounts::tally(samples, &th);
+        prop_assert_eq!(c.total(), n);
+    }
+
+    #[test]
+    fn feature_vector_has_requested_bins(
+        values in proptest::collection::vec(0.0..1e9f64, 1..100),
+        bins in 1usize..64,
+    ) {
+        let p = RiskProfile::new("x", values.clone());
+        let f = p.feature_vector(bins);
+        prop_assert_eq!(f.len(), bins);
+        // log1p keeps everything finite and non-negative.
+        prop_assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // Mean/peak/active_fraction consistency.
+        prop_assert!(p.mean() <= p.peak() + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&p.active_fraction()));
+    }
+}

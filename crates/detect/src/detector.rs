@@ -1,0 +1,59 @@
+/// A window of multivariate time-series rows (time-major).
+pub type Window = Vec<Vec<f64>>;
+
+/// Common interface of all anomaly detectors.
+///
+/// Implementations are trained by their own `fit` constructors (supervised
+/// for kNN, one-class for the SVM and MAD-GAN); this trait covers inference
+/// only, which is what the risk-profiling framework composes over.
+pub trait AnomalyDetector {
+    /// Short detector name ("knn", "ocsvm", "madgan").
+    fn name(&self) -> &str;
+
+    /// Real-valued anomaly score; **higher means more anomalous**. The scale
+    /// is detector-specific; only the ordering and the sign relative to the
+    /// detector's internal threshold are meaningful.
+    fn score(&self, window: &Window) -> f64;
+
+    /// Binary decision: `true` when the window is flagged malicious.
+    ///
+    /// The default implementation flags positive scores.
+    fn is_anomalous(&self, window: &Window) -> bool {
+        self.score(window) > 0.0
+    }
+}
+
+/// Flags every window of a slice, returning the boolean decisions.
+pub fn flag_all<D: AnomalyDetector + ?Sized>(detector: &D, windows: &[Window]) -> Vec<bool> {
+    windows.iter().map(|w| detector.is_anomalous(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+
+    impl AnomalyDetector for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn score(&self, _w: &Window) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_decision_uses_sign() {
+        let w: Window = vec![vec![0.0]];
+        assert!(Fixed(1.0).is_anomalous(&w));
+        assert!(!Fixed(-1.0).is_anomalous(&w));
+        assert!(!Fixed(0.0).is_anomalous(&w));
+    }
+
+    #[test]
+    fn flag_all_maps_decisions() {
+        let ws: Vec<Window> = vec![vec![vec![0.0]]; 3];
+        assert_eq!(flag_all(&Fixed(2.0), &ws), vec![true, true, true]);
+    }
+}

@@ -1,0 +1,288 @@
+//! A KD-tree for exact k-nearest-neighbour queries — the counterpart of
+//! scikit-learn's `algorithm="kd_tree"` with its `leaf_size` parameter
+//! (the paper's Appendix B passes `algorithm="auto", leaf_size=30`).
+//!
+//! Exactness matters here: the detector's decisions must be identical to
+//! brute force, only faster on low-dimensional summary features.
+
+/// A balanced KD-tree over points of equal dimension.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_detect::KdTree;
+///
+/// let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+/// let tree = KdTree::build(pts, 2);
+/// let hits = tree.nearest(&[0.9, 0.9], 2);
+/// assert_eq!(hits[0].0, 1); // index of the closest point
+/// assert_eq!(hits.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    leaf_size: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Interior split: axis, threshold, children node ids.
+    Split {
+        axis: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf bucket of point indices.
+    Leaf(Vec<usize>),
+}
+
+impl KdTree {
+    /// Builds a tree over `points` with the given leaf bucket size
+    /// (scikit-learn's default is 30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_size == 0`, points are ragged, or any coordinate is
+    /// NaN.
+    pub fn build(points: Vec<Vec<f64>>, leaf_size: usize) -> Self {
+        assert!(leaf_size > 0, "KdTree: leaf_size must be positive");
+        if let Some(first) = points.first() {
+            let dim = first.len();
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(p.len(), dim, "KdTree: point {i} has wrong dimension");
+                assert!(p.iter().all(|v| !v.is_nan()), "KdTree: NaN in point {i}");
+            }
+        }
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: None,
+            leaf_size,
+            points,
+        };
+        if !tree.points.is_empty() {
+            let mut idx: Vec<usize> = (0..tree.points.len()).collect();
+            let root = tree.build_node(&mut idx, 0);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    fn build_node(&mut self, idx: &mut [usize], depth: usize) -> usize {
+        if idx.len() <= self.leaf_size {
+            self.nodes.push(Node::Leaf(idx.to_vec()));
+            return self.nodes.len() - 1;
+        }
+        let dim = self.points[0].len();
+        // Split on the axis with the largest spread among candidates (more
+        // robust than round-robin on skewed data).
+        let axis = (0..dim)
+            .max_by(|&a, &b| {
+                let spread = |ax: usize| {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for &i in idx.iter() {
+                        lo = lo.min(self.points[i][ax]);
+                        hi = hi.max(self.points[i][ax]);
+                    }
+                    hi - lo
+                };
+                spread(a).partial_cmp(&spread(b)).expect("no NaN")
+            })
+            .unwrap_or(depth % dim.max(1));
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][axis]
+                .partial_cmp(&self.points[b][axis])
+                .expect("no NaN")
+        });
+        let value = self.points[idx[mid]][axis];
+        let (left_idx, right_idx) = idx.split_at_mut(mid);
+        // Degenerate split (all equal on the axis): bucket everything.
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf(idx.to_vec()));
+            return self.nodes.len() - 1;
+        }
+        let mut left_own = left_idx.to_vec();
+        let mut right_own = right_idx.to_vec();
+        let left = self.build_node(&mut left_own, depth + 1);
+        let right = self.build_node(&mut right_own, depth + 1);
+        self.nodes.push(Node::Split {
+            axis,
+            value,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exact k nearest neighbours of `query` by Euclidean distance,
+    /// returned as `(point index, distance)` sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the indexed points'.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        assert_eq!(
+            query.len(),
+            self.points[0].len(),
+            "KdTree::nearest: query dimension mismatch"
+        );
+        let k = k.min(self.points.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // Max-heap by distance (keep the k best).
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.search(root, query, k, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
+    }
+
+    fn search(&self, node: usize, query: &[f64], k: usize, heap: &mut Vec<(f64, usize)>) {
+        match &self.nodes[node] {
+            Node::Leaf(bucket) => {
+                for &i in bucket {
+                    let d2: f64 = self.points[i]
+                        .iter()
+                        .zip(query)
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum();
+                    if heap.len() < k {
+                        heap.push((d2, i));
+                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+                    } else if d2 < heap[0].0 {
+                        heap[0] = (d2, i);
+                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+                    }
+                }
+            }
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*axis] - value;
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.search(near, query, k, heap);
+                // Visit the far side only if the splitting plane is closer
+                // than the current k-th distance.
+                if heap.len() < k || diff * diff < heap[0].0 {
+                    self.search(far, query, k, heap);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn brute_force(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut d: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    i,
+                    p.iter()
+                        .zip(query)
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt(),
+                )
+            })
+            .collect();
+        d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        d.truncate(k);
+        d
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-10.0..10.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        let points = random_points(500, 3, 1);
+        let tree = KdTree::build(points.clone(), 16);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..3).map(|_| rng.random_range(-12.0..12.0)).collect();
+            let got = tree.nearest(&q, 7);
+            let want = brute_force(&points, &q, 7);
+            // Distances must match exactly (ties may permute indices).
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12, "{got:?} vs {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_leaf_sizes_still_exact() {
+        let points = random_points(200, 2, 3);
+        for leaf in [1, 2, 30, 500] {
+            let tree = KdTree::build(points.clone(), leaf);
+            let got = tree.nearest(&[0.0, 0.0], 5);
+            let want = brute_force(&points, &[0.0, 0.0], 5);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_clamps() {
+        let tree = KdTree::build(random_points(3, 2, 4), 30);
+        assert_eq!(tree.nearest(&[0.0, 0.0], 10).len(), 3);
+        assert_eq!(tree.len(), 3);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let tree = KdTree::build(Vec::new(), 30);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&[0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let points = vec![vec![1.0, 1.0]; 50];
+        let tree = KdTree::build(points, 4);
+        let hits = tree.nearest(&[1.0, 1.0], 7);
+        assert_eq!(hits.len(), 7);
+        assert!(hits.iter().all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in point")]
+    fn nan_points_rejected() {
+        let _ = KdTree::build(vec![vec![f64::NAN]], 30);
+    }
+}

@@ -1,0 +1,334 @@
+use lgo_series::window::flatten;
+use lgo_series::MinMaxScaler;
+use lgo_tensor::vector::minkowski;
+
+use crate::detector::{AnomalyDetector, Window};
+use crate::kdtree::KdTree;
+
+/// Neighbour-search backend, mirroring scikit-learn's `algorithm`
+/// parameter (the paper passes `auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KnnAlgorithm {
+    /// Pick automatically: a KD-tree for the Euclidean metric (`p = 2`),
+    /// brute force otherwise.
+    #[default]
+    Auto,
+    /// Always brute force.
+    Brute,
+    /// Always a KD-tree (exact; only valid with `p = 2`).
+    KdTree,
+}
+
+/// Configuration mirroring scikit-learn's `KNeighborsClassifier` with the
+/// paper's Appendix-B parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnConfig {
+    /// Number of neighbours (paper: 7).
+    pub k: usize,
+    /// Minkowski order (paper: p = 2, i.e. Euclidean).
+    pub p: f64,
+    /// Neighbour-search backend (paper: auto).
+    pub algorithm: KnnAlgorithm,
+    /// KD-tree leaf bucket size (paper: 30).
+    pub leaf_size: usize,
+    /// Optional cap on stored training samples per class; when set, samples
+    /// are kept by uniform stride. `None` stores everything.
+    pub max_samples_per_class: Option<usize>,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self {
+            k: 7,
+            p: 2.0,
+            algorithm: KnnAlgorithm::Auto,
+            leaf_size: 30,
+            max_samples_per_class: None,
+        }
+    }
+}
+
+/// Supervised k-nearest-neighbour anomaly detector.
+///
+/// Trained on labelled benign + malicious windows (the malicious ones come
+/// from simulating the evasion attack); classifies by unweighted majority
+/// vote among the `k` nearest training points under the Minkowski metric,
+/// exactly like `KNeighborsClassifier(n_neighbors=7, weights="uniform",
+/// metric="minkowski", p=2)`.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct KnnDetector {
+    points: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+    scaler: MinMaxScaler,
+    tree: Option<KdTree>,
+    config: KnnConfig,
+}
+
+impl KnnDetector {
+    /// Fits (memorizes) the training windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both classes are empty, windows are ragged, or `k == 0`.
+    pub fn fit(benign: &[Window], malicious: &[Window], config: &KnnConfig) -> Self {
+        assert!(config.k > 0, "KnnDetector: k must be positive");
+        assert!(
+            !benign.is_empty() || !malicious.is_empty(),
+            "KnnDetector: no training windows"
+        );
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (class, label) in [(benign, false), (malicious, true)] {
+            let kept = Self::stride_cap(class, config.max_samples_per_class);
+            for w in kept {
+                points.push(flatten(&w));
+                labels.push(label);
+            }
+        }
+        let width = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == width),
+            "KnnDetector: inconsistent window shapes"
+        );
+        // Per-feature min-max scaling keeps the Minkowski metric from being
+        // dominated by the largest-unit channel (CGM in mg/dL vs boluses in
+        // units); queries are scaled with the same training statistics.
+        let mut scaler = MinMaxScaler::new();
+        scaler.fit(&points);
+        let points = scaler.transform(&points).expect("fit on these points");
+        let use_tree = match config.algorithm {
+            KnnAlgorithm::Brute => false,
+            KnnAlgorithm::KdTree => {
+                assert!(
+                    (config.p - 2.0).abs() < f64::EPSILON,
+                    "KnnDetector: the KD-tree backend requires p = 2"
+                );
+                true
+            }
+            KnnAlgorithm::Auto => (config.p - 2.0).abs() < f64::EPSILON,
+        };
+        let tree = use_tree.then(|| KdTree::build(points.clone(), config.leaf_size));
+        Self {
+            points,
+            labels,
+            scaler,
+            tree,
+            config: config.clone(),
+        }
+    }
+
+    fn stride_cap(class: &[Window], cap: Option<usize>) -> Vec<Window> {
+        match cap {
+            Some(cap) if cap > 0 && class.len() > cap => {
+                let stride = class.len() as f64 / cap as f64;
+                (0..cap)
+                    .map(|i| class[(i as f64 * stride) as usize].clone())
+                    .collect()
+            }
+            _ => class.to_vec(),
+        }
+    }
+
+    /// Number of stored training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the detector stores no points (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Fraction of malicious votes among the `k` nearest neighbours of a
+    /// flattened query.
+    fn malicious_fraction(&self, query: &[f64]) -> f64 {
+        let k = self.config.k.min(self.points.len());
+        if let Some(tree) = &self.tree {
+            let hits = tree.nearest(query, k);
+            let malicious = hits.iter().filter(|&&(i, _)| self.labels[i]).count();
+            return malicious as f64 / k as f64;
+        }
+        // Brute force: partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, bool)> = self
+            .points
+            .iter()
+            .zip(&self.labels)
+            .map(|(p, &l)| (minkowski(p, query, self.config.p), l))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let malicious = dists[..k].iter().filter(|&&(_, l)| l).count();
+        malicious as f64 / k as f64
+    }
+}
+
+impl AnomalyDetector for KnnDetector {
+    fn name(&self) -> &str {
+        "knn"
+    }
+
+    /// Score = malicious-vote fraction − 0.5, so the sign matches the
+    /// majority decision.
+    fn score(&self, window: &Window) -> f64 {
+        let query = self
+            .scaler
+            .transform_row(&flatten(window))
+            .expect("query width matches training width");
+        self.malicious_fraction(&query) - 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(v: f64) -> Window {
+        vec![vec![v, v * 0.5]; 3]
+    }
+
+    fn cluster(center: f64, n: usize) -> Vec<Window> {
+        (0..n).map(|i| window(center + i as f64 * 0.01)).collect()
+    }
+
+    #[test]
+    fn separates_two_clusters() {
+        let d = KnnDetector::fit(&cluster(0.0, 20), &cluster(10.0, 20), &KnnConfig::default());
+        assert!(d.is_anomalous(&window(9.9)));
+        assert!(!d.is_anomalous(&window(0.1)));
+        assert_eq!(d.name(), "knn");
+        assert_eq!(d.len(), 40);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn score_is_vote_fraction_centered() {
+        let d = KnnDetector::fit(&cluster(0.0, 10), &cluster(10.0, 10), &KnnConfig::default());
+        // Deep inside the benign cluster: all 7 neighbours benign.
+        assert_eq!(d.score(&window(0.05)), -0.5);
+        // Deep inside the malicious cluster: all 7 malicious.
+        assert_eq!(d.score(&window(10.05)), 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let d = KnnDetector::fit(
+            &cluster(0.0, 2),
+            &cluster(5.0, 1),
+            &KnnConfig {
+                k: 50,
+                ..KnnConfig::default()
+            },
+        );
+        // Works without panicking; majority of all 3 points is benign.
+        assert!(!d.is_anomalous(&window(2.0)));
+    }
+
+    #[test]
+    fn manhattan_metric_changes_geometry() {
+        let cfg = KnnConfig {
+            p: 1.0,
+            ..KnnConfig::default()
+        };
+        let d = KnnDetector::fit(&cluster(0.0, 10), &cluster(10.0, 10), &cfg);
+        assert!(d.is_anomalous(&window(8.0)));
+    }
+
+    #[test]
+    fn sample_cap_strides_uniformly() {
+        let cfg = KnnConfig {
+            max_samples_per_class: Some(5),
+            ..KnnConfig::default()
+        };
+        let d = KnnDetector::fit(&cluster(0.0, 100), &cluster(10.0, 100), &cfg);
+        assert_eq!(d.len(), 10);
+        // Still classifies correctly.
+        assert!(d.is_anomalous(&window(10.2)));
+        assert!(!d.is_anomalous(&window(-0.2)));
+    }
+
+    #[test]
+    fn ties_with_even_k_are_not_anomalous() {
+        // k=2 with one neighbour from each class -> fraction 0.5 -> score 0.
+        let cfg = KnnConfig {
+            k: 2,
+            ..KnnConfig::default()
+        };
+        let d = KnnDetector::fit(&cluster(0.0, 1), &cluster(1.0, 1), &cfg);
+        assert!(!d.is_anomalous(&window(0.5)));
+    }
+
+    #[test]
+    fn kdtree_and_brute_backends_agree() {
+        let benign = cluster(0.0, 40);
+        let malicious = cluster(10.0, 40);
+        let brute = KnnDetector::fit(
+            &benign,
+            &malicious,
+            &KnnConfig {
+                algorithm: KnnAlgorithm::Brute,
+                ..KnnConfig::default()
+            },
+        );
+        let tree = KnnDetector::fit(
+            &benign,
+            &malicious,
+            &KnnConfig {
+                algorithm: KnnAlgorithm::KdTree,
+                ..KnnConfig::default()
+            },
+        );
+        for q in [-1.0, 0.3, 4.9, 5.1, 9.7, 20.0] {
+            assert_eq!(
+                brute.score(&window(q)),
+                tree.score(&window(q)),
+                "backends disagree at query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_uses_tree_only_for_euclidean() {
+        let cfg_manhattan = KnnConfig {
+            p: 1.0,
+            ..KnnConfig::default()
+        };
+        let d = KnnDetector::fit(&cluster(0.0, 5), &cluster(5.0, 5), &cfg_manhattan);
+        // Manhattan under Auto must still work (brute path).
+        assert!(d.is_anomalous(&window(5.1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p = 2")]
+    fn kdtree_backend_rejects_other_metrics() {
+        let cfg = KnnConfig {
+            p: 1.0,
+            algorithm: KnnAlgorithm::KdTree,
+            ..KnnConfig::default()
+        };
+        let _ = KnnDetector::fit(&cluster(0.0, 3), &cluster(5.0, 3), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training windows")]
+    fn empty_training_rejected() {
+        let _ = KnnDetector::fit(&[], &[], &KnnConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnDetector::fit(
+            &cluster(0.0, 1),
+            &[],
+            &KnnConfig {
+                k: 0,
+                ..KnnConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,485 @@
+use lgo_series::window::flatten;
+use lgo_series::StandardScaler;
+use lgo_tensor::vector::dot;
+
+use crate::detector::{AnomalyDetector, Window};
+
+/// Kernel functions for the one-class SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(u, v) = u · v`
+    Linear,
+    /// `K(u, v) = exp(-γ ‖u − v‖²)`
+    Rbf {
+        /// Bandwidth γ.
+        gamma: f64,
+    },
+    /// `K(u, v) = tanh(γ u · v + coef0)` — the paper's kernel
+    /// (γ = auto = 1/n_features, coef0 = 10).
+    Sigmoid {
+        /// Slope γ.
+        gamma: f64,
+        /// Offset added inside the tanh.
+        coef0: f64,
+    },
+    /// `K(u, v) = (γ u · v + coef0)^degree`
+    Polynomial {
+        /// Slope γ.
+        gamma: f64,
+        /// Offset.
+        coef0: f64,
+        /// Polynomial degree.
+        degree: u32,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn eval(&self, u: &[f64], v: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => dot(u, v),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = u.iter().zip(v).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * dot(u, v) + coef0).tanh(),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(u, v) + coef0).powi(degree as i32),
+        }
+    }
+}
+
+/// Configuration of the ν-one-class SVM, defaulting to the paper's
+/// Appendix-B parameters (`OneClassSVM(kernel="sigmoid", gamma="auto",
+/// coef0=10, nu=0.5, tol=0.001)`). `gamma = None` means scikit-learn's
+/// `auto`: `1 / n_features`, resolved at fit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcSvmConfig {
+    /// ν ∈ (0, 1]: upper bound on the training outlier fraction and lower
+    /// bound on the support-vector fraction.
+    pub nu: f64,
+    /// Kernel family; the auto variants of [`KernelSpec`] resolve
+    /// `gamma = 1 / n_features` at fit time.
+    pub kernel: KernelSpec,
+    /// KKT-violation tolerance for SMO termination.
+    pub tol: f64,
+    /// Hard cap on SMO iterations (`None` = scikit's −1, i.e. unlimited, in
+    /// practice bounded by a large safety value).
+    pub max_iter: Option<usize>,
+    /// Optional cap on training windows (uniform stride subsample); keeps
+    /// the O(n²) kernel matrix affordable on big cohorts.
+    pub max_samples: Option<usize>,
+    /// Empirical decision-threshold calibration: the anomaly cutoff is set
+    /// at this quantile of the *training* decision values instead of the
+    /// raw `f(x) < 0` rule. This keeps the detector usable when the
+    /// sigmoid kernel saturates (`tanh(γ·u·v + 10) ≈ 1` over most of the
+    /// input range, which collapses `f` toward a constant — the ordering of
+    /// decision values stays informative while the zero crossing does not).
+    /// `None` uses the classical sign rule.
+    pub calibration_quantile: Option<f64>,
+}
+
+/// A kernel whose γ may be deferred to fit time (`gamma = auto`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelSpec {
+    /// Fully specified kernel.
+    Fixed(Kernel),
+    /// Sigmoid kernel with γ = 1/n_features resolved at fit time.
+    SigmoidAuto {
+        /// Offset added inside the tanh.
+        coef0: f64,
+    },
+    /// RBF kernel with γ = 1/n_features resolved at fit time.
+    RbfAuto,
+}
+
+impl Default for OcSvmConfig {
+    fn default() -> Self {
+        Self {
+            nu: 0.5,
+            kernel: KernelSpec::SigmoidAuto { coef0: 10.0 },
+            tol: 1e-3,
+            max_iter: None,
+            max_samples: Some(1500),
+            calibration_quantile: Some(0.10),
+        }
+    }
+}
+
+/// ν-one-class SVM (Schölkopf et al., 2001) trained with SMO — the paper's
+/// second anomaly detector.
+///
+/// Trained on benign windows only; the decision function
+/// `f(x) = Σ αᵢ K(xᵢ, x) − ρ` is negative for anomalies.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_detect::{AnomalyDetector, OcSvmConfig, OneClassSvm, KernelSpec, Kernel};
+///
+/// let benign: Vec<Vec<Vec<f64>>> = (0..40)
+///     .map(|i| vec![vec![(i as f64 * 0.7).sin(), (i as f64 * 0.7).cos()]])
+///     .collect();
+/// let cfg = OcSvmConfig {
+///     kernel: KernelSpec::Fixed(Kernel::Rbf { gamma: 1.0 }),
+///     nu: 0.1,
+///     ..OcSvmConfig::default()
+/// };
+/// let svm = OneClassSvm::fit(&benign, &cfg);
+/// // A point far outside the unit circle is anomalous.
+/// assert!(svm.is_anomalous(&vec![vec![5.0, 5.0]]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    support: Vec<Vec<f64>>,
+    alphas: Vec<f64>,
+    rho: f64,
+    kernel: Kernel,
+    iterations: usize,
+    scaler: StandardScaler,
+    threshold: f64,
+}
+
+impl OneClassSvm {
+    /// Trains on benign windows with SMO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is empty, `nu` is outside `(0, 1]`, or windows
+    /// are ragged.
+    pub fn fit(windows: &[Window], config: &OcSvmConfig) -> Self {
+        assert!(!windows.is_empty(), "OneClassSvm: no training windows");
+        assert!(
+            config.nu > 0.0 && config.nu <= 1.0,
+            "OneClassSvm: nu = {} outside (0, 1]",
+            config.nu
+        );
+        let mut points: Vec<Vec<f64>> = windows.iter().map(|w| flatten(w)).collect();
+        if let Some(cap) = config.max_samples {
+            if cap > 0 && points.len() > cap {
+                let stride = points.len() as f64 / cap as f64;
+                points = (0..cap)
+                    .map(|i| points[(i as f64 * stride) as usize].clone())
+                    .collect();
+            }
+        }
+        // Standardize features: dot-product kernels (sigmoid/polynomial) are
+        // meaningless on raw mixed-unit channels.
+        let mut scaler = StandardScaler::new();
+        scaler.fit(&points);
+        let points = scaler.transform(&points).expect("fit on these points");
+        let width = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == width),
+            "OneClassSvm: inconsistent window shapes"
+        );
+        let kernel = match config.kernel {
+            KernelSpec::Fixed(k) => k,
+            KernelSpec::SigmoidAuto { coef0 } => Kernel::Sigmoid {
+                gamma: 1.0 / width as f64,
+                coef0,
+            },
+            KernelSpec::RbfAuto => Kernel::Rbf {
+                gamma: 1.0 / width as f64,
+            },
+        };
+
+        let l = points.len();
+        let upper = 1.0 / (config.nu * l as f64);
+
+        // Kernel matrix (l <= max_samples keeps this affordable).
+        let mut q = vec![vec![0.0; l]; l];
+        for i in 0..l {
+            for j in i..l {
+                let v = kernel.eval(&points[i], &points[j]);
+                q[i][j] = v;
+                q[j][i] = v;
+            }
+        }
+
+        // libsvm's one-class initialization: the first ⌊νl⌋ points get the
+        // box maximum, the next gets the fractional remainder.
+        let mut alpha = vec![0.0; l];
+        let n_full = (config.nu * l as f64).floor() as usize;
+        for a in alpha.iter_mut().take(n_full.min(l)) {
+            *a = upper;
+        }
+        if n_full < l {
+            alpha[n_full] = config.nu * l as f64 - n_full as f64;
+            alpha[n_full] *= upper;
+        }
+
+        // Gradient g_i = (Qα)_i.
+        let mut g: Vec<f64> = (0..l)
+            .map(|i| (0..l).map(|j| q[i][j] * alpha[j]).sum())
+            .collect();
+
+        let max_iter = config.max_iter.unwrap_or(100 * l.max(100));
+        let mut iterations = 0;
+        while iterations < max_iter {
+            // Working-set selection (first-order): i with α_i < C minimizing
+            // g_i, j with α_j > 0 maximizing g_j.
+            let mut i_sel: Option<usize> = None;
+            let mut j_sel: Option<usize> = None;
+            for t in 0..l {
+                if alpha[t] < upper - 1e-12
+                    && i_sel.map_or(true, |i| g[t] < g[i])
+                {
+                    i_sel = Some(t);
+                }
+                if alpha[t] > 1e-12 && j_sel.map_or(true, |j| g[t] > g[j]) {
+                    j_sel = Some(t);
+                }
+            }
+            let (Some(i), Some(j)) = (i_sel, j_sel) else {
+                break;
+            };
+            if g[j] - g[i] < config.tol || i == j {
+                break; // KKT satisfied within tolerance
+            }
+            // Pairwise update preserving α_i + α_j (equality constraint).
+            let quad = (q[i][i] + q[j][j] - 2.0 * q[i][j]).max(1e-12);
+            let mut delta = (g[j] - g[i]) / quad;
+            delta = delta.min(upper - alpha[i]).min(alpha[j]);
+            if delta <= 0.0 {
+                break;
+            }
+            alpha[i] += delta;
+            alpha[j] -= delta;
+            for t in 0..l {
+                g[t] += delta * (q[i][t] - q[j][t]);
+            }
+            iterations += 1;
+        }
+
+        // ρ: average gradient over free support vectors, or the midpoint of
+        // the boundary gradients when none are free.
+        let free: Vec<usize> = (0..l)
+            .filter(|&t| alpha[t] > 1e-12 && alpha[t] < upper - 1e-12)
+            .collect();
+        let rho = if !free.is_empty() {
+            free.iter().map(|&t| g[t]).sum::<f64>() / free.len() as f64
+        } else {
+            let ub = (0..l)
+                .filter(|&t| alpha[t] <= 1e-12)
+                .map(|t| g[t])
+                .fold(f64::INFINITY, f64::min);
+            let lb = (0..l)
+                .filter(|&t| alpha[t] >= upper - 1e-12)
+                .map(|t| g[t])
+                .fold(f64::NEG_INFINITY, f64::max);
+            match (ub.is_finite(), lb.is_finite()) {
+                (true, true) => (ub + lb) / 2.0,
+                (true, false) => ub,
+                (false, true) => lb,
+                _ => 0.0,
+            }
+        };
+
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut alphas = Vec::new();
+        for (p, &a) in points.iter().zip(&alpha) {
+            if a > 1e-12 {
+                support.push(p.clone());
+                alphas.push(a);
+            }
+        }
+        let mut svm = Self {
+            support,
+            alphas,
+            rho,
+            kernel,
+            iterations,
+            scaler,
+            threshold: 0.0,
+        };
+        if let Some(q) = config.calibration_quantile {
+            assert!(
+                (0.0..1.0).contains(&q),
+                "OneClassSvm: calibration_quantile = {q} outside [0, 1)"
+            );
+            let decisions: Vec<f64> = windows.iter().map(|w| svm.decision_function(w)).collect();
+            svm.threshold =
+                lgo_series::stats::quantile(&decisions, q).expect("nonempty training set");
+        }
+        svm
+    }
+
+    /// Decision function `f(x) = Σ αᵢ K(xᵢ, x) − ρ` on the standardized
+    /// input; lower values are more anomalous.
+    pub fn decision_function(&self, window: &Window) -> f64 {
+        let x = self
+            .scaler
+            .transform(&[flatten(window)])
+            .expect("query width matches training width")
+            .pop()
+            .expect("one row in, one row out");
+        let s: f64 = self
+            .support
+            .iter()
+            .zip(&self.alphas)
+            .map(|(sv, &a)| a * self.kernel.eval(sv, &x))
+            .sum();
+        s - self.rho
+    }
+
+    /// The calibrated anomaly cutoff on the decision function (0 when the
+    /// classical sign rule is in use).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of support vectors retained.
+    pub fn support_vector_count(&self) -> usize {
+        self.support.len()
+    }
+
+    /// SMO iterations spent during training.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The resolved kernel (γ filled in for `auto` specs).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+}
+
+impl AnomalyDetector for OneClassSvm {
+    fn name(&self) -> &str {
+        "ocsvm"
+    }
+
+    /// Score = calibrated threshold − decision function, so anomalies are
+    /// positive.
+    fn score(&self, window: &Window) -> f64 {
+        self.threshold - self.decision_function(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Vec<Window> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![vec![a.cos(), a.sin()]]
+            })
+            .collect()
+    }
+
+    fn rbf_cfg(nu: f64) -> OcSvmConfig {
+        OcSvmConfig {
+            nu,
+            kernel: KernelSpec::Fixed(Kernel::Rbf { gamma: 1.0 }),
+            ..OcSvmConfig::default()
+        }
+    }
+
+    #[test]
+    fn kernel_evaluations() {
+        let u = [1.0, 0.0];
+        let v = [0.0, 1.0];
+        assert_eq!(Kernel::Linear.eval(&u, &v), 0.0);
+        assert!((Kernel::Rbf { gamma: 0.5 }.eval(&u, &v) - (-1.0_f64).exp()).abs() < 1e-12);
+        let sig = Kernel::Sigmoid {
+            gamma: 1.0,
+            coef0: 0.0,
+        };
+        assert_eq!(sig.eval(&u, &v), 0.0_f64.tanh());
+        let poly = Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
+        assert_eq!(poly.eval(&u, &u), 4.0);
+    }
+
+    #[test]
+    fn detects_far_outliers_with_rbf() {
+        let svm = OneClassSvm::fit(&ring(60), &rbf_cfg(0.1));
+        assert!(svm.is_anomalous(&vec![vec![10.0, 10.0]]));
+        assert!(svm.decision_function(&vec![vec![1.0, 0.0]]) > svm.decision_function(&vec![vec![10.0, 10.0]]));
+        assert!(svm.support_vector_count() > 0);
+        assert_eq!(svm.name(), "ocsvm");
+    }
+
+    #[test]
+    fn nu_bounds_training_outlier_fraction() {
+        // With nu = 0.5, at most ~half the training points may be flagged
+        // anomalous (property of the nu parameterization).
+        let data = ring(40);
+        let svm = OneClassSvm::fit(&data, &rbf_cfg(0.5));
+        let flagged = data
+            .iter()
+            .filter(|w| svm.decision_function(w) < 0.0)
+            .count();
+        assert!(
+            flagged as f64 <= 0.5 * data.len() as f64 + 2.0,
+            "{flagged}/{} training points flagged",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn sigmoid_auto_resolves_gamma() {
+        let svm = OneClassSvm::fit(&ring(20), &OcSvmConfig::default());
+        match svm.kernel() {
+            Kernel::Sigmoid { gamma, coef0 } => {
+                assert!((gamma - 0.5).abs() < 1e-12); // 2 features
+                assert_eq!(coef0, 10.0);
+            }
+            other => panic!("unexpected kernel {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_samples_caps_training_set() {
+        let cfg = OcSvmConfig {
+            max_samples: Some(10),
+            ..rbf_cfg(0.5)
+        };
+        let svm = OneClassSvm::fit(&ring(200), &cfg);
+        assert!(svm.support_vector_count() <= 10);
+    }
+
+    #[test]
+    fn training_terminates_within_iteration_cap() {
+        let cfg = OcSvmConfig {
+            max_iter: Some(50),
+            ..rbf_cfg(0.3)
+        };
+        let svm = OneClassSvm::fit(&ring(50), &cfg);
+        assert!(svm.iterations() <= 50);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let a = OneClassSvm::fit(&ring(30), &rbf_cfg(0.2));
+        let b = OneClassSvm::fit(&ring(30), &rbf_cfg(0.2));
+        let w = vec![vec![0.3, -0.4]];
+        assert_eq!(a.decision_function(&w), b.decision_function(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "nu = 1.5")]
+    fn invalid_nu_rejected() {
+        let _ = OneClassSvm::fit(&ring(5), &rbf_cfg(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "no training windows")]
+    fn empty_training_rejected() {
+        let _ = OneClassSvm::fit(&[], &OcSvmConfig::default());
+    }
+}

@@ -1,0 +1,194 @@
+//! Sample-level feature extraction for the point detectors.
+//!
+//! The paper's kNN and One-Class SVM flag *individual glucose measurements*
+//! (its Figure 5 marks per-sample true positives and false negatives), not
+//! whole history windows. [`CgmSummaryDetector`] adapts a window-based
+//! detector to that granularity: each window is collapsed to a compact
+//! feature vector describing the newest sample in its recent context, so the
+//! detectors judge "is this latest measurement malicious?" exactly as the
+//! paper's do.
+//!
+//! Collapsing to value-centric features is also what activates the paper's
+//! central failure mechanism: a manipulated sample and a genuine
+//! hyperglycemic excursion overlap in this space, so a detector trained on
+//! patients with many benign-abnormal samples learns to wave malicious
+//! values through (false negatives) — the Figure 4 ratio story.
+
+use crate::detector::{AnomalyDetector, Window};
+
+/// Index of the CGM channel within detector windows (matches the
+/// forecaster's feature layout).
+pub const CGM_COLUMN: usize = 0;
+
+/// Which per-sample feature set to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SummaryMode {
+    /// `[last, max_recent]` — pure value densities; the right space for the
+    /// kNN detector, whose behaviour the paper explains through the density
+    /// of benign normal vs abnormal values (Figure 4).
+    #[default]
+    Value,
+    /// `[last, mean, std, max_recent]` — values plus window context; the
+    /// right space for the One-Class SVM, which learns a global boundary
+    /// around benign behaviour.
+    Context,
+}
+
+/// Collapses a window into per-sample features of its newest measurement:
+///
+/// `[last, max_recent]`
+///
+/// - `last` — the newest CGM value (the sample under judgement),
+/// - `max_recent` — maximum over the last three samples (the zone a short
+///   Bluetooth manipulation can reach).
+///
+/// The features are deliberately *value-centric*: no first differences or
+/// slopes. A manipulated measurement and a genuine hyperglycemic excursion
+/// then occupy the same region of feature space (the paper's Figure-6
+/// malicious-abnormal vs benign-abnormal quadrants), which is exactly the
+/// ambiguity the risk-profiling defense is about. Derivative features would
+/// make short manipulations trivially separable and erase the phenomenon
+/// under study.
+///
+/// # Panics
+///
+/// Panics if the window is empty or rows lack the CGM column.
+pub fn cgm_summary(window: &Window) -> Vec<f64> {
+    cgm_summary_mode(window, SummaryMode::Value)
+}
+
+/// [`cgm_summary`] with an explicit [`SummaryMode`].
+///
+/// # Panics
+///
+/// Panics if the window is empty or rows lack the CGM column.
+pub fn cgm_summary_mode(window: &Window, mode: SummaryMode) -> Vec<f64> {
+    assert!(!window.is_empty(), "cgm_summary: empty window");
+    let cgm: Vec<f64> = window.iter().map(|r| r[CGM_COLUMN]).collect();
+    let n = cgm.len();
+    let last = cgm[n - 1];
+    let recent = &cgm[n.saturating_sub(3)..];
+    let max_recent = recent.iter().cloned().fold(f64::MIN, f64::max);
+    match mode {
+        SummaryMode::Value => vec![last, max_recent],
+        SummaryMode::Context => {
+            let mean = cgm.iter().sum::<f64>() / n as f64;
+            let var = cgm.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            vec![last, mean, var.sqrt(), max_recent]
+        }
+    }
+}
+
+/// Maps a set of windows through [`cgm_summary`], producing single-row
+/// windows suitable for the point detectors.
+pub fn summarize_all(windows: &[Window]) -> Vec<Window> {
+    summarize_all_mode(windows, SummaryMode::Value)
+}
+
+/// [`summarize_all`] with an explicit [`SummaryMode`].
+pub fn summarize_all_mode(windows: &[Window], mode: SummaryMode) -> Vec<Window> {
+    windows
+        .iter()
+        .map(|w| vec![cgm_summary_mode(w, mode)])
+        .collect()
+}
+
+/// Adapter giving a window-based detector per-sample semantics: queries are
+/// summarized with [`cgm_summary`] before being scored by the inner
+/// detector (which must have been trained on summarized windows, see
+/// [`summarize_all`]).
+#[derive(Debug, Clone)]
+pub struct CgmSummaryDetector<D> {
+    inner: D,
+    mode: SummaryMode,
+}
+
+impl<D: AnomalyDetector> CgmSummaryDetector<D> {
+    /// Wraps a detector trained on [`SummaryMode::Value`] summaries.
+    pub fn new(inner: D) -> Self {
+        Self::with_mode(inner, SummaryMode::Value)
+    }
+
+    /// Wraps a detector trained on summaries of the given mode.
+    pub fn with_mode(inner: D, mode: SummaryMode) -> Self {
+        Self { inner, mode }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: AnomalyDetector> AnomalyDetector for CgmSummaryDetector<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        self.inner.score(&vec![cgm_summary_mode(window, self.mode)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{KnnConfig, KnnDetector};
+
+    fn window(levels: &[f64]) -> Window {
+        levels.iter().map(|&v| vec![v, 0.0, 0.0, 70.0]).collect()
+    }
+
+    #[test]
+    fn summary_features_are_what_they_claim() {
+        let w = window(&[100.0, 110.0, 120.0, 180.0]);
+        let f = cgm_summary(&w);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0], 180.0); // last
+        assert_eq!(f[1], 180.0); // max of last 3
+    }
+
+    #[test]
+    fn single_sample_window_is_safe() {
+        let f = cgm_summary(&window(&[140.0]));
+        assert_eq!(f, vec![140.0, 140.0]);
+        let c = cgm_summary_mode(&window(&[140.0]), SummaryMode::Context);
+        assert_eq!(c, vec![140.0, 140.0, 0.0, 140.0]);
+    }
+
+    #[test]
+    fn context_mode_adds_window_statistics() {
+        let w = window(&[100.0, 110.0, 120.0, 180.0]);
+        let f = cgm_summary_mode(&w, SummaryMode::Context);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], 180.0);
+        assert!((f[1] - 127.5).abs() < 1e-12);
+        assert_eq!(f[3], 180.0);
+    }
+
+    #[test]
+    fn adapter_scores_like_inner_on_summaries() {
+        let benign: Vec<Window> = (0..20)
+            .map(|i| window(&[100.0 + i as f64, 101.0, 102.0, 103.0]))
+            .collect();
+        let malicious: Vec<Window> = (0..20)
+            .map(|i| window(&[100.0 + i as f64, 101.0, 102.0, 300.0]))
+            .collect();
+        let knn = KnnDetector::fit(
+            &summarize_all(&benign),
+            &summarize_all(&malicious),
+            &KnnConfig::default(),
+        );
+        let det = CgmSummaryDetector::new(knn);
+        assert!(det.is_anomalous(&window(&[105.0, 104.0, 103.0, 310.0])));
+        assert!(!det.is_anomalous(&window(&[105.0, 104.0, 103.0, 104.0])));
+        assert_eq!(det.name(), "knn");
+        assert_eq!(det.inner().name(), "knn");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_rejected() {
+        let _ = cgm_summary(&vec![]);
+    }
+}

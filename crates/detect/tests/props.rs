@@ -1,0 +1,93 @@
+//! Property-based tests for the anomaly detectors.
+
+use lgo_detect::{
+    cgm_summary, AnomalyDetector, Kernel, KernelSpec, KnnConfig, KnnDetector, OcSvmConfig,
+    OneClassSvm, Window,
+};
+use proptest::prelude::*;
+
+fn window_of(values: &[f64]) -> Window {
+    values.iter().map(|&v| vec![v, 0.0, 0.0, 70.0]).collect()
+}
+
+proptest! {
+    #[test]
+    fn knn_k1_memorizes_training_points(
+        benign in proptest::collection::vec(50.0..120.0f64, 3..10),
+        malicious in proptest::collection::vec(250.0..400.0f64, 3..10),
+    ) {
+        let b: Vec<Window> = benign.iter().map(|&v| window_of(&[v; 4])).collect();
+        let m: Vec<Window> = malicious.iter().map(|&v| window_of(&[v; 4])).collect();
+        let cfg = KnnConfig { k: 1, ..KnnConfig::default() };
+        let knn = KnnDetector::fit(&b, &m, &cfg);
+        // With k = 1 every training point classifies as its own label.
+        for w in &b {
+            prop_assert!(!knn.is_anomalous(w));
+        }
+        for w in &m {
+            prop_assert!(knn.is_anomalous(w));
+        }
+    }
+
+    #[test]
+    fn knn_score_is_bounded_vote_fraction(
+        q in 0.0..500.0f64,
+    ) {
+        let b: Vec<Window> = (0..10).map(|i| window_of(&[100.0 + i as f64; 4])).collect();
+        let m: Vec<Window> = (0..10).map(|i| window_of(&[300.0 + i as f64; 4])).collect();
+        let knn = KnnDetector::fit(&b, &m, &KnnConfig::default());
+        let s = knn.score(&window_of(&[q; 4]));
+        prop_assert!((-0.5..=0.5).contains(&s));
+    }
+
+    #[test]
+    fn kernels_are_symmetric(
+        u in proptest::collection::vec(-5.0..5.0f64, 4),
+        v in proptest::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        for k in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.3 },
+            Kernel::Sigmoid { gamma: 0.3, coef0: 1.0 },
+            Kernel::Polynomial { gamma: 0.5, coef0: 1.0, degree: 3 },
+        ] {
+            prop_assert!((k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-12);
+        }
+        // RBF is a similarity in (0, 1] with max at u = v.
+        let rbf = Kernel::Rbf { gamma: 0.3 };
+        prop_assert!((rbf.eval(&u, &u) - 1.0).abs() < 1e-12);
+        prop_assert!(rbf.eval(&u, &v) <= 1.0 + 1e-12);
+        prop_assert!(rbf.eval(&u, &v) > 0.0);
+    }
+
+    #[test]
+    fn ocsvm_decision_is_deterministic_and_finite(
+        points in proptest::collection::vec(-10.0..10.0f64, 8..20),
+        q in -20.0..20.0f64,
+    ) {
+        let train: Vec<Window> = points.iter().map(|&v| window_of(&[v; 2])).collect();
+        let cfg = OcSvmConfig {
+            kernel: KernelSpec::Fixed(Kernel::Rbf { gamma: 0.5 }),
+            nu: 0.3,
+            ..OcSvmConfig::default()
+        };
+        let svm = OneClassSvm::fit(&train, &cfg);
+        let w = window_of(&[q; 2]);
+        let d1 = svm.decision_function(&w);
+        prop_assert!(d1.is_finite());
+        prop_assert_eq!(d1, svm.decision_function(&w));
+    }
+
+    #[test]
+    fn summary_features_track_the_last_sample(
+        prefix in proptest::collection::vec(60.0..200.0f64, 11),
+        last in 60.0..499.0f64,
+    ) {
+        let mut values = prefix.clone();
+        values.push(last);
+        let f = cgm_summary(&window_of(&values));
+        prop_assert_eq!(f[0], last);
+        // max_recent >= last by definition.
+        prop_assert!(f[1] >= last - 1e-12);
+    }
+}

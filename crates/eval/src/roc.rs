@@ -1,0 +1,177 @@
+//! Threshold-free detector analysis: ROC curves and AUC.
+//!
+//! The paper reports threshold-dependent rates (recall/precision at each
+//! detector's operating point); ROC analysis complements them by comparing
+//! detectors across *all* operating points — useful when tuning the
+//! calibration quantiles of the SVM and MAD-GAN.
+
+/// One ROC operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Score threshold giving this point (samples with score > threshold
+    /// are flagged).
+    pub threshold: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate (recall) at this threshold.
+    pub tpr: f64,
+}
+
+/// An ROC curve over anomaly scores (higher = more anomalous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Builds the curve from scores and ground-truth labels
+    /// (`true` = malicious).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, either class is absent, or
+    /// any score is NaN.
+    pub fn from_scores(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(
+            scores.len(),
+            labels.len(),
+            "RocCurve: {} scores for {} labels",
+            scores.len(),
+            labels.len()
+        );
+        let positives = labels.iter().filter(|&&l| l).count();
+        let negatives = labels.len() - positives;
+        assert!(positives > 0, "RocCurve: no positive samples");
+        assert!(negatives > 0, "RocCurve: no negative samples");
+        assert!(
+            scores.iter().all(|s| !s.is_nan()),
+            "RocCurve: NaN score"
+        );
+
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            // Process ties together so the curve is well defined.
+            let s = scores[order[i]];
+            while i < order.len() && scores[order[i]] == s {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold: s,
+                fpr: fp as f64 / negatives as f64,
+                tpr: tp as f64 / positives as f64,
+            });
+        }
+        Self { points }
+    }
+
+    /// The operating points, from the strictest threshold to the loosest.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve by trapezoidal integration, in `[0, 1]`.
+    pub fn auc(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+            .sum()
+    }
+
+    /// The point with the best Youden index (`tpr − fpr`) — a common
+    /// automatic threshold choice.
+    pub fn best_youden(&self) -> RocPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                (a.tpr - a.fpr)
+                    .partial_cmp(&(b.tpr - b.fpr))
+                    .expect("finite rates")
+            })
+            .expect("curve has at least the origin")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        let roc = RocCurve::from_scores(&scores, &labels);
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+        let best = roc.best_youden();
+        assert_eq!(best.tpr, 1.0);
+        assert_eq!(best.fpr, 0.0);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        let roc = RocCurve::from_scores(&scores, &labels);
+        assert!(roc.auc().abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_counts_concordant_pairs() {
+        // AUC equals P(score(positive) > score(negative)). With positives at
+        // 1,3,5,7 and negatives at 2,4,6,8 the concordant pairs are
+        // (3,2),(5,2),(5,4),(7,2),(7,4),(7,6): 6 of 16 -> 0.375.
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let labels = [true, false, true, false, true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &labels);
+        assert!((roc.auc() - 0.375).abs() < 1e-12, "auc = {}", roc.auc());
+        // Flipping the labels gives the complementary AUC.
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let roc2 = RocCurve::from_scores(&scores, &flipped);
+        assert!((roc.auc() + roc2.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_handled_jointly() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &labels);
+        // One diagonal step: (0,0) -> (1,1); AUC 0.5.
+        assert_eq!(roc.points().len(), 2);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.3, 0.1, 0.9, 0.7, 0.5, 0.2, 0.8];
+        let labels = [false, false, true, true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &labels);
+        for w in roc.points().windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = roc.points().last().unwrap();
+        assert_eq!(last.fpr, 1.0);
+        assert_eq!(last.tpr, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive samples")]
+    fn single_class_rejected() {
+        let _ = RocCurve::from_scores(&[0.1, 0.2], &[false, false]);
+    }
+}

@@ -1,0 +1,433 @@
+//! # lgo-forecast
+//!
+//! The **target DNN** of the paper: a bidirectional-LSTM blood-glucose
+//! forecaster in the style of Rubin-Falcone et al. (KDH @ ECAI 2020), which
+//! the paper uses both as the model under attack and as the source of
+//! benign/adversarial predictions for risk quantification.
+//!
+//! Like the original, two deployment variants exist:
+//!
+//! - a **personalized** model trained on one patient's history
+//!   ([`GlucoseForecaster::train_personalized`]), and
+//! - an **aggregate** model trained on all patients' data pooled together
+//!   ([`GlucoseForecaster::train_aggregate`]).
+//!
+//! The forecaster consumes one hour of history (12 samples at 5-minute
+//! cadence) of four channels (`cgm`, `bolus`, `carbs`, `heart_rate`) and
+//! predicts the CGM value 30 minutes ahead, all in mg/dL.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use lgo_forecast::{ForecastConfig, GlucoseForecaster};
+//! use lgo_glucosim::{profile, PatientId, Simulator, Subset};
+//!
+//! let series = Simulator::new(profile(PatientId::new(Subset::A, 0))).run_days(7);
+//! let model = GlucoseForecaster::train_personalized(&series, &ForecastConfig::default());
+//! let window = lgo_forecast::feature_window(&series, 100).unwrap();
+//! let pred = model.predict(&window);
+//! assert!(pred > 0.0);
+//! ```
+
+use lgo_nn::{BiLstmRegressor, Trainable};
+use lgo_series::{window::ForecastSample, MinMaxScaler, MultiSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The input channels the forecaster reads, in order.
+pub const FEATURES: [&str; 4] = ["cgm", "bolus", "carbs", "heart_rate"];
+
+/// Index of the CGM channel within [`FEATURES`] — the only feature the
+/// paper's threat model allows the adversary to manipulate.
+pub const CGM_FEATURE: usize = 0;
+
+/// Hyper-parameters of the forecaster.
+///
+/// Defaults mirror the paper's setup: one hour of history, a 30-minute
+/// prediction horizon, and a small bidirectional LSTM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastConfig {
+    /// History window length in samples (12 × 5 min = 1 h).
+    pub seq_len: usize,
+    /// Prediction horizon in samples (6 × 5 min = 30 min).
+    pub horizon: usize,
+    /// Hidden units per LSTM direction.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        Self {
+            seq_len: 12,
+            horizon: 6,
+            hidden: 16,
+            epochs: 4,
+            batch_size: 32,
+            learning_rate: 0.005,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ForecastConfig {
+    /// A reduced configuration for unit tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            hidden: 8,
+            epochs: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// A trained glucose forecaster: BiLSTM regressor plus the feature/target
+/// scalers fit on its training data.
+///
+/// All public methods speak **raw units** (mg/dL, U, g, bpm); scaling is
+/// internal.
+#[derive(Debug, Clone)]
+pub struct GlucoseForecaster {
+    model: BiLstmRegressor,
+    feature_scaler: MinMaxScaler,
+    target_scaler: MinMaxScaler,
+    config: ForecastConfig,
+}
+
+/// Extracts the raw (unscaled) feature window ending at sample `end`
+/// (inclusive) from a simulated series, in [`FEATURES`] channel order.
+///
+/// Returns `None` when the series is too short for a full window.
+pub fn feature_window(series: &MultiSeries, end: usize) -> Option<Vec<Vec<f64>>> {
+    let cfg = ForecastConfig::default();
+    feature_window_sized(series, end, cfg.seq_len)
+}
+
+/// [`feature_window`] with an explicit window length.
+pub fn feature_window_sized(
+    series: &MultiSeries,
+    end: usize,
+    seq_len: usize,
+) -> Option<Vec<Vec<f64>>> {
+    if end + 1 < seq_len || end >= series.len() {
+        return None;
+    }
+    let sel = series.select(&FEATURES);
+    Some(sel.rows()[end + 1 - seq_len..=end].to_vec())
+}
+
+/// Builds raw (unscaled) supervised samples from a series: feature windows
+/// paired with the CGM value `horizon` steps past the window end.
+pub fn supervised_samples(
+    series: &MultiSeries,
+    seq_len: usize,
+    horizon: usize,
+) -> Vec<ForecastSample> {
+    let features = series.select(&FEATURES);
+    let target = series.channel("cgm").expect("series lacks cgm channel");
+    lgo_series::window::forecast_samples(features.rows(), &target, seq_len, horizon)
+}
+
+impl GlucoseForecaster {
+    /// Trains a personalized model on one patient's series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is shorter than `seq_len + horizon` samples or
+    /// lacks any of the [`FEATURES`] channels.
+    pub fn train_personalized(series: &MultiSeries, config: &ForecastConfig) -> Self {
+        Self::train_on(&[series], config)
+    }
+
+    /// Trains an aggregate model on the pooled data of several patients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series_set` is empty or any series is too short.
+    pub fn train_aggregate(series_set: &[&MultiSeries], config: &ForecastConfig) -> Self {
+        Self::train_on(series_set, config)
+    }
+
+    fn train_on(series_set: &[&MultiSeries], config: &ForecastConfig) -> Self {
+        assert!(!series_set.is_empty(), "train: no series given");
+        let mut raw_samples = Vec::new();
+        for s in series_set {
+            let samples = supervised_samples(s, config.seq_len, config.horizon);
+            assert!(
+                !samples.is_empty(),
+                "train: series too short ({} samples) for seq_len {} + horizon {}",
+                s.len(),
+                config.seq_len,
+                config.horizon
+            );
+            raw_samples.extend(samples);
+        }
+
+        // Fit scalers on all training rows / targets.
+        let all_rows: Vec<Vec<f64>> = raw_samples
+            .iter()
+            .flat_map(|s| s.history.iter().cloned())
+            .collect();
+        let mut feature_scaler = MinMaxScaler::new();
+        feature_scaler.fit(&all_rows);
+        let targets: Vec<Vec<f64>> = raw_samples.iter().map(|s| vec![s.target]).collect();
+        let mut target_scaler = MinMaxScaler::new();
+        target_scaler.fit(&targets);
+
+        let scaled: Vec<(Vec<Vec<f64>>, f64)> = raw_samples
+            .iter()
+            .map(|s| {
+                let hist = feature_scaler
+                    .transform(&s.history)
+                    .expect("scaler fit on these rows");
+                (hist, target_scaler.value(0, s.target))
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut model = BiLstmRegressor::new(FEATURES.len(), config.hidden, &mut rng);
+        model.fit(
+            &scaled,
+            config.epochs,
+            config.batch_size,
+            config.learning_rate,
+        );
+        Self {
+            model,
+            feature_scaler,
+            target_scaler,
+            config: config.clone(),
+        }
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &ForecastConfig {
+        &self.config
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.model.param_count()
+    }
+
+    /// Predicts the CGM value (mg/dL) `horizon` steps after the end of a raw
+    /// feature window (rows in [`FEATURES`] order, raw units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from the configured `seq_len` or
+    /// rows have the wrong width.
+    pub fn predict(&self, window: &[Vec<f64>]) -> f64 {
+        assert_eq!(
+            window.len(),
+            self.config.seq_len,
+            "predict: window length {} != seq_len {}",
+            window.len(),
+            self.config.seq_len
+        );
+        let scaled = self
+            .feature_scaler
+            .transform(window)
+            .expect("predict: bad feature width");
+        let y = self.model.predict(&scaled);
+        self.target_scaler.inverse_value(0, y)
+    }
+
+    /// Predicts over every complete window of a series, returning
+    /// `(window_end_index, prediction)` pairs. The prediction at index `t`
+    /// refers to time `t + horizon`.
+    pub fn predict_series(&self, series: &MultiSeries) -> Vec<(usize, f64)> {
+        let sel = series.select(&FEATURES);
+        let rows = sel.rows();
+        let n = self.config.seq_len;
+        if rows.len() < n {
+            return Vec::new();
+        }
+        (n - 1..rows.len())
+            .map(|end| (end, self.predict(&rows[end + 1 - n..=end])))
+            .collect()
+    }
+
+    /// Root-mean-squared error (mg/dL) against the true CGM `horizon` steps
+    /// ahead, over all complete windows of `series`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series yields no complete (window, target) pairs.
+    pub fn rmse(&self, series: &MultiSeries) -> f64 {
+        let samples = supervised_samples(series, self.config.seq_len, self.config.horizon);
+        assert!(!samples.is_empty(), "rmse: series too short");
+        let se: f64 = samples
+            .iter()
+            .map(|s| {
+                let p = self.predict(&s.history);
+                (p - s.target) * (p - s.target)
+            })
+            .sum();
+        (se / samples.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgo_glucosim::{profile, PatientId, Simulator, Subset};
+
+    fn series(days: usize) -> MultiSeries {
+        Simulator::new(profile(PatientId::new(Subset::A, 0))).run_days(days)
+    }
+
+    fn fast_cfg() -> ForecastConfig {
+        ForecastConfig {
+            hidden: 8,
+            epochs: 2,
+            ..ForecastConfig::default()
+        }
+    }
+
+    #[test]
+    fn feature_window_extraction() {
+        let s = series(1);
+        assert!(feature_window(&s, 5).is_none()); // too early
+        let w = feature_window(&s, 11).unwrap();
+        assert_eq!(w.len(), 12);
+        assert_eq!(w[0].len(), FEATURES.len());
+        assert!(feature_window(&s, s.len()).is_none()); // out of range
+        // CGM column matches the series.
+        let cgm = s.channel("cgm").unwrap();
+        assert_eq!(w[11][CGM_FEATURE], cgm[11]);
+    }
+
+    #[test]
+    fn supervised_sample_alignment() {
+        let s = series(1);
+        let samples = supervised_samples(&s, 12, 6);
+        let cgm = s.channel("cgm").unwrap();
+        assert_eq!(samples[0].target, cgm[17]);
+        assert_eq!(samples[0].target_index, 17);
+        assert_eq!(samples.len(), s.len() - 17);
+    }
+
+    #[test]
+    fn trained_model_beats_trivial_baseline() {
+        // The forecaster must beat "predict the current value" (persistence)
+        // is too strong for 2 epochs; instead require it to beat predicting
+        // the global mean, which any learned model must.
+        let train = series(8);
+        let test = series(10).slice(8 * 288, 10 * 288);
+        let model = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let rmse = model.rmse(&test);
+
+        let samples = supervised_samples(&test, 12, 6);
+        let mean: f64 =
+            samples.iter().map(|s| s.target).sum::<f64>() / samples.len() as f64;
+        let mean_rmse = (samples
+            .iter()
+            .map(|s| (s.target - mean) * (s.target - mean))
+            .sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!(
+            rmse < mean_rmse * 0.9,
+            "model rmse {rmse:.1} not better than mean baseline {mean_rmse:.1}"
+        );
+    }
+
+    #[test]
+    fn prediction_in_physiological_range() {
+        let train = series(4);
+        let model = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        for (_, p) in model.predict_series(&train.slice(0, 288)) {
+            assert!((-100.0..700.0).contains(&p), "prediction {p} wild");
+        }
+    }
+
+    #[test]
+    fn raising_cgm_history_raises_prediction() {
+        // The attack relies on the forecaster tracking recent CGM levels:
+        // a window shifted +150 mg/dL must predict higher.
+        let train = series(6);
+        let model = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let w = feature_window(&train, 100).unwrap();
+        let mut high = w.clone();
+        for row in &mut high {
+            row[CGM_FEATURE] += 150.0;
+        }
+        assert!(
+            model.predict(&high) > model.predict(&w) + 20.0,
+            "forecaster insensitive to CGM history: {} vs {}",
+            model.predict(&high),
+            model.predict(&w)
+        );
+    }
+
+    #[test]
+    fn aggregate_model_trains_on_multiple_patients() {
+        let a = Simulator::new(profile(PatientId::new(Subset::A, 0))).run_days(2);
+        let b = Simulator::new(profile(PatientId::new(Subset::A, 5))).run_days(2);
+        let model = GlucoseForecaster::train_aggregate(&[&a, &b], &fast_cfg());
+        assert!(model.rmse(&a).is_finite());
+        assert!(model.rmse(&b).is_finite());
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let train = series(2);
+        let m1 = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let m2 = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let w = feature_window(&train, 50).unwrap();
+        assert_eq!(m1.predict(&w), m2.predict(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn predict_rejects_wrong_window() {
+        let train = series(2);
+        let model = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let _ = model.predict(&vec![vec![100.0, 0.0, 0.0, 70.0]; 5]);
+    }
+
+    #[test]
+    fn fast_config_is_smaller_than_default() {
+        let fast = ForecastConfig::fast();
+        let full = ForecastConfig::default();
+        assert!(fast.hidden < full.hidden);
+        assert!(fast.epochs < full.epochs);
+        assert_eq!(fast.seq_len, full.seq_len);
+        assert_eq!(fast.horizon, full.horizon);
+    }
+
+    #[test]
+    fn cgm_feature_is_first_column() {
+        assert_eq!(FEATURES[CGM_FEATURE], "cgm");
+    }
+
+    #[test]
+    fn predict_series_indices_are_window_ends() {
+        let s = series(2);
+        let model = GlucoseForecaster::train_personalized(&s, &fast_cfg());
+        let preds = model.predict_series(&s.slice(0, 60));
+        assert_eq!(preds.first().unwrap().0, 11);
+        assert_eq!(preds.last().unwrap().0, 59);
+        assert_eq!(preds.len(), 60 - 11);
+        // Predictions against predict() on the same window agree.
+        let w = feature_window(&s, 20).unwrap();
+        let direct = model.predict(&w);
+        let from_series = preds.iter().find(|(i, _)| *i == 20).unwrap().1;
+        assert_eq!(direct, from_series);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn train_rejects_short_series() {
+        let s = series(1).slice(0, 10);
+        let _ = GlucoseForecaster::train_personalized(&s, &fast_cfg());
+    }
+}

@@ -1,0 +1,259 @@
+//! Behavioural event generation: meals, boluses, snacks and exercise,
+//! drawn per-day from the patient profile's distributions.
+
+use rand::RngExt;
+
+use crate::params::PatientProfile;
+
+/// What happened at a particular minute of the day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Carbohydrate intake (g), spread over the following ~10 minutes.
+    Meal {
+        /// Grams of carbohydrate ingested.
+        carbs: f64,
+        /// Units of insulin bolused for the meal (0 when forgotten).
+        bolus: f64,
+        /// Whether the meal was announced to the app (logged in the carbs
+        /// channel). Unannounced intake still moves the physiology but is
+        /// invisible to the forecaster — the main reason undisciplined
+        /// patients' glucose rises look "unexplained" to their models.
+        logged: bool,
+    },
+    /// An exercise session.
+    Exercise {
+        /// Duration in minutes.
+        duration_min: u32,
+        /// Intensity multiplier on insulin sensitivity (>1).
+        intensity: f64,
+    },
+}
+
+/// An event pinned to a minute-of-day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Minute of the day in `0..1440`.
+    pub minute: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// One day's worth of scheduled events, sorted by minute.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DailyEvents {
+    events: Vec<Event>,
+}
+
+impl DailyEvents {
+    /// The scheduled events, sorted by minute.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the day is empty (never true for generated days — there are
+    /// always three main meals).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a day of events for `profile` using `rng`.
+    ///
+    /// Three main meals (around 07:30, 12:30, 18:30) with per-patient timing
+    /// jitter and size variability; optional snack; optional exercise
+    /// session. Boluses follow the insulin-to-carb ratio perturbed by the
+    /// patient's carb-counting error and are omitted entirely with the
+    /// profile's missed-bolus probability.
+    pub fn generate<R: RngExt + ?Sized>(profile: &PatientProfile, rng: &mut R) -> DailyEvents {
+        let mut events = Vec::new();
+        const MAIN_MEALS: [f64; 3] = [450.0, 750.0, 1110.0]; // minutes of day
+        for &nominal in &MAIN_MEALS {
+            let minute = jitter_minute(nominal, profile.meal_time_jitter_min, rng);
+            let carbs = positive_gaussian(
+                profile.meal_carbs_mean,
+                profile.meal_carbs_mean * profile.meal_carbs_rel_std,
+                rng,
+            );
+            let bolus = Self::draw_bolus(profile, carbs, rng);
+            // Patients log the meals they bolus for; a skipped bolus almost
+            // always means a skipped log entry too.
+            let logged = bolus > 0.0;
+            events.push(Event {
+                minute,
+                kind: EventKind::Meal { carbs, bolus, logged },
+            });
+        }
+        if rng.random_range(0.0..1.0) < profile.snack_probability {
+            let minute = jitter_minute(930.0, 90.0, rng); // mid-afternoon
+            let carbs = positive_gaussian(22.0, 8.0, rng);
+            // Snacks are usually not bolused at all.
+            let bolus = if rng.random_range(0.0..1.0) < 0.3 {
+                Self::draw_bolus(profile, carbs, rng)
+            } else {
+                0.0
+            };
+            events.push(Event {
+                minute,
+                kind: EventKind::Meal {
+                    carbs,
+                    bolus,
+                    logged: bolus > 0.0,
+                },
+            });
+        }
+        if rng.random_range(0.0..1.0) < profile.exercise_probability {
+            let minute = jitter_minute(1020.0, 120.0, rng); // around 17:00
+            let duration = rng.random_range(30..75u32);
+            events.push(Event {
+                minute,
+                kind: EventKind::Exercise {
+                    duration_min: duration,
+                    intensity: profile.exercise_sensitivity_boost,
+                },
+            });
+        }
+        events.sort_by_key(|e| e.minute);
+        DailyEvents { events }
+    }
+
+    fn draw_bolus<R: RngExt + ?Sized>(
+        profile: &PatientProfile,
+        carbs: f64,
+        rng: &mut R,
+    ) -> f64 {
+        if rng.random_range(0.0..1.0) < profile.missed_bolus_probability {
+            return 0.0;
+        }
+        let ideal = carbs / profile.insulin_carb_ratio;
+        positive_gaussian(ideal, ideal * profile.bolus_error_rel_std, rng)
+    }
+}
+
+fn jitter_minute<R: RngExt + ?Sized>(nominal: f64, std: f64, rng: &mut R) -> u32 {
+    let v = nominal + gaussian(rng) * std;
+    v.clamp(0.0, 1439.0).round() as u32
+}
+
+fn positive_gaussian<R: RngExt + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
+    (mean + gaussian(rng) * std).max(mean * 0.2)
+}
+
+/// Standard normal sample via Box–Muller.
+pub(crate) fn gaussian<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{profile, PatientId, Subset};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn day(seed: u64, id: PatientId) -> DailyEvents {
+        let p = profile(id);
+        DailyEvents::generate(&p, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn always_three_main_meals() {
+        for seed in 0..20 {
+            let d = day(seed, PatientId::new(Subset::A, 0));
+            let meals = d
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Meal { .. }))
+                .count();
+            assert!(meals >= 3, "only {meals} meals on seed {seed}");
+            assert!(!d.is_empty());
+            assert!(d.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_minute() {
+        for seed in 0..20 {
+            let d = day(seed, PatientId::new(Subset::A, 2));
+            let minutes: Vec<u32> = d.events().iter().map(|e| e.minute).collect();
+            let mut sorted = minutes.clone();
+            sorted.sort_unstable();
+            assert_eq!(minutes, sorted);
+        }
+    }
+
+    #[test]
+    fn minutes_within_day() {
+        for seed in 0..50 {
+            for e in day(seed, PatientId::new(Subset::B, 0)).events() {
+                assert!(e.minute < 1440);
+            }
+        }
+    }
+
+    #[test]
+    fn carbs_and_boluses_nonnegative() {
+        for seed in 0..50 {
+            for e in day(seed, PatientId::new(Subset::A, 2)).events() {
+                if let EventKind::Meal { carbs, bolus, logged } = e.kind {
+                    assert!(carbs > 0.0);
+                    assert!(bolus >= 0.0);
+                    // Logging requires an accompanying bolus.
+                    assert_eq!(logged, bolus > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn erratic_patient_misses_more_boluses() {
+        let count_missed = |id: PatientId| -> usize {
+            let p = profile(id);
+            let mut rng = StdRng::seed_from_u64(500);
+            let mut missed = 0;
+            for _ in 0..200 {
+                for e in DailyEvents::generate(&p, &mut rng).events() {
+                    if let EventKind::Meal { bolus, .. } = e.kind {
+                        if bolus == 0.0 {
+                            missed += 1;
+                        }
+                    }
+                }
+            }
+            missed
+        };
+        let erratic = count_missed(PatientId::new(Subset::A, 2));
+        let tight = count_missed(PatientId::new(Subset::A, 5));
+        assert!(
+            erratic > tight * 3,
+            "erratic {erratic} vs tight {tight}"
+        );
+    }
+
+    #[test]
+    fn exercise_has_sane_duration_and_intensity() {
+        for seed in 0..100 {
+            for e in day(seed, PatientId::new(Subset::A, 3)).events() {
+                if let EventKind::Exercise {
+                    duration_min,
+                    intensity,
+                } = e.kind
+                {
+                    assert!((30..75).contains(&duration_min));
+                    assert!(intensity > 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = day(7, PatientId::new(Subset::B, 4));
+        let b = day(7, PatientId::new(Subset::B, 4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,260 @@
+//! The physiological core: Bergman minimal model + two-compartment gut
+//! absorption + first-order plasma-insulin kinetics, integrated with forward
+//! Euler at one-minute resolution.
+//!
+//! Units: glucose mg/dL, insulin µU/mL, carbs g, time minutes.
+
+/// Kinetic parameters of the glucose–insulin system.
+///
+/// Defaults are in the range reported for the Bergman minimal model in
+/// Type-1 diabetes literature; individual patients perturb them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeParams {
+    /// Glucose effectiveness `p1` (1/min): self-normalization toward basal.
+    pub glucose_effectiveness: f64,
+    /// Remote-insulin decay `p2` (1/min).
+    pub insulin_decay: f64,
+    /// Insulin action gain `p3` ((µU/mL)⁻¹ min⁻²).
+    pub insulin_action: f64,
+    /// Plasma-insulin elimination rate `n` (1/min).
+    pub insulin_elimination: f64,
+    /// Basal (steady-state) glucose `Gb` (mg/dL).
+    pub basal_glucose: f64,
+    /// Basal plasma insulin `Ib` (µU/mL).
+    pub basal_insulin: f64,
+    /// Gut compartment transfer rate `kq` (1/min).
+    pub gut_rate: f64,
+    /// Carb bioavailability × conversion into mg/dL per g absorbed.
+    pub carb_gain: f64,
+    /// Conversion from delivered insulin (U) to plasma concentration rise
+    /// (µU/mL per U), folding in the distribution volume.
+    pub insulin_gain: f64,
+}
+
+impl Default for OdeParams {
+    fn default() -> Self {
+        Self {
+            glucose_effectiveness: 0.010,
+            insulin_decay: 0.025,
+            insulin_action: 4.5e-5,
+            insulin_elimination: 0.05,
+            basal_glucose: 118.0,
+            basal_insulin: 10.0,
+            gut_rate: 0.05,
+            carb_gain: 2.6,
+            insulin_gain: 5.0,
+        }
+    }
+}
+
+impl OdeParams {
+    /// Validates positivity of every rate constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending field name if any constraint fails.
+    pub fn validate(&self) {
+        assert!(self.glucose_effectiveness > 0.0, "glucose_effectiveness");
+        assert!(self.insulin_decay > 0.0, "insulin_decay");
+        assert!(self.insulin_action > 0.0, "insulin_action");
+        assert!(self.insulin_elimination > 0.0, "insulin_elimination");
+        assert!(self.basal_glucose > 40.0, "basal_glucose too low");
+        assert!(self.basal_glucose < 250.0, "basal_glucose too high");
+        assert!(self.basal_insulin >= 0.0, "basal_insulin");
+        assert!(self.gut_rate > 0.0, "gut_rate");
+        assert!(self.carb_gain > 0.0, "carb_gain");
+        assert!(self.insulin_gain > 0.0, "insulin_gain");
+    }
+}
+
+/// The instantaneous physiological state of a patient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysioState {
+    /// Plasma glucose (mg/dL).
+    pub glucose: f64,
+    /// Remote insulin effect `X` (1/min).
+    pub remote_insulin: f64,
+    /// Plasma insulin (µU/mL).
+    pub plasma_insulin: f64,
+    /// First gut compartment (g of carbs).
+    pub gut1: f64,
+    /// Second gut compartment (g of carbs).
+    pub gut2: f64,
+}
+
+impl PhysioState {
+    /// The steady state implied by the parameters (no meals, basal insulin).
+    pub fn at_rest(p: &OdeParams) -> Self {
+        Self {
+            glucose: p.basal_glucose,
+            remote_insulin: 0.0,
+            plasma_insulin: p.basal_insulin,
+            gut1: 0.0,
+            gut2: 0.0,
+        }
+    }
+
+    /// Advances the state by `dt` minutes of forward Euler.
+    ///
+    /// Inputs during the step:
+    /// - `carbs_in` — carbohydrate ingestion rate (g/min),
+    /// - `insulin_in` — insulin delivery rate (U/min, basal + bolus),
+    /// - `glucose_drive` — exogenous glucose drive (mg/dL/min, e.g. dawn
+    ///   phenomenon),
+    /// - `sensitivity` — multiplier on insulin action (exercise boost).
+    ///
+    /// Glucose is clamped to the physiological floor of 20 mg/dL; states are
+    /// kept non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn step(
+        &mut self,
+        p: &OdeParams,
+        dt: f64,
+        carbs_in: f64,
+        insulin_in: f64,
+        glucose_drive: f64,
+        sensitivity: f64,
+    ) {
+        assert!(dt > 0.0, "PhysioState::step: dt must be positive");
+        let ra = p.carb_gain * p.gut_rate * self.gut2; // mg/dL/min appearing
+        let dg = -p.glucose_effectiveness * (self.glucose - p.basal_glucose)
+            - self.remote_insulin * self.glucose
+            + ra
+            + glucose_drive;
+        let dx = -p.insulin_decay * self.remote_insulin
+            + p.insulin_action * sensitivity * (self.plasma_insulin - p.basal_insulin).max(0.0);
+        let di = -p.insulin_elimination * (self.plasma_insulin - p.basal_insulin)
+            + p.insulin_gain * insulin_in;
+        let dq1 = -p.gut_rate * self.gut1 + carbs_in;
+        let dq2 = p.gut_rate * (self.gut1 - self.gut2);
+
+        self.glucose = (self.glucose + dt * dg).max(20.0);
+        self.remote_insulin = (self.remote_insulin + dt * dx).max(0.0);
+        self.plasma_insulin = (self.plasma_insulin + dt * di).max(0.0);
+        self.gut1 = (self.gut1 + dt * dq1).max(0.0);
+        self.gut2 = (self.gut2 + dt * dq2).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        state: &mut PhysioState,
+        p: &OdeParams,
+        minutes: usize,
+        carbs: impl Fn(usize) -> f64,
+        insulin: impl Fn(usize) -> f64,
+    ) {
+        for t in 0..minutes {
+            state.step(p, 1.0, carbs(t), insulin(t), 0.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn rest_state_is_steady() {
+        let p = OdeParams::default();
+        let mut s = PhysioState::at_rest(&p);
+        run(&mut s, &p, 24 * 60, |_| 0.0, |_| 0.0);
+        assert!((s.glucose - p.basal_glucose).abs() < 1.0, "g = {}", s.glucose);
+        assert!(s.remote_insulin.abs() < 1e-9);
+    }
+
+    #[test]
+    fn meal_raises_glucose_then_returns() {
+        let p = OdeParams::default();
+        let mut s = PhysioState::at_rest(&p);
+        // 60 g of carbs over 10 minutes, no bolus.
+        run(&mut s, &p, 90, |t| if t < 10 { 6.0 } else { 0.0 }, |_| 0.0);
+        let peak_region = s.glucose;
+        assert!(
+            peak_region > p.basal_glucose + 30.0,
+            "no postprandial rise: {peak_region}"
+        );
+        // Several hours later glucose effectiveness pulls back toward basal.
+        run(&mut s, &p, 10 * 60, |_| 0.0, |_| 0.0);
+        assert!(
+            (s.glucose - p.basal_glucose).abs() < 15.0,
+            "did not settle: {}",
+            s.glucose
+        );
+    }
+
+    #[test]
+    fn insulin_lowers_glucose() {
+        let p = OdeParams::default();
+        let mut hi = PhysioState::at_rest(&p);
+        hi.glucose = 250.0;
+        let mut no_insulin = hi.clone();
+        // 4 U bolus over 5 min vs nothing.
+        run(&mut hi, &p, 120, |_| 0.0, |t| if t < 5 { 0.8 } else { 0.0 });
+        run(&mut no_insulin, &p, 120, |_| 0.0, |_| 0.0);
+        assert!(
+            hi.glucose < no_insulin.glucose - 10.0,
+            "insulin had no effect: {} vs {}",
+            hi.glucose,
+            no_insulin.glucose
+        );
+    }
+
+    #[test]
+    fn glucose_floor_respected() {
+        let p = OdeParams::default();
+        let mut s = PhysioState::at_rest(&p);
+        // Massive overdose.
+        run(&mut s, &p, 6 * 60, |_| 0.0, |t| if t < 30 { 2.0 } else { 0.0 });
+        assert!(s.glucose >= 20.0);
+        assert!(s.plasma_insulin >= 0.0);
+    }
+
+    #[test]
+    fn gut_compartments_conserve_mass_without_absorption() {
+        // With gut_rate -> tiny, carbs stay in the gut compartments.
+        let mut p = OdeParams::default();
+        p.gut_rate = 1e-9;
+        let mut s = PhysioState::at_rest(&p);
+        run(&mut s, &p, 10, |t| if t < 10 { 5.0 } else { 0.0 }, |_| 0.0);
+        assert!((s.gut1 - 50.0).abs() < 0.01, "gut1 = {}", s.gut1);
+    }
+
+    #[test]
+    fn exercise_sensitivity_amplifies_insulin_action() {
+        let p = OdeParams::default();
+        let mut normal = PhysioState::at_rest(&p);
+        normal.glucose = 200.0;
+        normal.plasma_insulin = 40.0;
+        let mut exercising = normal.clone();
+        for _ in 0..60 {
+            normal.step(&p, 1.0, 0.0, 0.0, 0.0, 1.0);
+            exercising.step(&p, 1.0, 0.0, 0.0, 0.0, 3.0);
+        }
+        assert!(exercising.glucose < normal.glucose);
+    }
+
+    #[test]
+    fn dawn_drive_raises_glucose() {
+        let p = OdeParams::default();
+        let mut s = PhysioState::at_rest(&p);
+        for _ in 0..120 {
+            s.step(&p, 1.0, 0.0, 0.0, 0.4, 1.0);
+        }
+        assert!(s.glucose > p.basal_glucose + 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_rejected() {
+        let p = OdeParams::default();
+        let mut s = PhysioState::at_rest(&p);
+        s.step(&p, 0.0, 0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn default_params_validate() {
+        OdeParams::default().validate();
+    }
+}

@@ -1,0 +1,391 @@
+use std::fmt;
+
+use crate::ode::OdeParams;
+
+/// Which cohort a synthetic patient belongs to, mirroring the paper's
+/// *Subset A* (OhioT1DM 2018 cohort) and *Subset B* (2020 cohort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subset {
+    /// The 2018 cohort (patients `A_0` … `A_5`).
+    A,
+    /// The 2020 cohort (patients `B_0` … `B_5`).
+    B,
+}
+
+impl fmt::Display for Subset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subset::A => write!(f, "A"),
+            Subset::B => write!(f, "B"),
+        }
+    }
+}
+
+/// Identifies one of the twelve synthetic patients.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_glucosim::{PatientId, Subset};
+///
+/// let id = PatientId::new(Subset::B, 2);
+/// assert_eq!(id.to_string(), "B_2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatientId {
+    /// Cohort.
+    pub subset: Subset,
+    /// Index within the cohort (0–5).
+    pub index: usize,
+}
+
+impl PatientId {
+    /// Creates a patient id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 5`; each cohort has six patients.
+    pub fn new(subset: Subset, index: usize) -> Self {
+        assert!(index <= 5, "PatientId: index {index} out of range (0-5)");
+        Self { subset, index }
+    }
+
+    /// All twelve patients, Subset A first.
+    pub fn all() -> Vec<PatientId> {
+        let mut v = Vec::with_capacity(12);
+        for subset in [Subset::A, Subset::B] {
+            for index in 0..6 {
+                v.push(PatientId { subset, index });
+            }
+        }
+        v
+    }
+
+    /// Flat index in `0..12` (A_0..A_5, B_0..B_5).
+    pub fn flat_index(&self) -> usize {
+        match self.subset {
+            Subset::A => self.index,
+            Subset::B => 6 + self.index,
+        }
+    }
+}
+
+impl fmt::Display for PatientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.subset, self.index)
+    }
+}
+
+/// Everything that distinguishes one synthetic patient from another.
+///
+/// The physiological core lives in [`OdeParams`]; the behavioural fields
+/// control meals, dosing discipline and activity, which together set the
+/// patient's glycemic variability — the axis that determines both the benign
+/// normal:abnormal ratio (paper Figure 4) and, downstream, the patient's
+/// vulnerability to the evasion attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatientProfile {
+    /// Who this is.
+    pub id: PatientId,
+    /// RNG seed; every simulation of this profile is reproducible.
+    pub seed: u64,
+    /// Glucose/insulin kinetics.
+    pub ode: OdeParams,
+    /// Mean carbohydrate content of a meal (g).
+    pub meal_carbs_mean: f64,
+    /// Relative standard deviation of meal size (0 = perfectly regular).
+    pub meal_carbs_rel_std: f64,
+    /// Standard deviation of meal timing (minutes around scheduled times).
+    pub meal_time_jitter_min: f64,
+    /// Probability of an unannounced snack on any day.
+    pub snack_probability: f64,
+    /// Insulin-to-carb ratio (g of carbs covered by 1 U of insulin).
+    pub insulin_carb_ratio: f64,
+    /// Relative error applied to each bolus (carb-counting skill).
+    pub bolus_error_rel_std: f64,
+    /// Probability a meal bolus is forgotten entirely.
+    pub missed_bolus_probability: f64,
+    /// Basal insulin rate (U/hr).
+    pub basal_rate: f64,
+    /// Amplitude of the dawn-phenomenon glucose drive (mg/dL/min at peak).
+    pub dawn_amplitude: f64,
+    /// Probability of an exercise session on any day.
+    pub exercise_probability: f64,
+    /// Multiplier on insulin sensitivity during exercise.
+    pub exercise_sensitivity_boost: f64,
+    /// CGM sensor noise standard deviation (mg/dL).
+    pub sensor_noise_std: f64,
+    /// Resting heart rate (bpm).
+    pub resting_heart_rate: f64,
+}
+
+impl PatientProfile {
+    /// A neutral, moderately controlled patient used as the template the
+    /// twelve cohort profiles specialize.
+    pub fn template(id: PatientId, seed: u64) -> Self {
+        Self {
+            id,
+            seed,
+            ode: OdeParams::default(),
+            meal_carbs_mean: 55.0,
+            meal_carbs_rel_std: 0.25,
+            meal_time_jitter_min: 20.0,
+            snack_probability: 0.3,
+            insulin_carb_ratio: 10.0,
+            bolus_error_rel_std: 0.12,
+            missed_bolus_probability: 0.05,
+            basal_rate: 0.9,
+            dawn_amplitude: 0.25,
+            exercise_probability: 0.25,
+            exercise_sensitivity_boost: 1.8,
+            sensor_noise_std: 4.0,
+            resting_heart_rate: 68.0,
+        }
+    }
+
+    /// Validates parameter sanity (positive rates, probabilities in range).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.meal_carbs_mean > 0.0, "{}: meal_carbs_mean", self.id);
+        assert!(self.meal_carbs_rel_std >= 0.0, "{}: meal_carbs_rel_std", self.id);
+        assert!(
+            (0.0..=1.0).contains(&self.snack_probability),
+            "{}: snack_probability",
+            self.id
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.missed_bolus_probability),
+            "{}: missed_bolus_probability",
+            self.id
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.exercise_probability),
+            "{}: exercise_probability",
+            self.id
+        );
+        assert!(self.insulin_carb_ratio > 0.0, "{}: insulin_carb_ratio", self.id);
+        assert!(self.basal_rate >= 0.0, "{}: basal_rate", self.id);
+        assert!(self.sensor_noise_std >= 0.0, "{}: sensor_noise_std", self.id);
+        self.ode.validate();
+    }
+}
+
+/// Returns the built-in profile for one patient.
+///
+/// The twelve profiles are designed so that the cohort reproduces the
+/// heterogeneity the paper observes on OhioT1DM:
+///
+/// - **A_5, B_1, B_2** are tight-control phenotypes (regular meals, good
+///   carb counting, rarely missed boluses) → high benign normal:abnormal
+///   ratio → the paper's *less vulnerable* cluster;
+/// - **A_2** is the most erratic phenotype (large irregular meals, poor
+///   carb counting, frequent missed boluses) → lowest ratio, matching the
+///   paper's most vulnerable patient;
+/// - the rest sit in between, on the *more vulnerable* side.
+pub fn profile(id: PatientId) -> PatientProfile {
+    let seed = 0x51AC_0000 + id.flat_index() as u64;
+    let mut p = PatientProfile::template(id, seed);
+    match (id.subset, id.index) {
+        // ---- Subset A (2018 cohort) ----
+        (Subset::A, 0) => {
+            // Moderate control, tendency to run high after dinner.
+            p.meal_carbs_rel_std = 0.35;
+            p.bolus_error_rel_std = 0.22;
+            p.missed_bolus_probability = 0.12;
+            p.ode.basal_glucose = 138.0;
+            p.basal_rate = 0.7;
+        }
+        (Subset::A, 1) => {
+            // Insulin-resistant, large meals.
+            p.meal_carbs_mean = 75.0;
+            p.meal_carbs_rel_std = 0.30;
+            p.ode.insulin_action = 3.0e-5;
+            p.bolus_error_rel_std = 0.20;
+            p.missed_bolus_probability = 0.10;
+            p.ode.basal_glucose = 142.0;
+        }
+        (Subset::A, 2) => {
+            // The most erratic patient in the cohort (paper's A_2: lowest
+            // benign normal:abnormal ratio).
+            p.meal_carbs_mean = 80.0;
+            p.meal_carbs_rel_std = 0.55;
+            p.meal_time_jitter_min = 55.0;
+            p.snack_probability = 0.75;
+            p.bolus_error_rel_std = 0.45;
+            p.missed_bolus_probability = 0.30;
+            p.ode.basal_glucose = 150.0;
+            p.basal_rate = 0.55;
+            p.exercise_probability = 0.45;
+            p.exercise_sensitivity_boost = 2.8;
+        }
+        (Subset::A, 3) => {
+            // Frequent exerciser with hypo tendency.
+            p.exercise_probability = 0.55;
+            p.exercise_sensitivity_boost = 3.0;
+            p.bolus_error_rel_std = 0.25;
+            p.missed_bolus_probability = 0.10;
+            p.ode.basal_glucose = 144.0;
+            p.basal_rate = 0.7;
+        }
+        (Subset::A, 4) => {
+            // Heavy snacker, moderate discipline.
+            p.snack_probability = 0.65;
+            p.meal_carbs_rel_std = 0.40;
+            p.bolus_error_rel_std = 0.20;
+            p.missed_bolus_probability = 0.15;
+            p.ode.basal_glucose = 148.0;
+            p.missed_bolus_probability = 0.18;
+        }
+        (Subset::A, 5) => {
+            // Tight control: the paper's less-vulnerable Subset-A patient.
+            p.meal_carbs_mean = 58.0;
+            p.meal_carbs_rel_std = 0.10;
+            p.meal_time_jitter_min = 8.0;
+            p.snack_probability = 0.10;
+            p.bolus_error_rel_std = 0.05;
+            p.missed_bolus_probability = 0.01;
+            p.ode.basal_glucose = 132.0;
+            p.dawn_amplitude = 0.50;
+            p.sensor_noise_std = 3.0;
+        }
+        // ---- Subset B (2020 cohort) ----
+        (Subset::B, 0) => {
+            // Shift-worker: irregular timing.
+            p.meal_time_jitter_min = 60.0;
+            p.meal_carbs_rel_std = 0.35;
+            p.bolus_error_rel_std = 0.22;
+            p.missed_bolus_probability = 0.14;
+            p.ode.basal_glucose = 144.0;
+            p.basal_rate = 0.75;
+        }
+        (Subset::B, 1) => {
+            // Tight control: less-vulnerable cluster.
+            p.meal_carbs_mean = 60.0;
+            p.meal_carbs_rel_std = 0.12;
+            p.meal_time_jitter_min = 10.0;
+            p.snack_probability = 0.12;
+            p.bolus_error_rel_std = 0.06;
+            p.missed_bolus_probability = 0.02;
+            p.ode.basal_glucose = 133.0;
+            p.dawn_amplitude = 0.48;
+            p.sensor_noise_std = 3.2;
+        }
+        (Subset::B, 2) => {
+            // Tightest control of all: less-vulnerable cluster (paper's
+            // highest normal:abnormal ratio in Subset B).
+            p.meal_carbs_mean = 55.0;
+            p.meal_carbs_rel_std = 0.08;
+            p.meal_time_jitter_min = 6.0;
+            p.snack_probability = 0.08;
+            p.bolus_error_rel_std = 0.04;
+            p.missed_bolus_probability = 0.01;
+            p.ode.basal_glucose = 128.0;
+            p.dawn_amplitude = 0.42;
+            p.sensor_noise_std = 2.8;
+        }
+        (Subset::B, 3) => {
+            // Insulin-sensitive but careless with boluses.
+            p.ode.insulin_action = 6.0e-5;
+            p.bolus_error_rel_std = 0.32;
+            p.missed_bolus_probability = 0.28;
+            p.meal_carbs_rel_std = 0.40;
+            p.ode.basal_glucose = 146.0;
+            p.meal_carbs_mean = 70.0;
+            p.basal_rate = 0.75;
+        }
+        (Subset::B, 4) => {
+            // Big appetite, high dawn phenomenon.
+            p.meal_carbs_mean = 85.0;
+            p.meal_carbs_rel_std = 0.35;
+            p.dawn_amplitude = 0.50;
+            p.bolus_error_rel_std = 0.18;
+            p.missed_bolus_probability = 0.12;
+            p.ode.basal_glucose = 148.0;
+            p.basal_rate = 0.7;
+        }
+        (Subset::B, 5) => {
+            // Moderate variability with frequent snacks.
+            p.snack_probability = 0.55;
+            p.meal_carbs_rel_std = 0.35;
+            p.bolus_error_rel_std = 0.22;
+            p.missed_bolus_probability = 0.12;
+            p.ode.basal_glucose = 148.0;
+        }
+        _ => unreachable!("PatientId guarantees index <= 5"),
+    }
+    p.validate();
+    p
+}
+
+/// All twelve built-in profiles (A_0…A_5 then B_0…B_5).
+pub fn profiles() -> Vec<PatientProfile> {
+    PatientId::all().into_iter().map(profile).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_unique_patients() {
+        let all = PatientId::all();
+        assert_eq!(all.len(), 12);
+        let mut flat: Vec<usize> = all.iter().map(|p| p.flat_index()).collect();
+        flat.dedup();
+        assert_eq!(flat, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_format_matches_paper_notation() {
+        assert_eq!(PatientId::new(Subset::A, 5).to_string(), "A_5");
+        assert_eq!(PatientId::new(Subset::B, 0).to_string(), "B_0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_rejected() {
+        let _ = PatientId::new(Subset::A, 6);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        let ps = profiles();
+        assert_eq!(ps.len(), 12);
+        for p in &ps {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_deterministic() {
+        let ps = profiles();
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i], ps[j], "profiles {i} and {j} identical");
+            }
+        }
+        assert_eq!(profile(PatientId::new(Subset::A, 3)), ps[3]);
+    }
+
+    #[test]
+    fn tight_control_patients_are_more_disciplined() {
+        // The designed less-vulnerable phenotypes must be strictly more
+        // disciplined than the designed worst patient on every behaviour
+        // axis that drives abnormal glucose.
+        let worst = profile(PatientId::new(Subset::A, 2));
+        for id in [
+            PatientId::new(Subset::A, 5),
+            PatientId::new(Subset::B, 1),
+            PatientId::new(Subset::B, 2),
+        ] {
+            let good = profile(id);
+            assert!(good.meal_carbs_rel_std < worst.meal_carbs_rel_std);
+            assert!(good.bolus_error_rel_std < worst.bolus_error_rel_std);
+            assert!(good.missed_bolus_probability < worst.missed_bolus_probability);
+            assert!(good.ode.basal_glucose < worst.ode.basal_glucose);
+        }
+    }
+}

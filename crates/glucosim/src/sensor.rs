@@ -1,0 +1,198 @@
+//! CGM sensor model: AR(1) correlated noise plus a slowly drifting bias,
+//! clamped to the OhioT1DM reporting range (the dataset's maximum recorded
+//! value, 499 mg/dL, is also the upper bound the paper's attack uses).
+
+use rand::RngExt;
+
+use crate::events::gaussian;
+
+/// Reporting floor of commercial CGM sensors (mg/dL).
+pub const CGM_MIN: f64 = 40.0;
+/// Reporting ceiling — the highest value in OhioT1DM (mg/dL).
+pub const CGM_MAX: f64 = 499.0;
+
+/// An AR(1)-noise CGM sensor.
+///
+/// Each reading is `clamp(true_glucose + bias + noise)`, where `noise`
+/// follows `n_t = ρ n_{t-1} + ε_t` with `ε ~ N(0, σ²(1-ρ²))` so its
+/// stationary standard deviation equals the configured σ, and `bias` drifts
+/// by a small random walk (sensor calibration drift).
+///
+/// # Examples
+///
+/// ```
+/// use lgo_glucosim::SensorModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut sensor = SensorModel::new(4.0, 0.8);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let reading = sensor.read(120.0, &mut rng);
+/// assert!((reading - 120.0).abs() < 40.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorModel {
+    noise_std: f64,
+    rho: f64,
+    state: f64,
+    bias: f64,
+    artifact_rate: f64,
+    artifact_left: u32,
+    artifact_offset: f64,
+}
+
+impl SensorModel {
+    /// Per-reading probability of starting a transient artifact, the value
+    /// used by the simulator for every patient (sensor property, not
+    /// physiology).
+    pub const DEFAULT_ARTIFACT_RATE: f64 = 0.004;
+
+    /// Creates a sensor with stationary noise σ `noise_std` and AR(1)
+    /// coefficient `rho`, with transient artifacts at the default rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_std < 0` or `rho` is outside `[0, 1)`.
+    pub fn new(noise_std: f64, rho: f64) -> Self {
+        Self::with_artifacts(noise_std, rho, Self::DEFAULT_ARTIFACT_RATE)
+    }
+
+    /// Creates a sensor with an explicit artifact rate (0 disables
+    /// artifacts).
+    ///
+    /// Artifacts model the short spurious excursions real CGM sensors
+    /// produce — pressure-induced "compression lows" and transient spikes —
+    /// lasting one to three readings and NOT reflecting true glucose. They
+    /// matter for the attack study: a forecaster personalized to a patient
+    /// whose real glucose never spikes learns to discount short
+    /// high-glucose runs as artifacts, which is precisely what makes such
+    /// patients more resilient to short CGM manipulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_std < 0`, `rho` is outside `[0, 1)`, or
+    /// `artifact_rate` is outside `[0, 1]`.
+    pub fn with_artifacts(noise_std: f64, rho: f64, artifact_rate: f64) -> Self {
+        assert!(noise_std >= 0.0, "SensorModel: noise_std must be >= 0");
+        assert!((0.0..1.0).contains(&rho), "SensorModel: rho must be in [0, 1)");
+        assert!(
+            (0.0..=1.0).contains(&artifact_rate),
+            "SensorModel: artifact_rate must be in [0, 1]"
+        );
+        Self {
+            noise_std,
+            rho,
+            state: 0.0,
+            bias: 0.0,
+            artifact_rate,
+            artifact_left: 0,
+            artifact_offset: 0.0,
+        }
+    }
+
+    /// Produces a reading of `true_glucose`, advancing the noise state.
+    pub fn read<R: RngExt + ?Sized>(&mut self, true_glucose: f64, rng: &mut R) -> f64 {
+        let innovation_std = self.noise_std * (1.0 - self.rho * self.rho).sqrt();
+        self.state = self.rho * self.state + gaussian(rng) * innovation_std;
+        // Calibration drift: tiny random walk, pulled back toward zero.
+        self.bias = 0.999 * self.bias + gaussian(rng) * 0.02;
+        // Transient artifacts: spikes up (sensor glitch) or down
+        // (compression low) lasting 1-3 readings.
+        let mut artifact = 0.0;
+        if self.artifact_left > 0 {
+            self.artifact_left -= 1;
+            artifact = self.artifact_offset;
+        } else if self.artifact_rate > 0.0 && rng.random_range(0.0..1.0) < self.artifact_rate {
+            self.artifact_left = rng.random_range(0..3u32);
+            let up = rng.random_range(0.0..1.0) < 0.6;
+            // Upward glitches span the whole reporting range (sensor
+            // electronics faults rail high); compression lows are milder.
+            let magnitude = rng.random_range(50.0..380.0);
+            self.artifact_offset = if up { magnitude } else { -magnitude * 0.25 };
+            artifact = self.artifact_offset;
+        }
+        (true_glucose + self.state + self.bias + artifact).clamp(CGM_MIN, CGM_MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn noiseless_sensor_is_identity_within_range() {
+        let mut s = SensorModel::with_artifacts(0.0, 0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((s.read(150.0, &mut rng) - 150.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn readings_clamped_to_range() {
+        let mut s = SensorModel::with_artifacts(5.0, 0.8, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.read(10.0, &mut rng), CGM_MIN);
+        assert_eq!(s.read(800.0, &mut rng), CGM_MAX);
+    }
+
+    #[test]
+    fn artifacts_produce_transient_excursions() {
+        let mut s = SensorModel::with_artifacts(0.0, 0.5, 0.05);
+        let mut rng = StdRng::seed_from_u64(7);
+        let readings: Vec<f64> = (0..4000).map(|_| s.read(120.0, &mut rng)).collect();
+        let excursions = readings.iter().filter(|&&r| (r - 120.0).abs() > 40.0).count();
+        // ~5% starts × mean length ~2 -> ~8-12% of samples inside artifacts.
+        assert!(excursions > 100, "only {excursions} artifact readings");
+        assert!(excursions < 1200, "too many artifact readings: {excursions}");
+        // Both directions occur.
+        assert!(readings.iter().any(|&r| r > 160.0));
+        assert!(readings.iter().any(|&r| r < 90.0));
+    }
+
+    #[test]
+    fn zero_artifact_rate_disables_artifacts() {
+        let mut s = SensorModel::with_artifacts(0.0, 0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Only the slow calibration-drift random walk remains (a few mg/dL).
+        assert!((0..2000).all(|_| (s.read(120.0, &mut rng) - 120.0).abs() < 10.0));
+    }
+
+    #[test]
+    fn stationary_std_matches_configuration() {
+        let mut s = SensorModel::with_artifacts(6.0, 0.8, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let readings: Vec<f64> = (0..20000).map(|_| s.read(200.0, &mut rng) - 200.0).collect();
+        let mean = readings.iter().sum::<f64>() / readings.len() as f64;
+        let var = readings.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+            / readings.len() as f64;
+        let std = var.sqrt();
+        assert!(
+            (std - 6.0).abs() < 1.0,
+            "stationary std {std} far from configured 6.0"
+        );
+    }
+
+    #[test]
+    fn noise_is_autocorrelated() {
+        let mut s = SensorModel::with_artifacts(5.0, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let readings: Vec<f64> = (0..5000).map(|_| s.read(100.0, &mut rng) - 100.0).collect();
+        // Lag-1 autocorrelation should be near rho.
+        let mean = readings.iter().sum::<f64>() / readings.len() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 1..readings.len() {
+            num += (readings[i] - mean) * (readings[i - 1] - mean);
+        }
+        for r in &readings {
+            den += (r - mean) * (r - mean);
+        }
+        let ac = num / den;
+        assert!(ac > 0.7, "lag-1 autocorrelation {ac} too low for rho=0.9");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn invalid_rho_rejected() {
+        let _ = SensorModel::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The simulator loop: integrates the physiology minute-by-minute, applies
+//! the behavioural events, and samples the sensor channels every five
+//! minutes — the cadence of the OhioT1DM dataset.
+
+use lgo_series::MultiSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::events::{gaussian, DailyEvents, EventKind};
+use crate::ode::PhysioState;
+use crate::params::PatientProfile;
+use crate::sensor::SensorModel;
+
+/// Minutes between samples (OhioT1DM cadence).
+pub const STEP_MINUTES: usize = 5;
+/// Samples per simulated day.
+pub const SAMPLES_PER_DAY: usize = 24 * 60 / STEP_MINUTES;
+
+/// The channels every simulated series carries, in column order:
+///
+/// - `cgm` — continuous glucose monitor reading (mg/dL),
+/// - `finger` — finger-stick glucose (mg/dL; 0 when not taken),
+/// - `basal` — basal insulin rate (U/hr),
+/// - `bolus` — bolus insulin delivered in the interval (U),
+/// - `carbs` — carbohydrates *logged to the app* in the interval (g);
+///   unannounced intake moves the physiology but not this channel,
+/// - `heart_rate` — heart rate (bpm),
+/// - `steps` — step count in the interval,
+/// - `sleep` — 1.0 while asleep,
+/// - `fasting` — 1.0 when ≥ 2 h have passed since the last meal (the paper's
+///   fasting/postprandial distinction for hyperglycemia thresholds),
+/// - `glucose_true` — the latent noise-free plasma glucose (mg/dL), kept for
+///   evaluation only (a real BGMS never sees it),
+/// - `carbs_actual` — all carbohydrates ingested in the interval (g),
+///   including unannounced intake; like `glucose_true`, analysis-only.
+pub const CHANNELS: [&str; 11] = [
+    "cgm",
+    "finger",
+    "basal",
+    "bolus",
+    "carbs",
+    "heart_rate",
+    "steps",
+    "sleep",
+    "fasting",
+    "glucose_true",
+    "carbs_actual",
+];
+
+/// A deterministic patient simulator.
+///
+/// Two `Simulator`s built from the same profile produce identical series;
+/// the profile's seed fixes all behavioural and sensor randomness.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_glucosim::{profile, PatientId, Simulator, Subset};
+///
+/// let sim = Simulator::new(profile(PatientId::new(Subset::B, 2)));
+/// let a = sim.run_days(1);
+/// let b = sim.run_days(1);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    profile: PatientProfile,
+}
+
+impl Simulator {
+    /// Creates a simulator for one patient profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn new(profile: PatientProfile) -> Self {
+        profile.validate();
+        Self { profile }
+    }
+
+    /// The simulated patient's profile.
+    pub fn profile(&self) -> &PatientProfile {
+        &self.profile
+    }
+
+    /// Simulates `days` days at 5-minute cadence using the profile's seed.
+    ///
+    /// A 24-hour warm-up day is simulated (and discarded) first so the
+    /// returned series starts from realistic, not resting, physiology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`.
+    pub fn run_days(&self, days: usize) -> MultiSeries {
+        self.run_days_with_seed(days, self.profile.seed)
+    }
+
+    /// Like [`Self::run_days`] but with an explicit seed, for generating
+    /// independent replicas of the same phenotype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`.
+    pub fn run_days_with_seed(&self, days: usize, seed: u64) -> MultiSeries {
+        assert!(days > 0, "run_days: need at least one day");
+        let p = &self.profile;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = PhysioState::at_rest(&p.ode);
+        let mut sensor = SensorModel::new(p.sensor_noise_std, 0.85);
+        let mut series = MultiSeries::new(&CHANNELS);
+
+        // Pending inputs: (remaining minutes, per-minute rate).
+        let mut carb_queue: Vec<(u32, f64)> = Vec::new();
+        let mut bolus_queue: Vec<(u32, f64)> = Vec::new();
+        let mut exercise_until: i64 = -1;
+        let mut exercise_intensity = 1.0;
+        let mut minutes_since_meal: u32 = 600; // wake up fasting
+
+        // Interval accumulators for the sampled channels.
+        let mut logged_carbs_interval = 0.0;
+        let mut carbs_interval = 0.0;
+        let mut bolus_interval = 0.0;
+        let mut steps_interval = 0.0;
+
+        let total_days = days + 1; // warm-up day discarded
+        for day in 0..total_days {
+            let events = DailyEvents::generate(p, &mut rng);
+            let mut next_event = 0usize;
+            for minute in 0..24 * 60u32 {
+                let abs_minute = day as i64 * 1440 + minute as i64;
+                // Fire events scheduled for this minute.
+                while next_event < events.len() && events.events()[next_event].minute == minute {
+                    match events.events()[next_event].kind {
+                        EventKind::Meal { carbs, bolus, logged } => {
+                            carb_queue.push((10, carbs / 10.0));
+                            if logged {
+                                logged_carbs_interval += carbs;
+                            }
+                            if bolus > 0.0 {
+                                // Subcutaneous absorption: nothing reaches
+                                // plasma for ~15 min, then delivery is spread
+                                // over 30 min. This lag is what produces the
+                                // realistic postprandial spike.
+                                bolus_queue.push((45, bolus / 30.0));
+                            }
+                            minutes_since_meal = 0;
+                        }
+                        EventKind::Exercise {
+                            duration_min,
+                            intensity,
+                        } => {
+                            exercise_until = abs_minute + duration_min as i64;
+                            exercise_intensity = intensity;
+                        }
+                    }
+                    next_event += 1;
+                }
+
+                let carbs_in: f64 = carb_queue.iter().map(|&(_, r)| r).sum();
+                // Boluses deliver only during the last 30 minutes of their
+                // countdown (the first 15 are the subcutaneous delay).
+                let bolus_in: f64 = bolus_queue
+                    .iter()
+                    .filter(|&&(rem, _)| rem <= 30)
+                    .map(|&(_, r)| r)
+                    .sum();
+                carb_queue.retain_mut(|e| {
+                    e.0 -= 1;
+                    e.0 > 0
+                });
+                bolus_queue.retain_mut(|e| {
+                    e.0 -= 1;
+                    e.0 > 0
+                });
+
+                let exercising = abs_minute < exercise_until;
+                // Insulin sensitivity: full boost during the session, then a
+                // linear "afterburn" decay over three hours — the classic
+                // mechanism behind post-exercise (often nocturnal) hypos.
+                let sensitivity = if exercising {
+                    exercise_intensity
+                } else if exercise_until > 0 && abs_minute < exercise_until + 180 {
+                    let frac = (abs_minute - exercise_until) as f64 / 180.0;
+                    1.0 + (exercise_intensity - 1.0) * (1.0 - frac)
+                } else {
+                    1.0
+                };
+                // Dawn phenomenon: Gaussian bump centred on 05:00.
+                let dawn = p.dawn_amplitude
+                    * (-((minute as f64 - 300.0) / 90.0).powi(2)).exp();
+                let basal_u_per_min = p.basal_rate / 60.0;
+
+                state.step(
+                    &p.ode,
+                    1.0,
+                    carbs_in,
+                    basal_u_per_min + bolus_in,
+                    dawn,
+                    sensitivity,
+                );
+
+                carbs_interval += carbs_in;
+                bolus_interval += bolus_in;
+                let sleeping = !(420..1380).contains(&minute); // 23:00-07:00
+                steps_interval += if exercising {
+                    120.0 + gaussian(&mut rng).abs() * 30.0
+                } else if sleeping {
+                    0.0
+                } else {
+                    8.0 + gaussian(&mut rng).abs() * 10.0
+                };
+                minutes_since_meal = minutes_since_meal.saturating_add(1);
+
+                // Sample every five minutes.
+                if (minute + 1) % STEP_MINUTES as u32 == 0 {
+                    if day > 0 {
+                        let cgm = sensor.read(state.glucose, &mut rng);
+                        // Finger sticks: before meals and at bedtime (~4/day).
+                        let finger = if matches!(minute + 1, 440 | 740 | 1100 | 1340) {
+                            (state.glucose + gaussian(&mut rng) * 2.0).clamp(40.0, 499.0)
+                        } else {
+                            0.0
+                        };
+                        let circadian_hr = 4.0 * ((minute as f64 / 1440.0) * std::f64::consts::TAU - 2.0).sin();
+                        let hr = if exercising {
+                            p.resting_heart_rate + 50.0 + gaussian(&mut rng) * 5.0
+                        } else if sleeping {
+                            p.resting_heart_rate - 8.0 + circadian_hr + gaussian(&mut rng) * 2.0
+                        } else {
+                            p.resting_heart_rate + circadian_hr + gaussian(&mut rng) * 3.0
+                        };
+                        let fasting = if minutes_since_meal >= 120 { 1.0 } else { 0.0 };
+                        series.push_row(&[
+                            cgm,
+                            finger,
+                            p.basal_rate,
+                            bolus_interval,
+                            logged_carbs_interval,
+                            hr.max(35.0),
+                            steps_interval,
+                            if sleeping { 1.0 } else { 0.0 },
+                            fasting,
+                            state.glucose,
+                            carbs_interval,
+                        ]);
+                    } else {
+                        // Warm-up day: advance the sensor RNG identically but
+                        // discard the sample so day boundaries stay aligned.
+                        let _ = sensor.read(state.glucose, &mut rng);
+                    }
+                    carbs_interval = 0.0;
+                    logged_carbs_interval = 0.0;
+                    bolus_interval = 0.0;
+                    steps_interval = 0.0;
+                }
+            }
+        }
+        debug_assert_eq!(series.len(), days * SAMPLES_PER_DAY);
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{profile, profiles, PatientId, Subset};
+
+    fn run(id: PatientId, days: usize) -> MultiSeries {
+        Simulator::new(profile(id)).run_days(days)
+    }
+
+    #[test]
+    fn sample_count_and_channels() {
+        let s = run(PatientId::new(Subset::A, 0), 3);
+        assert_eq!(s.len(), 3 * SAMPLES_PER_DAY);
+        assert_eq!(s.width(), CHANNELS.len());
+        for ch in CHANNELS {
+            assert!(s.channel_index(ch).is_some(), "missing channel {ch}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_profile() {
+        let a = run(PatientId::new(Subset::B, 3), 2);
+        let b = run(PatientId::new(Subset::B, 3), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sim = Simulator::new(profile(PatientId::new(Subset::A, 1)));
+        let a = sim.run_days_with_seed(1, 1);
+        let b = sim.run_days_with_seed(1, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cgm_within_sensor_range_and_finite() {
+        for p in profiles() {
+            let s = Simulator::new(p).run_days(2);
+            assert!(!s.has_non_finite());
+            for &g in &s.channel("cgm").unwrap() {
+                assert!((40.0..=499.0).contains(&g), "cgm out of range: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn glucose_dynamics_are_alive() {
+        // Glucose must actually vary across the day (meals) — a flat line
+        // would mean events are not wired into the ODE.
+        let s = run(PatientId::new(Subset::A, 0), 3);
+        let cgm = s.channel("cgm").unwrap();
+        let max = cgm.iter().cloned().fold(f64::MIN, f64::max);
+        let min = cgm.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 60.0, "glucose range only {}", max - min);
+    }
+
+    #[test]
+    fn meals_raise_glucose_in_following_hour() {
+        let s = run(PatientId::new(Subset::A, 0), 5);
+        let glucose = s.channel("glucose_true").unwrap();
+        let carbs = s.channel("carbs").unwrap();
+        let mut rises = 0;
+        let mut meals = 0;
+        for t in 1..s.len().saturating_sub(14) {
+            // Meal onset: carbs appear after an empty interval (the meal may
+            // straddle two sampling intervals, so sum the pair).
+            if carbs[t] > 0.0 && carbs[t] + carbs[t + 1] > 15.0 && carbs[t - 1] == 0.0 {
+                meals += 1;
+                // Peak within the following hour must exceed the level at
+                // meal time (insulin absorbs slower than carbs).
+                let peak = glucose[t..t + 13].iter().cloned().fold(f64::MIN, f64::max);
+                if peak > glucose[t] + 5.0 {
+                    rises += 1;
+                }
+            }
+        }
+        assert!(meals >= 10, "only {meals} meals detected");
+        assert!(
+            rises * 10 >= meals * 7,
+            "postprandial rise in only {rises}/{meals} meals"
+        );
+    }
+
+    #[test]
+    fn sleep_and_fasting_flags_are_binary_and_plausible() {
+        let s = run(PatientId::new(Subset::B, 5), 2);
+        let sleep = s.channel("sleep").unwrap();
+        let fasting = s.channel("fasting").unwrap();
+        assert!(sleep.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(fasting.iter().all(|&v| v == 0.0 || v == 1.0));
+        let sleep_frac = sleep.iter().sum::<f64>() / sleep.len() as f64;
+        assert!(
+            (0.2..0.5).contains(&sleep_frac),
+            "sleep fraction {sleep_frac}"
+        );
+        // Patients fast overnight, so a sizable fraction of samples is fasting.
+        let fast_frac = fasting.iter().sum::<f64>() / fasting.len() as f64;
+        assert!(fast_frac > 0.2, "fasting fraction {fast_frac}");
+    }
+
+    #[test]
+    fn finger_sticks_are_sparse() {
+        let s = run(PatientId::new(Subset::A, 4), 4);
+        let finger = s.channel("finger").unwrap();
+        let taken = finger.iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(taken, 4 * 4, "expected 4 finger sticks per day");
+    }
+
+    #[test]
+    fn tight_controller_has_higher_normal_ratio_than_erratic() {
+        // The core design requirement: A_5 (tight control) must show a
+        // higher benign normal:abnormal ratio than A_2 (erratic), because
+        // that ordering is what drives the paper's entire Figure 4.
+        let ratio = |id: PatientId| -> f64 {
+            let s = run(id, 7);
+            let cgm = s.channel("cgm").unwrap();
+            let fasting = s.channel("fasting").unwrap();
+            let mut normal = 0.0f64;
+            let mut abnormal = 0.0f64;
+            for (g, f) in cgm.iter().zip(&fasting) {
+                let hyper_threshold = if *f == 1.0 { 125.0 } else { 180.0 };
+                if *g < 70.0 || *g > hyper_threshold {
+                    abnormal += 1.0;
+                } else {
+                    normal += 1.0;
+                }
+            }
+            normal / abnormal.max(1.0)
+        };
+        let tight = ratio(PatientId::new(Subset::A, 5));
+        let erratic = ratio(PatientId::new(Subset::A, 2));
+        assert!(
+            tight > 2.0 * erratic,
+            "normal:abnormal ratios too close: tight {tight:.2} vs erratic {erratic:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn zero_days_rejected() {
+        let _ = run(PatientId::new(Subset::A, 0), 0);
+    }
+}

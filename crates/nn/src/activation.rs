@@ -1,0 +1,162 @@
+/// Point-wise activation functions.
+///
+/// Each variant knows its own derivative so layers can run backprop without
+/// dynamic dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_nn::Activation;
+///
+/// assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+/// assert_eq!(Activation::Identity.apply(-3.0), -3.0);
+/// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// `f(x) = x` — used by regression heads.
+    #[default]
+    Identity,
+    /// Logistic sigmoid — LSTM gates and GAN discriminator output.
+    Sigmoid,
+    /// Hyperbolic tangent — LSTM candidate/cell output.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.01 for negative inputs.
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)` where the
+    /// algebra allows (sigmoid/tanh), falling back to the input for the
+    /// piecewise-linear variants.
+    ///
+    /// `x` is the pre-activation, `y` the post-activation value.
+    pub fn derivative(self, x: f64, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+
+    /// Applies the activation to every element of a slice, in place.
+    pub fn apply_slice(self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+///
+/// Avoids overflow for large negative inputs by branching on the sign.
+///
+/// # Examples
+///
+/// ```
+/// let y = lgo_nn::sigmoid(-1000.0);
+/// assert!(y >= 0.0 && y < 1e-12);
+/// ```
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Identity,
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Relu,
+        Activation::LeakyRelu,
+    ];
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-100);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in ALL {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative(x, y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_kink_behaviour() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(-1.0, 0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0, 1.0), 1.0);
+        assert_eq!(Activation::LeakyRelu.apply(-2.0), -0.02);
+    }
+
+    #[test]
+    fn apply_slice_applies_elementwise() {
+        let mut xs = [-1.0, 0.0, 2.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn bounded_activations_stay_bounded() {
+        for &x in &[-50.0, -1.0, 0.0, 1.0, 50.0] {
+            let s = Activation::Sigmoid.apply(x);
+            assert!((0.0..=1.0).contains(&s));
+            let t = Activation::Tanh.apply(x);
+            assert!((-1.0..=1.0).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+use lgo_tensor::Matrix;
+use rand::RngExt;
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::loss::Loss;
+use crate::lstm::{LstmCell, LstmState};
+use crate::optimizer::{clip_global_norm, Adam, Trainable};
+
+/// A bidirectional-LSTM regressor: the architecture of the Rubin-Falcone
+/// et al. blood-glucose forecaster that the paper uses as the target DNN.
+///
+/// A forward LSTM reads the window left-to-right, a backward LSTM reads it
+/// right-to-left; their final hidden states are concatenated and mapped to a
+/// scalar by a linear head.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_nn::BiLstmRegressor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let model = BiLstmRegressor::new(2, 8, &mut rng);
+/// let window = vec![vec![0.5, 0.1]; 12];
+/// let y = model.predict(&window);
+/// assert!(y.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiLstmRegressor {
+    fwd: LstmCell,
+    bwd: LstmCell,
+    head: Dense,
+}
+
+/// One training record: an input window and its scalar regression target.
+pub type SeqSample = (Vec<Vec<f64>>, f64);
+
+impl BiLstmRegressor {
+    /// Creates a regressor for `input`-dim feature rows with `hidden` units
+    /// per direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new<R: RngExt + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            fwd: LstmCell::new(input, hidden, rng),
+            bwd: LstmCell::new(input, hidden, rng),
+            head: Dense::new(2 * hidden, 1, Activation::Identity, rng),
+        }
+    }
+
+    /// Input dimensionality expected per timestep.
+    pub fn input_size(&self) -> usize {
+        self.fwd.input_size()
+    }
+
+    /// Hidden units per direction.
+    pub fn hidden_size(&self) -> usize {
+        self.fwd.hidden_size()
+    }
+
+    /// Predicts the regression target for one window (pure inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or a row width mismatches.
+    pub fn predict(&self, window: &[Vec<f64>]) -> f64 {
+        assert!(!window.is_empty(), "predict: empty window");
+        let mut sf = LstmState::zeros(self.fwd.hidden_size());
+        for x in window {
+            sf = self.fwd.step(x, &sf);
+        }
+        let mut sb = LstmState::zeros(self.bwd.hidden_size());
+        for x in window.iter().rev() {
+            sb = self.bwd.step(x, &sb);
+        }
+        let mut cat = sf.h;
+        cat.extend_from_slice(&sb.h);
+        self.head.infer(&cat)[0]
+    }
+
+    /// Forward + backward for a single `(window, target)` sample under the
+    /// given loss; gradients accumulate. Returns the sample loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn accumulate(&mut self, window: &[Vec<f64>], target: f64, loss: Loss) -> f64 {
+        assert!(!window.is_empty(), "accumulate: empty window");
+        let trace_f = self.fwd.forward_seq(window);
+        let rev: Vec<Vec<f64>> = window.iter().rev().cloned().collect();
+        let trace_b = self.bwd.forward_seq(&rev);
+        let mut cat = trace_f.last_hidden().to_vec();
+        cat.extend_from_slice(trace_b.last_hidden());
+        let pred = self.head.forward(&cat)[0];
+        let l = loss.value(pred, target);
+        let dpred = loss.gradient(pred, target);
+        let dcat = self.head.backward(&[dpred]);
+
+        let h = self.fwd.hidden_size();
+        let mut dh_f = vec![vec![0.0; h]; window.len()];
+        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec();
+        self.fwd.backward_seq(&trace_f, &dh_f);
+
+        let mut dh_b = vec![vec![0.0; h]; window.len()];
+        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec();
+        self.bwd.backward_seq(&trace_b, &dh_b);
+        l
+    }
+
+    /// Trains with Adam over mini-batches for `epochs` passes, clipping the
+    /// global gradient norm at 5.0. Returns the mean training loss per epoch.
+    ///
+    /// The sample order is fixed (chronological), matching how the paper's
+    /// forecaster treats its time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, `batch_size == 0`, or `epochs == 0`.
+    pub fn fit(
+        &mut self,
+        samples: &[SeqSample],
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+    ) -> Vec<f64> {
+        assert!(!samples.is_empty(), "fit: no samples");
+        assert!(batch_size > 0, "fit: batch_size must be positive");
+        assert!(epochs > 0, "fit: epochs must be positive");
+        let mut opt = Adam::new(lr);
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for batch in samples.chunks(batch_size) {
+                self.zero_grads();
+                for (w, y) in batch {
+                    total += self.accumulate(w, *y, Loss::Mse);
+                }
+                // Average over the batch so the lr is batch-size invariant.
+                let scale = 1.0 / batch.len() as f64;
+                self.visit_params(&mut |_, g| g.map_inplace(|x| x * scale));
+                clip_global_norm(self, 5.0);
+                opt.step(self);
+            }
+            history.push(total / samples.len() as f64);
+        }
+        history
+    }
+
+    /// Mean squared error over a sample set (pure evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn mse(&self, samples: &[SeqSample]) -> f64 {
+        assert!(!samples.is_empty(), "mse: no samples");
+        samples
+            .iter()
+            .map(|(w, y)| {
+                let p = self.predict(w);
+                (p - y) * (p - y)
+            })
+            .sum::<f64>()
+            / samples.len() as f64
+    }
+}
+
+impl Trainable for BiLstmRegressor {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.fwd.visit_params(f);
+        self.bwd.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn model(input: usize, hidden: usize) -> BiLstmRegressor {
+        let mut rng = StdRng::seed_from_u64(5);
+        BiLstmRegressor::new(input, hidden, &mut rng)
+    }
+
+    /// The mean of a window's first feature — an easy target the BiLSTM must
+    /// learn quickly.
+    fn mean_task(n: usize) -> Vec<SeqSample> {
+        let mut rng = StdRng::seed_from_u64(77);
+        (0..n)
+            .map(|_| {
+                use rand::RngExt;
+                let w: Vec<Vec<f64>> =
+                    (0..6).map(|_| vec![rng.random_range(-1.0..1.0)]).collect();
+                let y = w.iter().map(|r| r[0]).sum::<f64>() / 6.0;
+                (w, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let m = model(2, 4);
+        let w = vec![vec![0.1, -0.2]; 5];
+        assert_eq!(m.predict(&w), m.predict(&w));
+    }
+
+    #[test]
+    fn direction_matters() {
+        // An asymmetric window must produce a different prediction reversed,
+        // proving both directions contribute.
+        let m = model(1, 4);
+        let w: Vec<Vec<f64>> = (0..6).map(|t| vec![t as f64 / 6.0]).collect();
+        let rev: Vec<Vec<f64>> = w.iter().rev().cloned().collect();
+        assert_ne!(m.predict(&w), m.predict(&rev));
+    }
+
+    #[test]
+    fn gradient_check_through_whole_model() {
+        let mut m = model(1, 3);
+        let w: Vec<Vec<f64>> = vec![vec![0.2], vec![-0.4], vec![0.6]];
+        let target = 0.3;
+        m.zero_grads();
+        m.accumulate(&w, target, Loss::Mse);
+
+        // Finite-difference check on a handful of parameters via the visitor.
+        let eps = 1e-6;
+        let loss_of = |m: &BiLstmRegressor| {
+            let p = m.predict(&w);
+            (p - target) * (p - target)
+        };
+        let mut idx = 0;
+        let mut checks: Vec<(usize, usize, f64)> = Vec::new();
+        m.visit_params(&mut |p, g| {
+            // first entry of every parameter matrix
+            if p.len() > 0 {
+                checks.push((idx, 0, g.as_slice()[0]));
+            }
+            idx += 1;
+        });
+        for (pi, ei, analytic) in checks {
+            let mut mp = m.clone();
+            let mut mm = m.clone();
+            let mut k = 0;
+            mp.visit_params(&mut |p, _| {
+                if k == pi {
+                    p.as_mut_slice()[ei] += eps;
+                }
+                k += 1;
+            });
+            k = 0;
+            mm.visit_params(&mut |p, _| {
+                if k == pi {
+                    p.as_mut_slice()[ei] -= eps;
+                }
+                k += 1;
+            });
+            let numeric = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "param {pi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_window_mean() {
+        let samples = mean_task(64);
+        let mut m = model(1, 6);
+        let before = m.mse(&samples);
+        let history = m.fit(&samples, 30, 8, 0.01);
+        let after = m.mse(&samples);
+        assert!(
+            after < before * 0.2,
+            "no learning: before {before}, after {after}"
+        );
+        assert!(history.last().unwrap() < &history[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn predict_rejects_empty_window() {
+        let _ = model(1, 2).predict(&[]);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let mut m = model(2, 4);
+        // Each LSTM: (16x2 + 16x4 + 16) = 112; head: (1x8 + 1) = 9.
+        assert_eq!(m.param_count(), 112 * 2 + 9);
+    }
+}

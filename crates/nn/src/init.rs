@@ -1,0 +1,70 @@
+//! Weight initialization schemes.
+//!
+//! Glorot/Xavier uniform for dense and input-to-hidden weights, scaled
+//! Gaussian for recurrent weights, zero for biases (with the LSTM forget-gate
+//! bias raised to 1.0, the standard trick that keeps early gradients alive —
+//! Jozefowicz et al., ICML 2015).
+
+use lgo_tensor::Matrix;
+use rand::RngExt;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if either fan is zero.
+pub fn xavier_uniform<R: RngExt + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    assert!(rows > 0 && cols > 0, "xavier_uniform: zero-sized matrix");
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::uniform(rows, cols, rng, -a, a)
+}
+
+/// Scaled Gaussian initialization `N(0, std^2)`.
+pub fn gaussian<R: RngExt + ?Sized>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Matrix {
+    Matrix::gaussian(rows, cols, rng, std)
+}
+
+/// Recurrent-weight initialization: Gaussian with `std = 1/sqrt(hidden)`.
+pub fn recurrent<R: RngExt + ?Sized>(rows: usize, hidden: usize, rng: &mut R) -> Matrix {
+    assert!(hidden > 0, "recurrent: zero hidden size");
+    Matrix::gaussian(rows, hidden, rng, 1.0 / (hidden as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = xavier_uniform(64, 32, &mut rng);
+        let a = (6.0 / 96.0_f64).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not degenerate: plenty of distinct values.
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn recurrent_scale_shrinks_with_hidden() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = recurrent(256, 4, &mut rng);
+        let large = recurrent(256, 256, &mut rng);
+        let var = |m: &Matrix| m.map(|x| x * x).mean();
+        assert!(var(&small) > var(&large));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(5));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn xavier_rejects_empty() {
+        let _ = xavier_uniform(0, 3, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,112 @@
+/// Scalar loss functions with analytic gradients.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_nn::Loss;
+///
+/// assert_eq!(Loss::Mse.value(3.0, 1.0), 4.0);
+/// assert_eq!(Loss::Mse.gradient(3.0, 1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Loss {
+    /// Squared error `(pred - target)^2` — glucose regression.
+    #[default]
+    Mse,
+    /// Binary cross-entropy on a probability in `(0, 1)` — GAN training.
+    Bce,
+}
+
+impl Loss {
+    /// Loss value for one prediction/target pair.
+    ///
+    /// For [`Loss::Bce`] the prediction is clamped away from 0/1 to keep the
+    /// logarithms finite.
+    pub fn value(self, pred: f64, target: f64) -> f64 {
+        match self {
+            Loss::Mse => (pred - target) * (pred - target),
+            Loss::Bce => {
+                let p = pred.clamp(1e-12, 1.0 - 1e-12);
+                -(target * p.ln() + (1.0 - target) * (1.0 - p).ln())
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the prediction.
+    pub fn gradient(self, pred: f64, target: f64) -> f64 {
+        match self {
+            Loss::Mse => 2.0 * (pred - target),
+            Loss::Bce => {
+                let p = pred.clamp(1e-12, 1.0 - 1e-12);
+                (p - target) / (p * (1.0 - p))
+            }
+        }
+    }
+
+    /// Mean loss over paired slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn mean_value(self, preds: &[f64], targets: &[f64]) -> f64 {
+        assert_eq!(preds.len(), targets.len(), "mean_value: length mismatch");
+        assert!(!preds.is_empty(), "mean_value: empty inputs");
+        preds
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| self.value(p, t))
+            .sum::<f64>()
+            / preds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let (p, t) = (1.3, -0.4);
+        let eps = 1e-6;
+        let numeric = (Loss::Mse.value(p + eps, t) - Loss::Mse.value(p - eps, t)) / (2.0 * eps);
+        assert!((numeric - Loss::Mse.gradient(p, t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        for &(p, t) in &[(0.3, 1.0), (0.8, 0.0), (0.5, 0.5)] {
+            let eps = 1e-7;
+            let numeric =
+                (Loss::Bce.value(p + eps, t) - Loss::Bce.value(p - eps, t)) / (2.0 * eps);
+            assert!(
+                (numeric - Loss::Bce.gradient(p, t)).abs() < 1e-4,
+                "p={p} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn bce_is_finite_at_extremes() {
+        assert!(Loss::Bce.value(0.0, 1.0).is_finite());
+        assert!(Loss::Bce.value(1.0, 0.0).is_finite());
+        assert!(Loss::Bce.gradient(0.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn bce_minimized_at_target() {
+        assert!(Loss::Bce.value(0.99, 1.0) < Loss::Bce.value(0.5, 1.0));
+        assert!(Loss::Bce.value(0.01, 0.0) < Loss::Bce.value(0.5, 0.0));
+    }
+
+    #[test]
+    fn mean_value_averages() {
+        let v = Loss::Mse.mean_value(&[1.0, 3.0], &[0.0, 0.0]);
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mean_value_checks_lengths() {
+        let _ = Loss::Mse.mean_value(&[1.0], &[]);
+    }
+}

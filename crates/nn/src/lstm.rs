@@ -1,0 +1,463 @@
+use lgo_tensor::Matrix;
+use rand::RngExt;
+
+use crate::activation::sigmoid;
+use crate::init;
+use crate::optimizer::Trainable;
+
+/// The `(h, c)` hidden/cell state carried between LSTM steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Vec<f64>,
+    /// Cell state.
+    pub c: Vec<f64>,
+}
+
+impl LstmState {
+    /// The all-zero initial state for a cell of width `hidden`.
+    pub fn zeros(hidden: usize) -> Self {
+        Self {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
+    }
+}
+
+/// Per-timestep cache retained for backpropagation through time.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+    h: Vec<f64>,
+}
+
+/// The forward trace of a sequence through an [`LstmCell`], consumed by
+/// [`LstmCell::backward_seq`].
+#[derive(Debug, Clone)]
+pub struct LstmTrace {
+    steps: Vec<StepCache>,
+}
+
+impl LstmTrace {
+    /// Number of timesteps in the trace.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The hidden state after timestep `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn hidden(&self, t: usize) -> &[f64] {
+        &self.steps[t].h
+    }
+
+    /// The hidden state after the final timestep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn last_hidden(&self) -> &[f64] {
+        &self
+            .steps
+            .last()
+            .expect("LstmTrace::last_hidden on empty trace")
+            .h
+    }
+
+    /// All hidden states, one per timestep.
+    pub fn hiddens(&self) -> Vec<Vec<f64>> {
+        self.steps.iter().map(|s| s.h.clone()).collect()
+    }
+}
+
+/// A single-layer LSTM cell with full backpropagation through time.
+///
+/// Gate layout follows the classic formulation: for each step,
+///
+/// ```text
+/// z = W_x x_t + W_h h_{t-1} + b          (z split into i|f|g|o blocks)
+/// i = σ(z_i)   f = σ(z_f)   g = tanh(z_g)   o = σ(z_o)
+/// c_t = f ⊙ c_{t-1} + i ⊙ g
+/// h_t = o ⊙ tanh(c_t)
+/// ```
+///
+/// The forget-gate bias is initialized to 1.0 (Jozefowicz et al., 2015).
+///
+/// # Examples
+///
+/// ```
+/// use lgo_nn::LstmCell;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let cell = LstmCell::new(3, 8, &mut rng);
+/// let xs = vec![vec![0.1, 0.2, 0.3]; 5];
+/// let trace = cell.forward_seq(&xs);
+/// assert_eq!(trace.last_hidden().len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    input: usize,
+    hidden: usize,
+    w_x: Matrix, // (4H, X)
+    w_h: Matrix, // (4H, H)
+    b: Matrix,   // (4H, 1)
+    gw_x: Matrix,
+    gw_h: Matrix,
+    gb: Matrix,
+}
+
+impl LstmCell {
+    /// Creates a cell mapping `input`-dim vectors to an `hidden`-dim state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new<R: RngExt + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        assert!(input > 0 && hidden > 0, "LstmCell::new: zero-sized cell");
+        let mut b = Matrix::zeros(4 * hidden, 1);
+        for j in hidden..2 * hidden {
+            b[(j, 0)] = 1.0; // forget-gate bias
+        }
+        Self {
+            input,
+            hidden,
+            w_x: init::xavier_uniform(4 * hidden, input, rng),
+            w_h: init::recurrent(4 * hidden, hidden, rng),
+            b,
+            gw_x: Matrix::zeros(4 * hidden, input),
+            gw_h: Matrix::zeros(4 * hidden, hidden),
+            gb: Matrix::zeros(4 * hidden, 1),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn step_internal(&self, x: &[f64], state: &LstmState) -> StepCache {
+        assert_eq!(x.len(), self.input, "LstmCell: input width mismatch");
+        let h = self.hidden;
+        let mut z = self.w_x.matvec(x);
+        let zh = self.w_h.matvec(&state.h);
+        for ((zi, &zhi), &bi) in z.iter_mut().zip(&zh).zip(self.b.as_slice()) {
+            *zi += zhi + bi;
+        }
+        let mut i = vec![0.0; h];
+        let mut f = vec![0.0; h];
+        let mut g = vec![0.0; h];
+        let mut o = vec![0.0; h];
+        for j in 0..h {
+            i[j] = sigmoid(z[j]);
+            f[j] = sigmoid(z[h + j]);
+            g[j] = z[2 * h + j].tanh();
+            o[j] = sigmoid(z[3 * h + j]);
+        }
+        let mut c = vec![0.0; h];
+        let mut tanh_c = vec![0.0; h];
+        let mut h_out = vec![0.0; h];
+        for j in 0..h {
+            c[j] = f[j] * state.c[j] + i[j] * g[j];
+            tanh_c[j] = c[j].tanh();
+            h_out[j] = o[j] * tanh_c[j];
+        }
+        StepCache {
+            x: x.to_vec(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            tanh_c,
+            h: h_out,
+        }
+    }
+
+    /// Advances the state by one input, returning the next state (pure
+    /// inference; no gradient bookkeeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_size()` or the state width differs.
+    pub fn step(&self, x: &[f64], state: &LstmState) -> LstmState {
+        assert_eq!(state.h.len(), self.hidden, "LstmCell: state width mismatch");
+        let cache = self.step_internal(x, state);
+        LstmState {
+            h: cache.h,
+            c: cache.c,
+        }
+    }
+
+    /// Runs a whole sequence from the zero state, retaining the trace needed
+    /// for [`Self::backward_seq`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input row has the wrong width.
+    pub fn forward_seq(&self, xs: &[Vec<f64>]) -> LstmTrace {
+        let mut state = LstmState::zeros(self.hidden);
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            let cache = self.step_internal(x, &state);
+            state = LstmState {
+                h: cache.h.clone(),
+                c: cache.c.clone(),
+            };
+            steps.push(cache);
+        }
+        LstmTrace { steps }
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// `dh[t]` is the gradient of the loss with respect to the hidden state
+    /// emitted at timestep `t` (zero vectors for unused steps). Gradients
+    /// accumulate into the cell; the per-timestep gradients with respect to
+    /// the inputs are returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh.len() != trace.len()` or any gradient row has the wrong
+    /// width.
+    pub fn backward_seq(&mut self, trace: &LstmTrace, dh: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            dh.len(),
+            trace.len(),
+            "backward_seq: {} gradients for {} steps",
+            dh.len(),
+            trace.len()
+        );
+        let hsz = self.hidden;
+        let mut dxs = vec![vec![0.0; self.input]; trace.len()];
+        let mut dh_next = vec![0.0; hsz];
+        let mut dc_next = vec![0.0; hsz];
+        for t in (0..trace.len()).rev() {
+            let s = &trace.steps[t];
+            assert_eq!(dh[t].len(), hsz, "backward_seq: bad dh width at {t}");
+            // Total gradient into h_t: external + recurrent.
+            let dht: Vec<f64> = dh[t].iter().zip(&dh_next).map(|(&a, &b)| a + b).collect();
+            let mut dz = vec![0.0; 4 * hsz];
+            let mut dc_prev = vec![0.0; hsz];
+            for j in 0..hsz {
+                let do_ = dht[j] * s.tanh_c[j];
+                let dct = dc_next[j] + dht[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]);
+                let di = dct * s.g[j];
+                let df = dct * s.c_prev[j];
+                let dg = dct * s.i[j];
+                dc_prev[j] = dct * s.f[j];
+                dz[j] = di * s.i[j] * (1.0 - s.i[j]);
+                dz[hsz + j] = df * s.f[j] * (1.0 - s.f[j]);
+                dz[2 * hsz + j] = dg * (1.0 - s.g[j] * s.g[j]);
+                dz[3 * hsz + j] = do_ * s.o[j] * (1.0 - s.o[j]);
+            }
+            self.gw_x.add_outer(&dz, &s.x, 1.0);
+            self.gw_h.add_outer(&dz, &s.h_prev, 1.0);
+            for (gb, &d) in self.gb.as_mut_slice().iter_mut().zip(&dz) {
+                *gb += d;
+            }
+            dxs[t] = self.w_x.matvec_transpose(&dz);
+            dh_next = self.w_h.matvec_transpose(&dz);
+            dc_next = dc_prev;
+        }
+        dxs
+    }
+}
+
+impl Trainable for LstmCell {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w_x, &mut self.gw_x);
+        f(&mut self.w_h, &mut self.gw_h);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn cell(input: usize, hidden: usize) -> LstmCell {
+        let mut rng = StdRng::seed_from_u64(21);
+        LstmCell::new(input, hidden, &mut rng)
+    }
+
+    fn seq(len: usize, width: usize) -> Vec<Vec<f64>> {
+        (0..len)
+            .map(|t| (0..width).map(|j| ((t * 7 + j * 3) as f64 * 0.13).sin() * 0.5).collect())
+            .collect()
+    }
+
+    /// Scalar loss used for gradient checking: sum of all hidden states over
+    /// all timesteps.
+    fn loss(cell: &LstmCell, xs: &[Vec<f64>]) -> f64 {
+        cell.forward_seq(xs)
+            .hiddens()
+            .iter()
+            .flatten()
+            .sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let c = cell(3, 5);
+        let t = c.forward_seq(&seq(7, 3));
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+        assert_eq!(t.hidden(0).len(), 5);
+        assert_eq!(t.last_hidden(), t.hidden(6));
+        assert_eq!(t.hiddens().len(), 7);
+    }
+
+    #[test]
+    fn step_matches_forward_seq() {
+        let c = cell(2, 4);
+        let xs = seq(4, 2);
+        let trace = c.forward_seq(&xs);
+        let mut st = LstmState::zeros(4);
+        for (t, x) in xs.iter().enumerate() {
+            st = c.step(x, &st);
+            assert_eq!(st.h, trace.hidden(t));
+        }
+    }
+
+    #[test]
+    fn hidden_states_are_bounded() {
+        let c = cell(2, 6);
+        let xs: Vec<Vec<f64>> = (0..50).map(|_| vec![100.0, -100.0]).collect();
+        let t = c.forward_seq(&xs);
+        for h in t.hiddens() {
+            assert!(h.iter().all(|&v| v.abs() <= 1.0), "h out of bounds: {h:?}");
+        }
+    }
+
+    #[test]
+    fn bptt_gradient_check_inputs() {
+        let mut c = cell(3, 4);
+        let xs = seq(5, 3);
+        c.zero_grads();
+        let trace = c.forward_seq(&xs);
+        let dh = vec![vec![1.0; 4]; 5];
+        let dxs = c.backward_seq(&trace, &dh);
+
+        let eps = 1e-6;
+        for t in 0..xs.len() {
+            for j in 0..3 {
+                let mut xp = xs.clone();
+                xp[t][j] += eps;
+                let mut xm = xs.clone();
+                xm[t][j] -= eps;
+                let numeric = (loss(&c, &xp) - loss(&c, &xm)) / (2.0 * eps);
+                assert!(
+                    (numeric - dxs[t][j]).abs() < 1e-5,
+                    "dx[{t}][{j}]: numeric {numeric} vs analytic {}",
+                    dxs[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bptt_gradient_check_weights() {
+        let mut c = cell(2, 3);
+        let xs = seq(4, 2);
+        c.zero_grads();
+        let trace = c.forward_seq(&xs);
+        let dh = vec![vec![1.0; 3]; 4];
+        c.backward_seq(&trace, &dh);
+
+        let eps = 1e-6;
+        // Spot-check entries in each weight matrix and the bias.
+        for &(r, col) in &[(0usize, 0usize), (5, 1), (11, 0)] {
+            let mut cp = c.clone();
+            cp.w_x[(r, col)] += eps;
+            let mut cm = c.clone();
+            cm.w_x[(r, col)] -= eps;
+            let numeric = (loss(&cp, &xs) - loss(&cm, &xs)) / (2.0 * eps);
+            let analytic = c.gw_x[(r, col)];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "gw_x[{r},{col}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for &(r, col) in &[(0usize, 0usize), (7, 2), (10, 1)] {
+            let mut cp = c.clone();
+            cp.w_h[(r, col)] += eps;
+            let mut cm = c.clone();
+            cm.w_h[(r, col)] -= eps;
+            let numeric = (loss(&cp, &xs) - loss(&cm, &xs)) / (2.0 * eps);
+            let analytic = c.gw_h[(r, col)];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "gw_h[{r},{col}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for &r in &[0usize, 4, 9, 11] {
+            let mut cp = c.clone();
+            cp.b[(r, 0)] += eps;
+            let mut cm = c.clone();
+            cm.b[(r, 0)] -= eps;
+            let numeric = (loss(&cp, &xs) - loss(&cm, &xs)) / (2.0 * eps);
+            let analytic = c.gb[(r, 0)];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "gb[{r}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let c = cell(2, 3);
+        for j in 0..3 {
+            assert_eq!(c.b[(3 + j, 0)], 1.0);
+        }
+        assert_eq!(c.b[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn trainable_visits_three_params() {
+        let mut c = cell(2, 3);
+        let mut n = 0;
+        c.visit_params(&mut |_, _| n += 1);
+        assert_eq!(n, 3);
+        assert_eq!(c.param_count(), 12 * 2 + 12 * 3 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradients for")]
+    fn backward_length_mismatch_panics() {
+        let mut c = cell(2, 3);
+        let trace = c.forward_seq(&seq(4, 2));
+        let _ = c.backward_seq(&trace, &[vec![0.0; 3]]);
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty_trace() {
+        let c = cell(2, 3);
+        let t = c.forward_seq(&[]);
+        assert!(t.is_empty());
+    }
+}

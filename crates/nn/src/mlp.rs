@@ -1,0 +1,170 @@
+use lgo_tensor::Matrix;
+use rand::RngExt;
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::optimizer::Trainable;
+
+/// A multi-layer perceptron: a stack of [`Dense`] layers with a shared hidden
+/// activation and a separate output activation.
+///
+/// Used for small auxiliary models and as a reference architecture in tests
+/// and benchmarks; the paper's main models are recurrent.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_nn::{Activation, Mlp};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut mlp = Mlp::new(&[4, 16, 2], Activation::Relu, Activation::Identity, &mut rng);
+/// let y = mlp.forward(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths (`sizes[0]` inputs through
+    /// `sizes[n-1]` outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new<R: RngExt + ?Sized>(
+        sizes: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "Mlp::new: need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let act = if i == sizes.len() - 2 {
+                output_activation
+            } else {
+                hidden_activation
+            };
+            layers.push(Dense::new(sizes[i], sizes[i + 1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Output dimensionality.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("nonempty").output_size()
+    }
+
+    /// Forward pass caching intermediates for [`Self::backward`].
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut v = x.to_vec();
+        for layer in &mut self.layers {
+            v = layer.forward(&v);
+        }
+        v
+    }
+
+    /// Pure inference without touching caches.
+    pub fn infer(&self, x: &[f64]) -> Vec<f64> {
+        let mut v = x.to_vec();
+        for layer in &self.layers {
+            v = layer.infer(&v);
+        }
+        v
+    }
+
+    /// Backpropagates the output gradient, accumulating parameter gradients
+    /// and returning the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
+        let mut d = dy.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            d = layer.backward(&d);
+        }
+        d
+    }
+}
+
+impl Trainable for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use crate::optimizer::Adam;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = [0.1, -0.7, 0.4];
+        assert_eq!(mlp.forward(&x), mlp.infer(&x));
+        assert_eq!(mlp.input_size(), 3);
+        assert_eq!(mlp.output_size(), 2);
+    }
+
+    #[test]
+    fn gradient_check_deep() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[2, 4, 3, 1], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = [0.3, -0.8];
+        mlp.zero_grads();
+        mlp.forward(&x);
+        let dx = mlp.backward(&[1.0]);
+        let eps = 1e-6;
+        for j in 0..2 {
+            let mut xp = x;
+            xp[j] += eps;
+            let mut xm = x;
+            xm[j] -= eps;
+            let numeric = (mlp.infer(&xp)[0] - mlp.infer(&xm)[0]) / (2.0 * eps);
+            assert!((numeric - dx[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let xs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+        let ys = [0.0, 1.0, 1.0, 0.0];
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            mlp.zero_grads();
+            for (x, &y) in xs.iter().zip(&ys) {
+                let p = mlp.forward(x)[0];
+                mlp.backward(&[Loss::Bce.gradient(p, y)]);
+            }
+            opt.step(&mut mlp);
+        }
+        for (x, &y) in xs.iter().zip(&ys) {
+            let p = mlp.infer(x)[0];
+            assert!((p - y).abs() < 0.25, "xor({x:?}) = {p}, want {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_size() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Mlp::new(&[3], Activation::Relu, Activation::Identity, &mut rng);
+    }
+}

@@ -1,0 +1,234 @@
+use lgo_tensor::Matrix;
+use rand::RngExt;
+
+use crate::activation::Activation;
+use crate::dense::{Dense, DenseCache};
+use crate::lstm::{LstmCell, LstmTrace};
+use crate::optimizer::Trainable;
+
+/// An LSTM followed by a shared per-timestep dense head — the generator
+/// architecture of MAD-GAN (Li et al., 2019): a latent sequence goes in, a
+/// synthetic multivariate window comes out.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_nn::{Activation, LstmSeq2Seq};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let g = LstmSeq2Seq::new(3, 16, 4, Activation::Sigmoid, &mut rng);
+/// let z = vec![vec![0.1, -0.2, 0.05]; 12];
+/// let x = g.generate(&z);
+/// assert_eq!(x.len(), 12);
+/// assert_eq!(x[0].len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LstmSeq2Seq {
+    cell: LstmCell,
+    head: Dense,
+}
+
+/// Forward trace of a [`LstmSeq2Seq`] pass, consumed by
+/// [`LstmSeq2Seq::backward`].
+#[derive(Debug, Clone)]
+pub struct Seq2SeqTrace {
+    lstm: LstmTrace,
+    heads: Vec<DenseCache>,
+    outputs: Vec<Vec<f64>>,
+}
+
+impl Seq2SeqTrace {
+    /// The generated output rows, one per timestep.
+    pub fn outputs(&self) -> &[Vec<f64>] {
+        &self.outputs
+    }
+}
+
+impl LstmSeq2Seq {
+    /// Creates a generator mapping `input`-dim rows to `output`-dim rows
+    /// through `hidden` LSTM units, with `out_activation` on the head
+    /// (MAD-GAN uses a sigmoid because its windows are min-max scaled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    pub fn new<R: RngExt + ?Sized>(
+        input: usize,
+        hidden: usize,
+        output: usize,
+        out_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            cell: LstmCell::new(input, hidden, rng),
+            head: Dense::new(hidden, output, out_activation, rng),
+        }
+    }
+
+    /// Input (latent) dimensionality per timestep.
+    pub fn input_size(&self) -> usize {
+        self.cell.input_size()
+    }
+
+    /// Output dimensionality per timestep.
+    pub fn output_size(&self) -> usize {
+        self.head.output_size()
+    }
+
+    /// Pure inference: maps an input sequence to an output sequence.
+    pub fn generate(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let trace = self.cell.forward_seq(xs);
+        trace
+            .hiddens()
+            .iter()
+            .map(|h| self.head.infer(h))
+            .collect()
+    }
+
+    /// Forward pass retaining everything needed for [`Self::backward`].
+    pub fn forward(&self, xs: &[Vec<f64>]) -> Seq2SeqTrace {
+        let lstm = self.cell.forward_seq(xs);
+        let mut heads = Vec::with_capacity(lstm.len());
+        let mut outputs = Vec::with_capacity(lstm.len());
+        for t in 0..lstm.len() {
+            let (y, cache) = self.head.forward_with_cache(lstm.hidden(t));
+            heads.push(cache);
+            outputs.push(y);
+        }
+        Seq2SeqTrace {
+            lstm,
+            heads,
+            outputs,
+        }
+    }
+
+    /// Backpropagates per-timestep output gradients, accumulating parameter
+    /// gradients and returning per-timestep input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dys.len()` differs from the trace length.
+    pub fn backward(&mut self, trace: &Seq2SeqTrace, dys: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            dys.len(),
+            trace.heads.len(),
+            "backward: {} gradients for {} steps",
+            dys.len(),
+            trace.heads.len()
+        );
+        let mut dhs = Vec::with_capacity(dys.len());
+        for (cache, dy) in trace.heads.iter().zip(dys) {
+            dhs.push(self.head.backward_from(cache, dy));
+        }
+        self.cell.backward_seq(&trace.lstm, &dhs)
+    }
+}
+
+impl Trainable for LstmSeq2Seq {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.cell.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn gen() -> LstmSeq2Seq {
+        let mut rng = StdRng::seed_from_u64(9);
+        LstmSeq2Seq::new(2, 6, 3, Activation::Sigmoid, &mut rng)
+    }
+
+    #[test]
+    fn generate_matches_forward_outputs() {
+        let g = gen();
+        let xs = vec![vec![0.3, -0.1]; 7];
+        let trace = g.forward(&xs);
+        assert_eq!(g.generate(&xs), trace.outputs());
+    }
+
+    #[test]
+    fn sigmoid_head_outputs_unit_interval() {
+        let g = gen();
+        let xs = vec![vec![5.0, -5.0]; 4];
+        for row in g.generate(&xs) {
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn gradient_check_through_time() {
+        let mut g = gen();
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|t| vec![0.1 * t as f64, -0.05 * t as f64])
+            .collect();
+        g.zero_grads();
+        let trace = g.forward(&xs);
+        let dys = vec![vec![1.0; 3]; 4];
+        let dxs = g.backward(&trace, &dys);
+
+        let loss = |g: &LstmSeq2Seq, xs: &[Vec<f64>]| -> f64 {
+            g.generate(xs).iter().flatten().sum()
+        };
+        let eps = 1e-6;
+        for t in 0..xs.len() {
+            for j in 0..2 {
+                let mut xp = xs.clone();
+                xp[t][j] += eps;
+                let mut xm = xs.clone();
+                xm[t][j] -= eps;
+                let numeric = (loss(&g, &xp) - loss(&g, &xm)) / (2.0 * eps);
+                assert!(
+                    (numeric - dxs[t][j]).abs() < 1e-5,
+                    "dx[{t}][{j}]: numeric {numeric} vs analytic {}",
+                    dxs[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn can_fit_constant_sequence() {
+        // The generator should learn to emit a constant window regardless of
+        // its latent input.
+        let mut g = gen();
+        let target = vec![vec![0.8, 0.2, 0.5]; 6];
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut opt = Adam::new(0.02);
+        for _ in 0..300 {
+            use rand::RngExt;
+            let z: Vec<Vec<f64>> = (0..6)
+                .map(|_| vec![rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)])
+                .collect();
+            g.zero_grads();
+            let trace = g.forward(&z);
+            let dys: Vec<Vec<f64>> = trace
+                .outputs()
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| o.iter().zip(t).map(|(&p, &y)| 2.0 * (p - y)).collect())
+                .collect();
+            g.backward(&trace, &dys);
+            opt.step(&mut g);
+        }
+        let z = vec![vec![0.0, 0.0]; 6];
+        let out = g.generate(&z);
+        for row in out {
+            for (o, t) in row.iter().zip(&[0.8, 0.2, 0.5]) {
+                assert!((o - t).abs() < 0.1, "generated {o} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradients for")]
+    fn backward_checks_lengths() {
+        let mut g = gen();
+        let trace = g.forward(&[vec![0.0, 0.0]]);
+        let _ = g.backward(&trace, &[]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # lgo-series
+//!
+//! Time-series plumbing shared by the simulator, forecaster, attack framework
+//! and anomaly detectors: a multivariate series container, sliding-window
+//! extraction, feature scalers and order statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use lgo_series::{MultiSeries, window};
+//!
+//! let mut s = MultiSeries::new(&["glucose", "insulin"]);
+//! for t in 0..20 {
+//!     s.push_row(&[100.0 + t as f64, 1.0]);
+//! }
+//! let w = window::sliding(s.rows(), 12, 1);
+//! assert_eq!(w.len(), 9);
+//! assert_eq!(w[0].len(), 12);
+//! ```
+
+mod multiseries;
+pub mod scaler;
+pub mod split;
+pub mod stats;
+pub mod window;
+
+pub use multiseries::MultiSeries;
+pub use scaler::{MinMaxScaler, StandardScaler};

@@ -1,0 +1,292 @@
+use std::fmt;
+
+/// A multivariate time series stored time-major: one row per timestamp, one
+/// column per named channel.
+///
+/// This is the interchange type between the patient simulator (which produces
+/// channels like `cgm`, `basal`, `bolus`, `carbs`, `heart_rate`), the
+/// forecaster (which consumes feature windows) and the anomaly detectors.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_series::MultiSeries;
+///
+/// let mut s = MultiSeries::new(&["cgm", "bolus"]);
+/// s.push_row(&[110.0, 0.0]);
+/// s.push_row(&[118.0, 2.5]);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.channel("bolus").unwrap(), vec![0.0, 2.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiSeries {
+    names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl MultiSeries {
+    /// Creates an empty series with the given channel names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or contains duplicates.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Self {
+        assert!(!names.is_empty(), "MultiSeries::new: no channel names");
+        let names: Vec<String> = names.iter().map(|s| s.as_ref().to_owned()).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "MultiSeries::new: duplicate channel name {n:?}"
+            );
+        }
+        Self { names, rows: Vec::new() }
+    }
+
+    /// Creates a series from channel names and pre-built time-major rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from the number of channels.
+    pub fn from_rows<S: AsRef<str>>(names: &[S], rows: Vec<Vec<f64>>) -> Self {
+        let mut s = Self::new(names);
+        for (t, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                s.names.len(),
+                "MultiSeries::from_rows: row {t} has {} values for {} channels",
+                row.len(),
+                s.names.len()
+            );
+        }
+        s.rows = rows;
+        s
+    }
+
+    /// The channel names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of channels (columns).
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of timestamps (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the series has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends one timestamp of channel values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the number of channels.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.names.len(),
+            "push_row: {} values for {} channels",
+            row.len(),
+            self.names.len()
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// Borrows the time-major rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Row at timestamp `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn row(&self, t: usize) -> &[f64] {
+        &self.rows[t]
+    }
+
+    /// Index of a channel by name.
+    pub fn channel_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Copies a whole channel by name.
+    pub fn channel(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.channel_index(name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Overwrites a whole channel by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `false` (and changes nothing) when the channel does not exist.
+    pub fn set_channel(&mut self, name: &str, values: &[f64]) -> bool {
+        let Some(idx) = self.channel_index(name) else {
+            return false;
+        };
+        assert_eq!(
+            values.len(),
+            self.rows.len(),
+            "set_channel: {} values for {} rows",
+            values.len(),
+            self.rows.len()
+        );
+        for (row, &v) in self.rows.iter_mut().zip(values) {
+            row[idx] = v;
+        }
+        true
+    }
+
+    /// Returns the sub-series of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> MultiSeries {
+        assert!(start <= end && end <= self.rows.len(), "slice {start}..{end} out of bounds");
+        MultiSeries {
+            names: self.names.clone(),
+            rows: self.rows[start..end].to_vec(),
+        }
+    }
+
+    /// Keeps only the named channels (in the given order), returning a new
+    /// series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested channel is missing.
+    pub fn select<S: AsRef<str>>(&self, channels: &[S]) -> MultiSeries {
+        let idx: Vec<usize> = channels
+            .iter()
+            .map(|c| {
+                self.channel_index(c.as_ref())
+                    .unwrap_or_else(|| panic!("select: unknown channel {:?}", c.as_ref()))
+            })
+            .collect();
+        MultiSeries {
+            names: channels.iter().map(|c| c.as_ref().to_owned()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| idx.iter().map(|&i| r[i]).collect())
+                .collect(),
+        }
+    }
+
+    /// True when any value in the series is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.rows.iter().flatten().any(|v| !v.is_finite())
+    }
+}
+
+impl fmt::Display for MultiSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MultiSeries({} rows x {} channels: {})",
+            self.rows.len(),
+            self.names.len(),
+            self.names.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiSeries {
+        let mut s = MultiSeries::new(&["a", "b"]);
+        for t in 0..5 {
+            s.push_row(&[t as f64, 10.0 * t as f64]);
+        }
+        s
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let s = sample();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.width(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate channel")]
+    fn duplicate_names_rejected() {
+        let _ = MultiSeries::new(&["x", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel names")]
+    fn empty_names_rejected() {
+        let _ = MultiSeries::new::<&str>(&[]);
+    }
+
+    #[test]
+    fn channel_round_trip() {
+        let mut s = sample();
+        assert_eq!(s.channel("b").unwrap(), vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        assert!(s.set_channel("b", &[1.0; 5]));
+        assert_eq!(s.channel("b").unwrap(), vec![1.0; 5]);
+        assert!(!s.set_channel("zzz", &[1.0; 5]));
+        assert_eq!(s.channel("zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row")]
+    fn push_row_validates_width() {
+        let mut s = sample();
+        s.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn slice_and_select() {
+        let s = sample();
+        let sl = s.slice(1, 3);
+        assert_eq!(sl.len(), 2);
+        assert_eq!(sl.row(0), &[1.0, 10.0]);
+        let sel = s.select(&["b"]);
+        assert_eq!(sel.width(), 1);
+        assert_eq!(sel.channel("b").unwrap().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown channel")]
+    fn select_unknown_channel_panics() {
+        let _ = sample().select(&["nope"]);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        let s = MultiSeries::from_rows(&["a"], vec![vec![1.0], vec![2.0]]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut s = sample();
+        assert!(!s.has_non_finite());
+        s.push_row(&[f64::NAN, 0.0]);
+        assert!(s.has_non_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(format!("{}", sample()).contains("5 rows"));
+    }
+}

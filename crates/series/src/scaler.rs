@@ -1,0 +1,414 @@
+//! Feature scalers with fit / transform / inverse-transform semantics
+//! mirroring scikit-learn's `MinMaxScaler` and `StandardScaler`.
+//!
+//! Scalers are fit on *training* data only and then applied to test and
+//! adversarial data — leaking test statistics into the scaler would
+//! contaminate the detector evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a scaler is used before being fit, or when the input
+/// width does not match the fitted width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalerError {
+    /// `transform`/`inverse_transform` called before `fit`.
+    NotFitted,
+    /// Input feature count differs from the fitted feature count.
+    WidthMismatch {
+        /// Features the scaler was fit with.
+        fitted: usize,
+        /// Features in the offending input.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ScalerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalerError::NotFitted => write!(f, "scaler used before fit"),
+            ScalerError::WidthMismatch { fitted, got } => {
+                write!(f, "scaler fitted on {fitted} features but input has {got}")
+            }
+        }
+    }
+}
+
+impl Error for ScalerError {}
+
+/// Min-max scaler mapping each feature into `[0, 1]` over the fit data.
+///
+/// Constant features map to `0.0` (matching scikit-learn, which divides by a
+/// range of 1 when `max == min`).
+///
+/// # Examples
+///
+/// ```
+/// use lgo_series::MinMaxScaler;
+///
+/// let data = vec![vec![0.0, 10.0], vec![10.0, 20.0]];
+/// let mut s = MinMaxScaler::new();
+/// s.fit(&data);
+/// let t = s.transform(&data).unwrap();
+/// assert_eq!(t[1], vec![1.0, 1.0]);
+/// let back = s.inverse_transform(&t).unwrap();
+/// assert_eq!(back, data);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `fit` has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.mins.is_empty()
+    }
+
+    /// Learns per-feature minima and ranges.
+    ///
+    /// Rows with non-finite entries are skipped entirely so a corrupted
+    /// sensor reading cannot poison the scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or all rows contain non-finite values.
+    pub fn fit(&mut self, data: &[Vec<f64>]) {
+        assert!(!data.is_empty(), "MinMaxScaler::fit: empty data");
+        let width = data[0].len();
+        let mut mins = vec![f64::INFINITY; width];
+        let mut maxs = vec![f64::NEG_INFINITY; width];
+        let mut used = 0usize;
+        for row in data {
+            assert_eq!(row.len(), width, "MinMaxScaler::fit: ragged rows");
+            if row.iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            used += 1;
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        assert!(used > 0, "MinMaxScaler::fit: no finite rows");
+        self.mins = mins;
+        self.ranges = maxs
+            .iter()
+            .zip(&self.mins)
+            .map(|(&mx, &mn)| if mx > mn { mx - mn } else { 1.0 })
+            .collect();
+    }
+
+    /// Maps data into the fitted `[0, 1]` ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError`] if unfitted or the width differs.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ScalerError> {
+        self.check(data)?;
+        Ok(data
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - self.mins[j]) / self.ranges[j])
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Transforms a single row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError`] if unfitted or the width differs.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>, ScalerError> {
+        self.check_row(row)?;
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.mins[j]) / self.ranges[j])
+            .collect())
+    }
+
+    /// Maps scaled data back to the original units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError`] if unfitted or the width differs.
+    pub fn inverse_transform(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ScalerError> {
+        self.check(data)?;
+        Ok(data
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| v * self.ranges[j] + self.mins[j])
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Inverse-transforms a single value of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaler is unfitted or `j` is out of range.
+    pub fn inverse_value(&self, j: usize, v: f64) -> f64 {
+        assert!(self.is_fitted(), "inverse_value on unfitted scaler");
+        v * self.ranges[j] + self.mins[j]
+    }
+
+    /// Transforms a single value of feature `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaler is unfitted or `j` is out of range.
+    pub fn value(&self, j: usize, v: f64) -> f64 {
+        assert!(self.is_fitted(), "value on unfitted scaler");
+        (v - self.mins[j]) / self.ranges[j]
+    }
+
+    fn check(&self, data: &[Vec<f64>]) -> Result<(), ScalerError> {
+        for row in data {
+            self.check_row(row)?;
+        }
+        Ok(())
+    }
+
+    fn check_row(&self, row: &[f64]) -> Result<(), ScalerError> {
+        if !self.is_fitted() {
+            return Err(ScalerError::NotFitted);
+        }
+        if row.len() != self.mins.len() {
+            return Err(ScalerError::WidthMismatch {
+                fitted: self.mins.len(),
+                got: row.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Standardizing scaler mapping each feature to zero mean and unit variance
+/// over the fit data. Constant features are left centered with divisor 1.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_series::StandardScaler;
+///
+/// let data = vec![vec![1.0], vec![3.0]];
+/// let mut s = StandardScaler::new();
+/// s.fit(&data);
+/// let t = s.transform(&data).unwrap();
+/// assert_eq!(t, vec![vec![-1.0], vec![1.0]]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `fit` has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.means.is_empty()
+    }
+
+    /// Learns per-feature means and standard deviations (population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows are ragged.
+    pub fn fit(&mut self, data: &[Vec<f64>]) {
+        assert!(!data.is_empty(), "StandardScaler::fit: empty data");
+        let width = data[0].len();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; width];
+        for row in data {
+            assert_eq!(row.len(), width, "StandardScaler::fit: ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; width];
+        for row in data {
+            for (j, &v) in row.iter().enumerate() {
+                vars[j] += (v - means[j]) * (v - means[j]);
+            }
+        }
+        self.stds = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.means = means;
+    }
+
+    /// Standardizes data with the fitted statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError`] if unfitted or the width differs.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ScalerError> {
+        if !self.is_fitted() {
+            return Err(ScalerError::NotFitted);
+        }
+        data.iter()
+            .map(|row| {
+                if row.len() != self.means.len() {
+                    return Err(ScalerError::WidthMismatch {
+                        fitted: self.means.len(),
+                        got: row.len(),
+                    });
+                }
+                Ok(row
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - self.means[j]) / self.stds[j])
+                    .collect())
+            })
+            .collect()
+    }
+
+    /// Maps standardized data back to the original units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError`] if unfitted or the width differs.
+    pub fn inverse_transform(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ScalerError> {
+        if !self.is_fitted() {
+            return Err(ScalerError::NotFitted);
+        }
+        data.iter()
+            .map(|row| {
+                if row.len() != self.means.len() {
+                    return Err(ScalerError::WidthMismatch {
+                        fitted: self.means.len(),
+                        got: row.len(),
+                    });
+                }
+                Ok(row
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| v * self.stds[j] + self.means[j])
+                    .collect())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_round_trip() {
+        let data = vec![vec![5.0, -1.0], vec![15.0, 3.0], vec![10.0, 1.0]];
+        let mut s = MinMaxScaler::new();
+        s.fit(&data);
+        let t = s.transform(&data).unwrap();
+        assert!(t.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+        let back = s.inverse_transform(&t).unwrap();
+        for (a, b) in back.iter().flatten().zip(data.iter().flatten()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minmax_constant_feature_maps_to_zero() {
+        let data = vec![vec![7.0], vec![7.0]];
+        let mut s = MinMaxScaler::new();
+        s.fit(&data);
+        assert_eq!(s.transform(&data).unwrap(), vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn minmax_skips_non_finite_rows() {
+        let data = vec![vec![0.0], vec![f64::NAN], vec![10.0]];
+        let mut s = MinMaxScaler::new();
+        s.fit(&data);
+        assert_eq!(s.value(0, 5.0), 0.5);
+    }
+
+    #[test]
+    fn minmax_errors() {
+        let s = MinMaxScaler::new();
+        assert_eq!(s.transform(&[vec![1.0]]).unwrap_err(), ScalerError::NotFitted);
+        let mut s = MinMaxScaler::new();
+        s.fit(&[vec![1.0, 2.0]]);
+        let e = s.transform(&[vec![1.0]]).unwrap_err();
+        assert_eq!(e, ScalerError::WidthMismatch { fitted: 2, got: 1 });
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn minmax_scalar_helpers() {
+        let mut s = MinMaxScaler::new();
+        s.fit(&[vec![0.0], vec![200.0]]);
+        assert_eq!(s.value(0, 100.0), 0.5);
+        assert_eq!(s.inverse_value(0, 0.25), 50.0);
+        assert_eq!(s.transform_row(&[50.0]).unwrap(), vec![0.25]);
+    }
+
+    #[test]
+    fn standard_zero_mean_unit_var() {
+        let data = vec![vec![2.0, 0.0], vec![4.0, 10.0], vec![6.0, 20.0]];
+        let mut s = StandardScaler::new();
+        s.fit(&data);
+        let t = s.transform(&data).unwrap();
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        let var0: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        assert!((var0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_round_trip() {
+        let data = vec![vec![1.0], vec![5.0], vec![9.0]];
+        let mut s = StandardScaler::new();
+        s.fit(&data);
+        let back = s.inverse_transform(&s.transform(&data).unwrap()).unwrap();
+        for (a, b) in back.iter().flatten().zip(data.iter().flatten()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_constant_feature_is_safe() {
+        let data = vec![vec![3.0], vec![3.0]];
+        let mut s = StandardScaler::new();
+        s.fit(&data);
+        assert_eq!(s.transform(&data).unwrap(), vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn standard_not_fitted_error() {
+        let s = StandardScaler::new();
+        assert_eq!(
+            s.inverse_transform(&[vec![0.0]]).unwrap_err(),
+            ScalerError::NotFitted
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Train/test splitting utilities.
+//!
+//! The paper's dataset splits chronologically (≈10 000 training samples then
+//! ≈2 500 test samples per patient); shuffled splits would leak future values
+//! into training through overlapping windows.
+
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// Splits a slice chronologically at `train_fraction`.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let data: Vec<u32> = (0..10).collect();
+/// let (train, test) = lgo_series::split::chronological(&data, 0.8);
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test, &[8, 9]);
+/// ```
+pub fn chronological<T>(data: &[T], train_fraction: f64) -> (&[T], &[T]) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "chronological: train_fraction = {train_fraction} outside [0, 1]"
+    );
+    let cut = ((data.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.min(data.len());
+    data.split_at(cut)
+}
+
+/// Splits a slice chronologically with an explicit training length.
+///
+/// The training part is `data[..train_len.min(len)]`.
+pub fn chronological_at<T>(data: &[T], train_len: usize) -> (&[T], &[T]) {
+    data.split_at(train_len.min(data.len()))
+}
+
+/// Samples `k` distinct indices from `0..n` without replacement using the
+/// provided RNG — the paper's "Random Samples" baseline draws 3 of the 12
+/// patients per run, repeated for 10 runs.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indices<R: RngExt + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "sample_indices: k = {k} > n = {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn chronological_preserves_order() {
+        let data: Vec<u32> = (0..100).collect();
+        let (tr, te) = chronological(&data, 0.75);
+        assert_eq!(tr.len(), 75);
+        assert_eq!(te[0], 75);
+        assert_eq!(*te.last().unwrap(), 99);
+    }
+
+    #[test]
+    fn chronological_extremes() {
+        let data = [1, 2, 3];
+        assert_eq!(chronological(&data, 0.0).0.len(), 0);
+        assert_eq!(chronological(&data, 1.0).1.len(), 0);
+    }
+
+    #[test]
+    fn chronological_at_clamps() {
+        let data = [1, 2, 3];
+        let (tr, te) = chronological_at(&data, 10);
+        assert_eq!(tr.len(), 3);
+        assert!(te.is_empty());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_sorted_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = sample_indices(12, 3, &mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 12));
+        }
+    }
+
+    #[test]
+    fn sample_indices_deterministic_for_seed() {
+        let a = sample_indices(12, 3, &mut StdRng::seed_from_u64(9));
+        let b = sample_indices(12, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 5 > n = 3")]
+    fn sample_indices_rejects_oversample() {
+        let _ = sample_indices(3, 5, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Order statistics and smoothing used for risk-profile summaries and the
+//! box-plot style results in the paper's Figures 7, 8 and 11.
+
+/// Linear-interpolation quantile (the same `linear` method NumPy defaults
+/// to). `q` must be in `[0, 1]`.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// let q = lgo_series::stats::quantile(&[1.0, 2.0, 3.0, 4.0], 0.5).unwrap();
+/// assert_eq!(q, 2.5);
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile: q = {q} outside [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median (`quantile(values, 0.5)`).
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Five-number summary backing a box plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean (box plots in the paper also report means).
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Computes the five-number summary plus mean.
+    ///
+    /// Returns `None` for an empty slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = lgo_series::stats::BoxStats::from_values(&[1.0, 2.0, 3.0]).unwrap();
+    /// assert_eq!(b.median, 2.0);
+    /// assert_eq!(b.mean, 2.0);
+    /// ```
+    pub fn from_values(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(BoxStats {
+            min: quantile(values, 0.0)?,
+            q1: quantile(values, 0.25)?,
+            median: quantile(values, 0.5)?,
+            q3: quantile(values, 0.75)?,
+            max: quantile(values, 1.0)?,
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Simple moving average with window `w` (output has the same length; the
+/// first `w-1` entries average the available prefix).
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+pub fn moving_average(values: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "moving_average: window must be positive");
+    let mut out = Vec::with_capacity(values.len());
+    let mut sum = 0.0;
+    for i in 0..values.len() {
+        sum += values[i];
+        if i >= w {
+            sum -= values[i - w];
+        }
+        let n = (i + 1).min(w) as f64;
+        out.push(sum / n);
+    }
+    out
+}
+
+/// Exponential moving average with smoothing factor `alpha` in `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+pub fn ema(values: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "ema: alpha = {alpha} outside (0, 1]"
+    );
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev: Option<f64> = None;
+    for &v in values {
+        let next = match prev {
+            None => v,
+            Some(p) => alpha * v + (1.0 - alpha) * p,
+        };
+        out.push(next);
+        prev = Some(next);
+    }
+    out
+}
+
+/// Pearson correlation coefficient of two equally long slices.
+///
+/// Returns `None` if either side has zero variance or fewer than 2 points.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    if a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&v, 0.0), Some(10.0));
+        assert_eq!(quantile(&v, 1.0), Some(40.0));
+        assert_eq!(quantile(&v, 0.5), Some(25.0));
+        assert_eq!(quantile(&v, 0.25), Some(17.5));
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn box_stats_basics() {
+        let b = BoxStats::from_values(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.mean, 3.0);
+        assert_eq!(b.iqr(), 2.0);
+        assert_eq!(BoxStats::from_values(&[]), None);
+    }
+
+    #[test]
+    fn moving_average_prefix_behaviour() {
+        let out = moving_average(&[2.0, 4.0, 6.0, 8.0], 2);
+        assert_eq!(out, vec![2.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn ema_first_value_passthrough() {
+        let out = ema(&[10.0, 0.0], 0.5);
+        assert_eq!(out, vec![10.0, 5.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+}

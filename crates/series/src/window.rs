@@ -1,0 +1,170 @@
+//! Sliding-window extraction for sequence models.
+//!
+//! MAD-GAN consumes fixed-length windows (`seq_len = 12`, `step = 1` in the
+//! paper's Appendix B); the forecaster consumes (history window, future
+//! target) pairs with a 30-minute prediction horizon.
+
+/// Extracts sliding windows of `seq_len` consecutive rows, advancing by
+/// `step` rows between windows.
+///
+/// Returns an empty vector when the series is shorter than `seq_len`.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0` or `step == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let rows: Vec<Vec<f64>> = (0..5).map(|t| vec![t as f64]).collect();
+/// let w = lgo_series::window::sliding(&rows, 3, 1);
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w[2][0][0], 2.0);
+/// ```
+pub fn sliding(rows: &[Vec<f64>], seq_len: usize, step: usize) -> Vec<Vec<Vec<f64>>> {
+    assert!(seq_len > 0, "sliding: seq_len must be positive");
+    assert!(step > 0, "sliding: step must be positive");
+    if rows.len() < seq_len {
+        return Vec::new();
+    }
+    (0..=rows.len() - seq_len)
+        .step_by(step)
+        .map(|start| rows[start..start + seq_len].to_vec())
+        .collect()
+}
+
+/// A supervised forecasting sample: a history window of feature rows and the
+/// scalar target `horizon` steps after the end of the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastSample {
+    /// `seq_len` rows of input features (time-major).
+    pub history: Vec<Vec<f64>>,
+    /// The value of the target channel `horizon` steps past the window end.
+    pub target: f64,
+    /// Index (into the source series) of the row the target was read from.
+    pub target_index: usize,
+}
+
+/// Builds supervised forecasting pairs from a multivariate series.
+///
+/// `rows` supplies the input features; `target` supplies the channel to be
+/// predicted (usually the CGM channel, possibly the same data as a column of
+/// `rows`). A sample is emitted for every position where both the history
+/// window and the target (at `horizon` steps after the window) exist.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0`, `horizon == 0`, or the lengths of `rows` and
+/// `target` differ.
+///
+/// # Examples
+///
+/// ```
+/// let rows: Vec<Vec<f64>> = (0..10).map(|t| vec![t as f64]).collect();
+/// let target: Vec<f64> = (0..10).map(|t| t as f64 * 10.0).collect();
+/// let samples = lgo_series::window::forecast_samples(&rows, &target, 3, 2);
+/// // first window covers rows 0..3, target at index 4
+/// assert_eq!(samples[0].target, 40.0);
+/// assert_eq!(samples[0].target_index, 4);
+/// ```
+pub fn forecast_samples(
+    rows: &[Vec<f64>],
+    target: &[f64],
+    seq_len: usize,
+    horizon: usize,
+) -> Vec<ForecastSample> {
+    assert!(seq_len > 0, "forecast_samples: seq_len must be positive");
+    assert!(horizon > 0, "forecast_samples: horizon must be positive");
+    assert_eq!(
+        rows.len(),
+        target.len(),
+        "forecast_samples: {} feature rows vs {} targets",
+        rows.len(),
+        target.len()
+    );
+    let mut out = Vec::new();
+    if rows.len() < seq_len + horizon {
+        return out;
+    }
+    for start in 0..=rows.len() - seq_len - horizon {
+        let t_idx = start + seq_len - 1 + horizon;
+        out.push(ForecastSample {
+            history: rows[start..start + seq_len].to_vec(),
+            target: target[t_idx],
+            target_index: t_idx,
+        });
+    }
+    out
+}
+
+/// Flattens a window of rows into a single feature vector (row-major), the
+/// representation consumed by the kNN and One-Class SVM detectors.
+pub fn flatten(window: &[Vec<f64>]) -> Vec<f64> {
+    window.iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|t| vec![t as f64, 2.0 * t as f64]).collect()
+    }
+
+    #[test]
+    fn sliding_counts_and_content() {
+        let w = sliding(&rows(10), 4, 1);
+        assert_eq!(w.len(), 7);
+        assert_eq!(w[6][3], vec![9.0, 18.0]);
+    }
+
+    #[test]
+    fn sliding_with_step() {
+        let w = sliding(&rows(10), 4, 3);
+        assert_eq!(w.len(), 3); // starts 0, 3, 6
+        assert_eq!(w[2][0], vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn sliding_short_series_is_empty() {
+        assert!(sliding(&rows(3), 4, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "seq_len")]
+    fn sliding_zero_seq_len_panics() {
+        let _ = sliding(&rows(3), 0, 1);
+    }
+
+    #[test]
+    fn forecast_pairs_align() {
+        let r = rows(20);
+        let tgt: Vec<f64> = (0..20).map(|t| 100.0 + t as f64).collect();
+        let s = forecast_samples(&r, &tgt, 6, 6);
+        // windows start at 0..=8 -> 9 samples
+        assert_eq!(s.len(), 9);
+        assert_eq!(s[0].history.len(), 6);
+        assert_eq!(s[0].target_index, 11);
+        assert_eq!(s[0].target, 111.0);
+        assert_eq!(s[8].target_index, 19);
+    }
+
+    #[test]
+    fn forecast_too_short_is_empty() {
+        let r = rows(5);
+        let tgt = vec![0.0; 5];
+        assert!(forecast_samples(&r, &tgt, 4, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows vs")]
+    fn forecast_length_mismatch_panics() {
+        let _ = forecast_samples(&rows(5), &[0.0; 4], 2, 1);
+    }
+
+    #[test]
+    fn flatten_row_major() {
+        let w = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(flatten(&w), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

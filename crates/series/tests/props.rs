@@ -1,0 +1,121 @@
+//! Property-based tests for the time-series toolkit: scaler round-trips,
+//! window-count algebra and quantile invariants.
+
+use lgo_series::{stats, window, MinMaxScaler, StandardScaler};
+use proptest::prelude::*;
+
+fn data_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-1000.0..1000.0f64, cols),
+        rows,
+    )
+}
+
+proptest! {
+    #[test]
+    fn minmax_round_trip(data in data_matrix(8, 3)) {
+        let mut s = MinMaxScaler::new();
+        s.fit(&data);
+        let back = s.inverse_transform(&s.transform(&data).unwrap()).unwrap();
+        for (a, b) in back.iter().flatten().zip(data.iter().flatten()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn minmax_maps_fit_data_into_unit_box(data in data_matrix(8, 3)) {
+        let mut s = MinMaxScaler::new();
+        s.fit(&data);
+        for row in s.transform(&data).unwrap() {
+            for v in row {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn standard_round_trip(data in data_matrix(6, 2)) {
+        let mut s = StandardScaler::new();
+        s.fit(&data);
+        let back = s.inverse_transform(&s.transform(&data).unwrap()).unwrap();
+        for (a, b) in back.iter().flatten().zip(data.iter().flatten()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn sliding_window_count_formula(
+        n in 1usize..60,
+        seq in 1usize..12,
+        step in 1usize..6,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|t| vec![t as f64]).collect();
+        let w = window::sliding(&rows, seq, step);
+        let expected = if n < seq { 0 } else { (n - seq) / step + 1 };
+        prop_assert_eq!(w.len(), expected);
+        // Every window has exactly seq rows and windows preserve order.
+        for win in &w {
+            prop_assert_eq!(win.len(), seq);
+            for pair in win.windows(2) {
+                prop_assert!(pair[1][0] == pair[0][0] + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_samples_target_alignment(
+        n in 2usize..60,
+        seq in 1usize..8,
+        horizon in 1usize..6,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|t| vec![t as f64]).collect();
+        let target: Vec<f64> = (0..n).map(|t| 1000.0 + t as f64).collect();
+        let samples = window::forecast_samples(&rows, &target, seq, horizon);
+        for s in &samples {
+            // The target index is horizon past the window end.
+            let window_end = s.history.last().unwrap()[0] as usize;
+            prop_assert_eq!(s.target_index, window_end + horizon);
+            prop_assert_eq!(s.target, 1000.0 + s.target_index as f64);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        mut values in proptest::collection::vec(-100.0..100.0f64, 1..40),
+        qa in 0.0..1.0f64,
+        qb in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let a = stats::quantile(&values, lo).unwrap();
+        let b = stats::quantile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        values.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert!(a >= values[0] - 1e-12);
+        prop_assert!(b <= values[values.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn box_stats_are_ordered(values in proptest::collection::vec(-100.0..100.0f64, 1..40)) {
+        let b = stats::BoxStats::from_values(&values).unwrap();
+        prop_assert!(b.min <= b.q1 + 1e-12);
+        prop_assert!(b.q1 <= b.median + 1e-12);
+        prop_assert!(b.median <= b.q3 + 1e-12);
+        prop_assert!(b.q3 <= b.max + 1e-12);
+        prop_assert!(b.mean >= b.min - 1e-12 && b.mean <= b.max + 1e-12);
+        prop_assert!(b.iqr() >= -1e-12);
+    }
+
+    #[test]
+    fn moving_average_stays_in_range(
+        values in proptest::collection::vec(-50.0..50.0f64, 1..30),
+        w in 1usize..8,
+    ) {
+        let out = lgo_series::stats::moving_average(&values, w);
+        prop_assert_eq!(out.len(), values.len());
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in out {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

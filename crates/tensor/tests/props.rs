@@ -1,0 +1,113 @@
+//! Property-based tests for the tensor algebra: classic algebraic laws that
+//! must hold for any operand shapes/values, plus metric axioms for the
+//! distance functions used by the anomaly detectors.
+
+use lgo_tensor::{vector, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix of the given shape with small finite entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0..100.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in matrix(3, 4), b in matrix(3, 4)) {
+        prop_assert!(approx_eq(&a.add(&b), &b.add(&a), 1e-12));
+    }
+
+    #[test]
+    fn add_associates(a in matrix(2, 3), b in matrix(2, 3), c in matrix(2, 3)) {
+        prop_assert!(approx_eq(&a.add(&b).add(&c), &a.add(&b.add(&c)), 1e-12));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in matrix(3, 3), b in matrix(3, 3)) {
+        prop_assert!(approx_eq(&a.sub(&b).add(&b), &a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(2, 3), b in matrix(3, 2), c in matrix(3, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(2, 3), b in matrix(3, 4)) {
+        // (AB)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-9));
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 3), k in -10.0..10.0f64, j in -10.0..10.0f64) {
+        let lhs = a.scale(k + j);
+        let rhs = a.scale(k).add(&a.scale(j));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-10));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in matrix(4, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(2, 5), b in matrix(2, 5)) {
+        prop_assert!(approx_eq(&a.hadamard(&b), &b.hadamard(&a), 1e-12));
+    }
+
+    #[test]
+    fn frobenius_norm_scales_absolutely(a in matrix(3, 3), k in -10.0..10.0f64) {
+        let lhs = a.scale(k).frobenius_norm();
+        let rhs = k.abs() * a.frobenius_norm();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+    }
+}
+
+proptest! {
+    #[test]
+    fn minkowski_metric_axioms(
+        a in proptest::collection::vec(-50.0..50.0f64, 6),
+        b in proptest::collection::vec(-50.0..50.0f64, 6),
+        c in proptest::collection::vec(-50.0..50.0f64, 6),
+        p in 1.0..4.0f64,
+    ) {
+        let dab = vector::minkowski(&a, &b, p);
+        let dba = vector::minkowski(&b, &a, p);
+        let dac = vector::minkowski(&a, &c, p);
+        let dcb = vector::minkowski(&c, &b, p);
+        // Non-negativity, identity, symmetry, triangle inequality.
+        prop_assert!(dab >= 0.0);
+        prop_assert!(vector::minkowski(&a, &a, p) <= 1e-12);
+        prop_assert!((dab - dba).abs() <= 1e-9 * (1.0 + dab));
+        prop_assert!(dab <= dac + dcb + 1e-9 * (1.0 + dab));
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        a in proptest::collection::vec(-50.0..50.0f64, 8),
+        b in proptest::collection::vec(-50.0..50.0f64, 8),
+    ) {
+        let lhs = vector::dot(&a, &b).abs();
+        let rhs = vector::norm2(&a) * vector::norm2(&b);
+        prop_assert!(lhs <= rhs + 1e-9 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn mean_within_bounds(a in proptest::collection::vec(-50.0..50.0f64, 1..32)) {
+        let m = vector::mean(&a);
+        prop_assert!(m >= vector::min(&a).unwrap() - 1e-12);
+        prop_assert!(m <= vector::max(&a).unwrap() + 1e-12);
+    }
+}

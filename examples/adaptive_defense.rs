@@ -1,0 +1,102 @@
+//! The paper's future-work extension in action: an adaptive risk profiler
+//! that re-assesses the cohort as new data arrives and reports when the
+//! vulnerability clusters drift enough to warrant retraining the
+//! detectors.
+//!
+//! To make drift visible, one patient's behaviour improves between epochs
+//! (simulating recovery — the example the paper's §V gives for why a
+//! static profiler goes stale).
+//!
+//! ```text
+//! cargo run --release --example adaptive_defense
+//! ```
+
+use lgo::cluster::Linkage;
+use lgo::core::adaptive::AdaptiveProfiler;
+use lgo::core::profile::ProfilerConfig;
+use lgo::forecast::{ForecastConfig, GlucoseForecaster};
+use lgo::glucosim::{profile, PatientId, Simulator, Subset};
+use lgo::series::MultiSeries;
+
+fn main() {
+    let ids = [
+        PatientId::new(Subset::A, 2),
+        PatientId::new(Subset::A, 5),
+        PatientId::new(Subset::B, 2),
+        PatientId::new(Subset::B, 4),
+    ];
+    let fc = ForecastConfig {
+        hidden: 8,
+        epochs: 2,
+        ..ForecastConfig::default()
+    };
+
+    // Epoch 0: everyone on their usual behaviour.
+    println!("training forecasters and profiling epoch 0 ...");
+    let mut models: Vec<(GlucoseForecaster, MultiSeries)> = ids
+        .iter()
+        .map(|&id| {
+            let sim = Simulator::new(profile(id));
+            let data = sim.run_days(3);
+            (GlucoseForecaster::train_personalized(&data, &fc), data)
+        })
+        .collect();
+
+    let mut profiler = AdaptiveProfiler::new(
+        ProfilerConfig {
+            stride: 24,
+            explorer_steps: 3,
+            ..ProfilerConfig::default()
+        },
+        Linkage::Average,
+    );
+    let cohort: Vec<_> = ids
+        .iter()
+        .zip(&models)
+        .map(|(&id, (f, s))| (id, f, s))
+        .collect();
+    let epoch0 = profiler.reassess(&cohort);
+    print_epoch(epoch0);
+
+    // Epoch 1: patient A_2 recovers — tighter habits, fewer missed boluses
+    // (we model recovery by giving them the disciplined A_5 phenotype while
+    // keeping their identity).
+    println!("\npatient A_2 adopts disciplined habits; profiling epoch 1 ...");
+    let mut recovered = profile(PatientId::new(Subset::A, 5));
+    recovered.id = PatientId::new(Subset::A, 2);
+    recovered.seed ^= 0xD1F7;
+    let sim = Simulator::new(recovered);
+    let data = sim.run_days(3);
+    models[0] = (GlucoseForecaster::train_personalized(&data, &fc), data);
+
+    let cohort: Vec<_> = ids
+        .iter()
+        .zip(&models)
+        .map(|(&id, (f, s))| (id, f, s))
+        .collect();
+    let epoch1 = profiler.reassess(&cohort);
+    print_epoch(epoch1);
+
+    println!("\nmembership changes: {:?}", profiler.membership_changes());
+    println!("stability: {:?}", profiler.stability());
+    println!("retraining due: {}", profiler.retraining_due());
+}
+
+fn print_epoch(record: &lgo::core::adaptive::EpochRecord) {
+    println!("epoch {}:", record.epoch);
+    for p in &record.profiles {
+        println!(
+            "  {}: attack success {:>5.1}%",
+            p.patient,
+            p.success_rate().unwrap_or(1.0) * 100.0
+        );
+    }
+    let names = |ids: &[PatientId]| {
+        ids.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+    };
+    println!(
+        "  less vulnerable: [{}]",
+        names(&record.clusters.less_vulnerable)
+    );
+}
+

@@ -1,0 +1,43 @@
+//! # lgo — Learning from the Good Ones
+//!
+//! A complete Rust reproduction of *"Learning from the Good Ones: Risk
+//! Profiling-Based Defenses Against Evasion Attacks on DNNs"* (DSN 2025).
+//!
+//! This façade crate re-exports every subsystem of the workspace so that
+//! downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — dense linear algebra substrate.
+//! - [`series`] — time-series windows, scalers and statistics.
+//! - [`nn`] — neural networks: dense/LSTM/bidirectional-LSTM layers, losses,
+//!   optimizers with full backpropagation-through-time.
+//! - [`glucosim`] — ODE-based synthetic Type-1-diabetes patient simulator
+//!   standing in for the gated OhioT1DM dataset.
+//! - [`forecast`] — the BiLSTM blood-glucose forecaster (target DNN).
+//! - [`attack`] — URET-style constrained evasion-attack framework.
+//! - [`detect`] — kNN, One-Class SVM and MAD-GAN anomaly detectors.
+//! - [`cluster`] — agglomerative hierarchical clustering and dendrograms.
+//! - [`eval`] — confusion matrices, precision/recall/F1, box-plot stats.
+//! - [`core`] — the paper's contribution: the five-step risk-profiling
+//!   framework and selective-training strategies.
+//!
+//! # Examples
+//!
+//! ```
+//! use lgo::core::severity::SeverityTable;
+//! use lgo::core::state::GlucoseState;
+//!
+//! let table = SeverityTable::paper_default();
+//! let s = table.coefficient(GlucoseState::Hypo, GlucoseState::Hyper);
+//! assert_eq!(s, 64.0);
+//! ```
+
+pub use lgo_attack as attack;
+pub use lgo_cluster as cluster;
+pub use lgo_core as core;
+pub use lgo_detect as detect;
+pub use lgo_eval as eval;
+pub use lgo_forecast as forecast;
+pub use lgo_glucosim as glucosim;
+pub use lgo_nn as nn;
+pub use lgo_series as series;
+pub use lgo_tensor as tensor;

@@ -1,0 +1,88 @@
+//! Cross-crate integration: the URET-style attack against a real trained
+//! forecaster on simulated patient data.
+
+use lgo::attack::cgm::{attack_window, CgmAttackConfig, CgmCase, CgmManipulationConstraint};
+use lgo::attack::{Constraint, GreedyExplorer};
+use lgo::core::profile::ForecastModel;
+use lgo::forecast::{feature_window, ForecastConfig, GlucoseForecaster, CGM_FEATURE};
+use lgo::glucosim::{profile, PatientId, Simulator, Subset};
+use lgo::series::MultiSeries;
+
+fn trained_forecaster() -> (GlucoseForecaster, MultiSeries) {
+    let sim = Simulator::new(profile(PatientId::new(Subset::A, 0)));
+    let train = sim.run_days(4);
+    let test = sim.run_days(5).slice(4 * 288, 5 * 288);
+    let fc = ForecastConfig {
+        hidden: 8,
+        epochs: 2,
+        ..ForecastConfig::default()
+    };
+    (GlucoseForecaster::train_personalized(&train, &fc), test)
+}
+
+#[test]
+fn attack_output_satisfies_constraint_and_only_touches_cgm() {
+    let (forecaster, test) = trained_forecaster();
+    let fasting_flags = test.channel("fasting").unwrap();
+    let cfg = CgmAttackConfig::default();
+    let explorer = GreedyExplorer::new(5);
+    let mut attacked = 0;
+    for end in (11..test.len()).step_by(48) {
+        let window = feature_window(&test, end).unwrap();
+        let fasting = fasting_flags[end] == 1.0;
+        let case = CgmCase {
+            index: end,
+            window: window.clone(),
+            fasting,
+        };
+        let outcome = attack_window(&ForecastModel(&forecaster), &case, &explorer, &cfg);
+        let constraint = CgmManipulationConstraint::from_config(&cfg, fasting);
+        assert!(
+            constraint.is_satisfied(&window, &outcome.result.best_input),
+            "constraint violated at window {end}"
+        );
+        // Non-CGM features untouched.
+        for (orig, adv) in window.iter().zip(&outcome.result.best_input) {
+            assert_eq!(orig[1..], adv[1..]);
+        }
+        attacked += 1;
+    }
+    assert!(attacked > 3);
+}
+
+#[test]
+fn forecaster_tracks_cgm_direction() {
+    // The attack's premise: raising CGM history raises the prediction.
+    let (forecaster, test) = trained_forecaster();
+    let w = feature_window(&test, 120).unwrap();
+    let base = forecaster.predict(&w);
+    let mut high = w.clone();
+    for row in &mut high {
+        row[CGM_FEATURE] = (row[CGM_FEATURE] + 180.0).min(499.0);
+    }
+    assert!(
+        forecaster.predict(&high) > base,
+        "forecaster ignores CGM level"
+    );
+}
+
+#[test]
+fn maximizing_attack_is_at_least_as_harmful() {
+    let (forecaster, test) = trained_forecaster();
+    let fasting_flags = test.channel("fasting").unwrap();
+    let cfg = CgmAttackConfig::default();
+    let model = ForecastModel(&forecaster);
+    for end in (11..test.len()).step_by(96) {
+        let case = CgmCase {
+            index: end,
+            window: feature_window(&test, end).unwrap(),
+            fasting: fasting_flags[end] == 1.0,
+        };
+        let minimal = attack_window(&model, &case, &GreedyExplorer::new(4), &cfg);
+        let maximal = attack_window(&model, &case, &GreedyExplorer::maximizing(4), &cfg);
+        assert!(
+            maximal.result.best_output >= minimal.result.best_output - 1e-9,
+            "maximizing found a weaker attack at {end}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: the five-step pipeline end to end.
+
+use lgo::core::pipeline::{run_pipeline, PipelineConfig};
+use lgo::core::selective::{DetectorKind, TrainingStrategy};
+
+fn fast_report() -> lgo::core::pipeline::PipelineReport {
+    run_pipeline(&PipelineConfig::fast())
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = fast_report();
+    let b = fast_report();
+    assert_eq!(a.clusters.less_vulnerable, b.clusters.less_vulnerable);
+    assert_eq!(a.clusters.more_vulnerable, b.clusters.more_vulnerable);
+    for (ea, eb) in a.evaluations.iter().zip(&b.evaluations) {
+        assert_eq!(ea.strategy, eb.strategy);
+        assert_eq!(ea.mean_recall(), eb.mean_recall());
+        assert_eq!(ea.mean_precision(), eb.mean_precision());
+    }
+    for (pa, pb) in a.profiles.iter().zip(&b.profiles) {
+        assert_eq!(pa.risk_profile.values, pb.risk_profile.values);
+    }
+}
+
+#[test]
+fn clusters_partition_the_cohort() {
+    let report = fast_report();
+    let n = report.profiles.len();
+    let mut all: Vec<_> = report
+        .clusters
+        .less_vulnerable
+        .iter()
+        .chain(&report.clusters.more_vulnerable)
+        .collect();
+    assert_eq!(all.len(), n);
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), n, "a patient appears in both clusters");
+    assert!(!report.clusters.less_vulnerable.is_empty());
+    assert!(!report.clusters.more_vulnerable.is_empty());
+}
+
+#[test]
+fn metrics_are_valid_rates() {
+    let report = fast_report();
+    for e in &report.evaluations {
+        for (id, m) in &e.per_patient {
+            for (name, v) in [
+                ("recall", m.recall),
+                ("precision", m.precision),
+                ("f1", m.f1),
+                ("fnr", m.fnr),
+                ("fpr", m.fpr),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{id} {name} = {v}");
+            }
+            // recall + fnr must equal 1 whenever the patient had positives.
+            if m.recall + m.fnr > 0.0 {
+                assert!((m.recall + m.fnr - 1.0).abs() < 1e-9, "{id}");
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_windows_respect_the_threat_model() {
+    let report = fast_report();
+    for (data, profile) in report.cohort.iter().zip(&report.profiles) {
+        assert_eq!(data.patient, profile.patient);
+        for w in data.test_malicious.iter().chain(&data.train_malicious) {
+            assert_eq!(w.len(), 12, "window length");
+            for row in w {
+                assert_eq!(row.len(), 4, "feature width");
+                // CGM stays in the sensor's reporting range.
+                assert!(
+                    (40.0..=499.0).contains(&row[0]),
+                    "cgm out of range: {}",
+                    row[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn risk_profiles_align_with_campaigns() {
+    let report = fast_report();
+    for p in &report.profiles {
+        assert_eq!(p.risk_profile.values.len(), p.campaign.outcomes.len());
+        assert_eq!(p.success_series().len(), p.campaign.outcomes.len());
+        assert!(p.risk_profile.values.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+}
+
+#[test]
+fn evaluation_lookup_matches_config() {
+    let config = PipelineConfig::fast();
+    let report = run_pipeline(&config);
+    assert_eq!(
+        report.evaluations.len(),
+        config.strategies.len() * config.detector_kinds.len()
+    );
+    assert!(report
+        .evaluation(TrainingStrategy::LessVulnerable, DetectorKind::Knn)
+        .is_some());
+}

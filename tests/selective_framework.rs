@@ -1,0 +1,141 @@
+//! Cross-crate integration: the selective-training machinery on designed
+//! synthetic data where the right answers are known.
+
+use lgo::core::selective::{
+    evaluate_strategy, training_rosters, DetectorConfigs, DetectorKind, PatientData,
+    TrainingStrategy,
+};
+use lgo::detect::Window;
+use lgo::glucosim::{PatientId, Subset};
+
+/// Cohort where two "clean" patients have tight benign values and two
+/// "messy" patients have benign values overlapping the malicious band —
+/// the paper's Figure-6 ambiguity, distilled.
+fn designed_cohort() -> (Vec<PatientData>, Vec<PatientId>, Vec<PatientId>) {
+    let window = |cgm: f64| -> Window { vec![vec![cgm, 0.0, 0.0, 70.0]; 12] };
+    let mut cohort = Vec::new();
+    let ids = [
+        PatientId::new(Subset::A, 0), // clean
+        PatientId::new(Subset::A, 1), // clean
+        PatientId::new(Subset::B, 0), // messy
+        PatientId::new(Subset::B, 1), // messy
+    ];
+    for (i, &patient) in ids.iter().enumerate() {
+        let messy = i >= 2;
+        let mut train_benign: Vec<Window> =
+            (0..60).map(|k| window(95.0 + (k % 20) as f64)).collect();
+        if messy {
+            // Dense benign abnormal excursions covering the malicious band.
+            train_benign.extend((0..60).map(|k| window(180.0 + (k % 40) as f64)));
+        }
+        // Sparse malicious values just above the postprandial threshold —
+        // inside the messy patients' benign band but at lower local density,
+        // so majority votes flip with the training mix. Spacing is
+        // irrational so no two training points tie in distance (tie-break
+        // order is backend-specific).
+        let malicious: Vec<Window> = (0..15)
+            .map(|k| window(181.3 + i as f64 * 0.531 + k as f64 * 2.618))
+            .collect();
+        cohort.push(PatientData {
+            patient,
+            train_benign: train_benign.clone(),
+            train_malicious: malicious.clone(),
+            test_benign: train_benign,
+            test_malicious: malicious,
+        });
+    }
+    (cohort, ids[..2].to_vec(), ids[2..].to_vec())
+}
+
+#[test]
+fn selective_training_beats_indiscriminate_on_designed_data() {
+    let (cohort, less, more) = designed_cohort();
+    let configs = DetectorConfigs::default();
+    let lv = evaluate_strategy(
+        TrainingStrategy::LessVulnerable,
+        DetectorKind::Knn,
+        &cohort,
+        &less,
+        &more,
+        &configs,
+    );
+    let all = evaluate_strategy(
+        TrainingStrategy::AllPatients,
+        DetectorKind::Knn,
+        &cohort,
+        &less,
+        &more,
+        &configs,
+    );
+    // Trained only on clean patients, the detector flags the malicious band;
+    // trained on everyone, the messy patients' benign excursions teach it to
+    // pass that band.
+    assert!(
+        lv.mean_recall() > all.mean_recall(),
+        "LV recall {} <= All recall {}",
+        lv.mean_recall(),
+        all.mean_recall()
+    );
+    // The classic trade-off: LV pays with false positives on the messy
+    // patients' benign highs (its precision cannot be perfect here).
+    assert!(lv.mean_precision() < 1.0);
+    // And the training set is half the size.
+    assert!(lv.mean_training_windows < all.mean_training_windows);
+}
+
+#[test]
+fn ocsvm_shows_same_ordering_on_designed_data() {
+    let (cohort, less, more) = designed_cohort();
+    let configs = DetectorConfigs::default();
+    let lv = evaluate_strategy(
+        TrainingStrategy::LessVulnerable,
+        DetectorKind::OcSvm,
+        &cohort,
+        &less,
+        &more,
+        &configs,
+    );
+    let all = evaluate_strategy(
+        TrainingStrategy::AllPatients,
+        DetectorKind::OcSvm,
+        &cohort,
+        &less,
+        &more,
+        &configs,
+    );
+    assert!(
+        lv.mean_recall() >= all.mean_recall(),
+        "LV {} < All {}",
+        lv.mean_recall(),
+        all.mean_recall()
+    );
+}
+
+#[test]
+fn rosters_honour_membership() {
+    let (cohort, less, more) = designed_cohort();
+    let ids: Vec<PatientId> = cohort.iter().map(|d| d.patient).collect();
+    assert_eq!(
+        training_rosters(TrainingStrategy::LessVulnerable, &ids, &less, &more),
+        vec![less.clone()]
+    );
+    assert_eq!(
+        training_rosters(TrainingStrategy::MoreVulnerable, &ids, &less, &more),
+        vec![more.clone()]
+    );
+    let random = training_rosters(
+        TrainingStrategy::RandomSamples {
+            k: 2,
+            runs: 4,
+            seed: 3,
+        },
+        &ids,
+        &less,
+        &more,
+    );
+    assert_eq!(random.len(), 4);
+    for roster in random {
+        assert_eq!(roster.len(), 2);
+        assert!(roster.iter().all(|p| ids.contains(p)));
+    }
+}
