@@ -282,7 +282,7 @@ impl<I: Clone> Explorer<I> for GreedyExplorer {
                         result.steps = step;
                         return result;
                     }
-                    if best.as_ref().map_or(true, |&(_, s)| score > goal.score(s)) {
+                    if best.as_ref().is_none_or(|&(_, s)| score > goal.score(s)) {
                         best = Some((cand, out));
                     }
                 }

@@ -1,0 +1,196 @@
+//! Fault-robustness sweep — detector recall/precision/F1 under train-time
+//! CGM sensor faults.
+//!
+//! The cohort is simulated and attacked once on clean data (steps 0–3).
+//! Then, for each fault model × fault rate, the [`FaultInjector`] degrades
+//! every patient's *training* series, the detectors are retrained on the
+//! degraded benign windows (walking the MAD-GAN → OC-SVM → kNN fallback
+//! chain when a detector cannot be trained at all), and the retrained
+//! detectors are scored against the untouched clean test windows. The
+//! output is a JSON document mapping fault rate to per-detector metrics,
+//! so degradation curves can be plotted directly.
+
+use lgo_core::pipeline::benign_windows;
+use lgo_core::profile::{profile_patient, ProfilerConfig};
+use lgo_core::selective::{
+    evaluate_on_patient, train_detector_with_fallback, DetectorKind, PatientData,
+};
+use lgo_detect::Window;
+use lgo_forecast::GlucoseForecaster;
+use lgo_glucosim::{generate_cohort_sized, FaultInjector, FaultKind, PatientDataset};
+
+use lgo_bench::{detector_configs, forecast_config, pipeline_config, profiler_config, Scale};
+
+/// Mean per-patient detection metrics for one trained detector.
+struct MeanMetrics {
+    recall: f64,
+    precision: f64,
+    f1: f64,
+}
+
+fn mean_metrics(
+    detector: &dyn lgo_detect::AnomalyDetector,
+    cohort: &[PatientData],
+) -> MeanMetrics {
+    let mut m = MeanMetrics {
+        recall: 0.0,
+        precision: 0.0,
+        f1: 0.0,
+    };
+    for d in cohort {
+        let cm = evaluate_on_patient(detector, d);
+        m.recall += cm.recall();
+        m.precision += cm.precision();
+        m.f1 += cm.f1();
+    }
+    let n = cohort.len() as f64;
+    m.recall /= n;
+    m.precision /= n;
+    m.f1 /= n;
+    m
+}
+
+/// One `"key": {...}` JSON fragment for a detector cell.
+fn detector_json(key: &str, m: &MeanMetrics, trained_as: DetectorKind, windows: usize) -> String {
+    format!(
+        "\"{key}\": {{\"recall\": {:.4}, \"precision\": {:.4}, \"f1\": {:.4}, \
+         \"trained_as\": \"{}\", \"train_windows\": {windows}}}",
+        m.recall,
+        m.precision,
+        m.f1,
+        trained_as.name()
+    )
+}
+
+fn json_key(kind: DetectorKind) -> &'static str {
+    match kind {
+        DetectorKind::Knn => "knn",
+        DetectorKind::OcSvm => "ocsvm",
+        DetectorKind::MadGan => "madgan",
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Progress goes to stderr so stdout is a clean JSON document.
+    eprintln!(
+        "Fault robustness — detector metrics vs train-time sensor-fault rate (scale: {})",
+        scale.name()
+    );
+    let config = pipeline_config(scale);
+    let (train_days, test_days) = scale.days();
+    let datasets: Vec<PatientDataset> = generate_cohort_sized(train_days, test_days)
+        .into_iter()
+        .filter(|d| {
+            config
+                .patients
+                .as_ref()
+                .is_none_or(|ids| ids.contains(&d.profile.id))
+        })
+        .collect();
+    let seq_len = config.forecast.seq_len;
+    let fc = forecast_config(scale);
+    let minimal = ProfilerConfig {
+        maximize: false,
+        ..profiler_config(scale)
+    };
+    let configs = detector_configs(scale);
+
+    // Steps 0–3 once, on clean data: personalized forecasters, minimal
+    // (stealthy) attack campaigns, benign/malicious window extraction.
+    eprintln!("profiling {} patients on clean data ...", datasets.len());
+    let cohort: Vec<PatientData> = datasets
+        .iter()
+        .map(|d| {
+            let forecaster = GlucoseForecaster::train_personalized(&d.train, &fc);
+            let test_minimal = profile_patient(&forecaster, d.profile.id, &d.test, &minimal);
+            let train_minimal = profile_patient(
+                &forecaster,
+                d.profile.id,
+                &d.train,
+                &ProfilerConfig {
+                    stride: config.train_attack_stride,
+                    ..minimal.clone()
+                },
+            );
+            PatientData {
+                patient: d.profile.id,
+                train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
+                train_malicious: train_minimal.manipulated_windows(),
+                test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
+                test_malicious: test_minimal.manipulated_windows(),
+            }
+        })
+        .collect();
+    let malicious: Vec<Window> = cohort
+        .iter()
+        .flat_map(|d| d.train_malicious.iter().cloned())
+        .collect();
+
+    // The sweep: each fault model is parameterized by a single "rate" knob.
+    type FaultTemplate = fn(f64) -> FaultKind;
+    let fault_models: Vec<(&str, FaultTemplate)> = vec![
+        ("dropout", |rate| FaultKind::Dropout { rate }),
+        ("stuck_at", |rate| FaultKind::StuckAt { rate, len: 6 }),
+        ("spike_noise", |rate| FaultKind::SpikeNoise {
+            rate,
+            magnitude: 80.0,
+        }),
+        ("calibration_drift", |rate| FaultKind::CalibrationDrift {
+            per_sample: rate,
+            max_abs: 60.0,
+        }),
+    ];
+    let rates = [0.1, 0.25, 0.5];
+    let kinds = DetectorKind::all();
+
+    // Trains all detectors on the given benign training pool and scores
+    // them against the clean test windows; returns the JSON cell fragments.
+    let evaluate_pool = |benign: &[Window]| -> Vec<String> {
+        kinds
+            .iter()
+            .map(|&kind| {
+                match train_detector_with_fallback(kind, benign, &malicious, &configs) {
+                    Ok((det, trained_as)) => {
+                        let m = mean_metrics(det.as_ref(), &cohort);
+                        detector_json(json_key(kind), &m, trained_as, benign.len())
+                    }
+                    Err(e) => format!("\"{}\": {{\"error\": \"{e}\"}}", json_key(kind)),
+                }
+            })
+            .collect()
+    };
+
+    eprintln!("baseline (clean training data) ...");
+    let clean_benign: Vec<Window> = cohort
+        .iter()
+        .flat_map(|d| d.train_benign.iter().cloned())
+        .collect();
+    let baseline = evaluate_pool(&clean_benign);
+
+    let mut sweep_rows = Vec::new();
+    for (fi, (name, mk_fault)) in fault_models.iter().enumerate() {
+        for &rate in &rates {
+            eprintln!("fault {name} at rate {rate} ...");
+            let injector =
+                FaultInjector::new(0xFA17 + fi as u64).with_fault(mk_fault(rate));
+            let benign: Vec<Window> = datasets
+                .iter()
+                .map(|d| injector.apply_dataset(d))
+                .flat_map(|d| benign_windows(&d.train, seq_len, config.detector_stride))
+                .collect();
+            let cells = evaluate_pool(&benign);
+            sweep_rows.push(format!(
+                "    {{\"fault\": \"{name}\", \"rate\": {rate}, \"detectors\": {{{}}}}}",
+                cells.join(", ")
+            ));
+        }
+    }
+
+    println!(
+        "{{\n  \"scale\": \"{}\",\n  \"baseline\": {{{}}},\n  \"sweep\": [\n{}\n  ]\n}}",
+        scale.name(),
+        baseline.join(", "),
+        sweep_rows.join(",\n")
+    );
+}

@@ -1,4 +1,52 @@
+use std::error::Error;
 use std::fmt;
+
+/// Error describing an invalid dendrogram construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Fewer than two leaves — nothing to cluster. Profiling a cohort that
+    /// degraded to a single usable patient lands here.
+    TooFewLeaves {
+        /// The offending leaf count.
+        got: usize,
+    },
+    /// The merge list length is not `n_leaves - 1`.
+    WrongMergeCount {
+        /// Merges supplied.
+        merges: usize,
+        /// Leaves supplied.
+        leaves: usize,
+    },
+    /// A merge references a node id that does not exist yet.
+    FutureNode {
+        /// Index of the offending merge.
+        merge: usize,
+    },
+    /// A merge lists the same node as both children.
+    SelfMerge {
+        /// Index of the offending merge.
+        merge: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewLeaves { got } => {
+                write!(f, "need at least two leaves to cluster, got {got}")
+            }
+            ClusterError::WrongMergeCount { merges, leaves } => {
+                write!(f, "{merges} merges for {leaves} leaves")
+            }
+            ClusterError::FutureNode { merge } => {
+                write!(f, "merge {merge} references a future node")
+            }
+            ClusterError::SelfMerge { merge } => write!(f, "self-merge at {merge}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
 
 /// One agglomerative merge: nodes `left` and `right` join at `height` into a
 /// cluster of `size` leaves.
@@ -38,28 +86,59 @@ pub struct Dendrogram {
 impl Dendrogram {
     /// Assembles a dendrogram from its merge list.
     ///
+    /// Unlike [`try_new`](Self::try_new), a degenerate single-leaf
+    /// dendrogram is allowed (it carries no merges).
+    ///
     /// # Panics
     ///
     /// Panics if the merge count is not `n_leaves - 1` (for `n_leaves > 0`)
     /// or any merge references an out-of-range node.
     pub fn new(n_leaves: usize, merges: Vec<Merge>) -> Self {
         assert!(n_leaves > 0, "Dendrogram: need at least one leaf");
-        assert_eq!(
-            merges.len(),
-            n_leaves - 1,
-            "Dendrogram: {} merges for {} leaves",
-            merges.len(),
-            n_leaves
-        );
+        if n_leaves == 1 {
+            assert!(
+                merges.is_empty(),
+                "Dendrogram: {} merges for 1 leaves",
+                merges.len()
+            );
+            return Self { n_leaves, merges };
+        }
+        match Self::try_new(n_leaves, merges) {
+            Ok(d) => d,
+            Err(e) => panic!("Dendrogram: {e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new), stricter about degenerate input: a
+    /// meaningful clustering needs at least two leaves, so `n_leaves < 2`
+    /// is an error here rather than a panic or a silent trivial tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::TooFewLeaves`] for fewer than two leaves,
+    /// [`ClusterError::WrongMergeCount`] when the merge list length is not
+    /// `n_leaves - 1`, and [`ClusterError::FutureNode`] /
+    /// [`ClusterError::SelfMerge`] for structurally invalid merges.
+    pub fn try_new(n_leaves: usize, merges: Vec<Merge>) -> Result<Self, ClusterError> {
+        if n_leaves < 2 {
+            return Err(ClusterError::TooFewLeaves { got: n_leaves });
+        }
+        if merges.len() != n_leaves - 1 {
+            return Err(ClusterError::WrongMergeCount {
+                merges: merges.len(),
+                leaves: n_leaves,
+            });
+        }
         for (i, m) in merges.iter().enumerate() {
             let max_node = n_leaves + i;
-            assert!(
-                m.left < max_node && m.right < max_node,
-                "Dendrogram: merge {i} references a future node"
-            );
-            assert!(m.left != m.right, "Dendrogram: self-merge at {i}");
+            if m.left >= max_node || m.right >= max_node {
+                return Err(ClusterError::FutureNode { merge: i });
+            }
+            if m.left == m.right {
+                return Err(ClusterError::SelfMerge { merge: i });
+            }
         }
-        Self { n_leaves, merges }
+        Ok(Self { n_leaves, merges })
     }
 
     /// Number of leaves (original observations).
@@ -408,6 +487,41 @@ mod tests {
     #[should_panic(expected = "merges for")]
     fn wrong_merge_count_rejected() {
         let _ = Dendrogram::new(3, vec![]);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_and_invalid_input() {
+        assert_eq!(
+            Dendrogram::try_new(0, vec![]),
+            Err(ClusterError::TooFewLeaves { got: 0 })
+        );
+        assert_eq!(
+            Dendrogram::try_new(1, vec![]),
+            Err(ClusterError::TooFewLeaves { got: 1 })
+        );
+        assert_eq!(
+            Dendrogram::try_new(3, vec![]),
+            Err(ClusterError::WrongMergeCount { merges: 0, leaves: 3 })
+        );
+        let future = Merge { left: 0, right: 5, height: 1.0, size: 2 };
+        assert_eq!(
+            Dendrogram::try_new(2, vec![future]),
+            Err(ClusterError::FutureNode { merge: 0 })
+        );
+        let selfm = Merge { left: 1, right: 1, height: 1.0, size: 2 };
+        assert_eq!(
+            Dendrogram::try_new(2, vec![selfm]),
+            Err(ClusterError::SelfMerge { merge: 0 })
+        );
+        let ok = Merge { left: 0, right: 1, height: 1.0, size: 2 };
+        let d = Dendrogram::try_new(2, vec![ok]).unwrap();
+        assert_eq!(d.cut_k(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn new_still_permits_single_leaf() {
+        let d = Dendrogram::new(1, vec![]);
+        assert_eq!(d.cut_k(1), vec![0]);
     }
 
     #[test]

@@ -30,6 +30,6 @@ mod dendrogram;
 mod dtw;
 mod linkage;
 
-pub use dendrogram::{Dendrogram, Merge};
+pub use dendrogram::{ClusterError, Dendrogram, Merge};
 pub use dtw::{dtw, dtw_distance_matrix};
 pub use linkage::{agglomerate, agglomerate_points, distance_matrix, Linkage};

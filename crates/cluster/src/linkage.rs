@@ -117,7 +117,7 @@ pub fn agglomerate(distances: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
                     continue;
                 }
                 let d = work[i][j];
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
             }

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod error;
 pub mod pipeline;
 pub mod profile;
 pub mod quadrant;

@@ -9,12 +9,13 @@ use lgo_glucosim::{generate_cohort_sized, PatientDataset, PatientId};
 use lgo_series::window::sliding;
 use lgo_series::MultiSeries;
 
-use crate::profile::{profile_patient, PatientAttackProfile, ProfilerConfig};
+use crate::error::LgoError;
+use crate::profile::{try_profile_patient, PatientAttackProfile, ProfilerConfig};
 use crate::selective::{
-    evaluate_strategy, DetectorConfigs, DetectorKind, PatientData, StrategyEvaluation,
+    try_evaluate_strategy, DetectorConfigs, DetectorKind, PatientData, StrategyEvaluation,
     TrainingStrategy,
 };
-use crate::vuln::{cluster_cohort, CohortClusters};
+use crate::vuln::{try_cluster_cohort, CohortClusters};
 
 /// Configuration of a full pipeline run.
 #[derive(Debug, Clone)]
@@ -108,6 +109,18 @@ impl PipelineConfig {
     }
 }
 
+/// A patient the pipeline had to drop, with where and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedPatient {
+    /// Who was dropped.
+    pub patient: PatientId,
+    /// The pipeline stage that failed (`"forecast"`, `"profile"`,
+    /// `"windows"`).
+    pub stage: &'static str,
+    /// Human-readable failure reason (the underlying error's display).
+    pub reason: String,
+}
+
 /// Everything a pipeline run produces.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
@@ -121,6 +134,10 @@ pub struct PipelineReport {
     pub evaluations: Vec<StrategyEvaluation>,
     /// The simulated datasets (kept for downstream analyses/figures).
     pub datasets: Vec<PatientDataset>,
+    /// Patients dropped by per-patient stage isolation (empty on a clean
+    /// run): their data was too degraded to profile, so the rest of the
+    /// cohort was evaluated without them.
+    pub skipped: Vec<SkippedPatient>,
 }
 
 impl PipelineReport {
@@ -149,6 +166,22 @@ pub fn benign_windows(series: &MultiSeries, seq_len: usize, stride: usize) -> Ve
 /// Panics if the configuration selects fewer than two patients (clustering
 /// needs at least two risk profiles) or produces empty training data.
 pub fn run_pipeline(config: &PipelineConfig) -> PipelineReport {
+    match try_run_pipeline(config) {
+        Ok(r) => r,
+        Err(e) => panic!("run_pipeline: {e}"),
+    }
+}
+
+/// Fallible [`run_pipeline`] with per-patient stage isolation: a patient
+/// whose data is too degraded to train, profile or window is recorded in
+/// [`PipelineReport::skipped`] instead of killing the whole cohort run.
+///
+/// # Errors
+///
+/// Returns [`LgoError::TooFewPatients`] when fewer than two patients are
+/// selected or survive isolation, and propagates clustering / evaluation
+/// errors that affect the whole cohort.
+pub fn try_run_pipeline(config: &PipelineConfig) -> Result<PipelineReport, LgoError> {
     let all = generate_cohort_sized(config.train_days, config.test_days);
     let datasets: Vec<PatientDataset> = match &config.patients {
         Some(ids) => all
@@ -157,76 +190,138 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineReport {
             .collect(),
         None => all,
     };
-    assert!(
-        datasets.len() >= 2,
-        "run_pipeline: need at least two patients, got {}",
-        datasets.len()
-    );
+    try_run_pipeline_on(config, datasets)
+}
 
-    let seq_len = config.forecast.seq_len;
+/// [`try_run_pipeline`] over caller-supplied datasets — the entry point for
+/// fault-injection studies, where the datasets have been degraded with
+/// [`lgo_glucosim::FaultInjector`] before the pipeline sees them.
+///
+/// # Errors
+///
+/// See [`try_run_pipeline`].
+pub fn try_run_pipeline_on(
+    config: &PipelineConfig,
+    datasets: Vec<PatientDataset>,
+) -> Result<PipelineReport, LgoError> {
+    if datasets.len() < 2 {
+        return Err(LgoError::TooFewPatients {
+            got: datasets.len(),
+        });
+    }
+
     let mut profiles = Vec::with_capacity(datasets.len());
     let mut cohort = Vec::with_capacity(datasets.len());
+    let mut skipped = Vec::new();
     for d in &datasets {
-        // Step 0: the deployed target model (personalized, like the paper's
-        // per-patient attack study).
-        let forecaster = GlucoseForecaster::train_personalized(&d.train, &config.forecast);
-
-        // Steps 1-3 on the test period: a *maximizing* campaign so the risk
-        // profile measures the worst-case harm per window.
-        let test_profile = profile_patient(&forecaster, d.profile.id, &d.test, &config.profiler);
-
-        // Detector-facing adversarial data uses *minimal* (early-exit)
-        // attacks — what a stealthy adversary would actually inject.
-        let minimal = ProfilerConfig {
-            maximize: false,
-            ..config.profiler.clone()
-        };
-        let test_minimal = profile_patient(&forecaster, d.profile.id, &d.test, &minimal);
-        let train_minimal = profile_patient(
-            &forecaster,
-            d.profile.id,
-            &d.train,
-            &ProfilerConfig {
-                stride: config.train_attack_stride,
-                ..minimal
-            },
-        );
-
-        cohort.push(PatientData {
-            patient: d.profile.id,
-            train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
-            train_malicious: train_minimal.manipulated_windows(),
-            test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
-            test_malicious: test_minimal.manipulated_windows(),
+        match profile_one_patient(config, d) {
+            Ok((profile, data)) => {
+                profiles.push(profile);
+                cohort.push(data);
+            }
+            Err((stage, e)) => skipped.push(SkippedPatient {
+                patient: d.profile.id,
+                stage,
+                reason: e.to_string(),
+            }),
+        }
+    }
+    if profiles.len() < 2 {
+        return Err(LgoError::TooFewPatients {
+            got: profiles.len(),
         });
-        profiles.push(test_profile);
     }
 
     // Step 4.
-    let clusters = cluster_cohort(&profiles, config.linkage);
+    let clusters = try_cluster_cohort(&profiles, config.linkage)?;
 
     // Step 5.
     let mut evaluations = Vec::new();
     for &kind in &config.detector_kinds {
         for &strategy in &config.strategies {
-            evaluations.push(evaluate_strategy(
+            evaluations.push(try_evaluate_strategy(
                 strategy,
                 kind,
                 &cohort,
                 &clusters.less_vulnerable,
                 &clusters.more_vulnerable,
                 &config.detectors,
-            ));
+            )?);
         }
     }
 
-    PipelineReport {
+    Ok(PipelineReport {
         profiles,
         clusters,
         cohort,
         evaluations,
         datasets,
+        skipped,
+    })
+}
+
+/// Steps 0–3 for one patient; any failure is tagged with the stage it hit
+/// so [`try_run_pipeline_on`] can record a precise skip reason.
+fn profile_one_patient(
+    config: &PipelineConfig,
+    d: &PatientDataset,
+) -> Result<(PatientAttackProfile, PatientData), (&'static str, LgoError)> {
+    let seq_len = config.forecast.seq_len;
+    // Step 0: the deployed target model (personalized, like the paper's
+    // per-patient attack study).
+    let forecaster = GlucoseForecaster::try_train_personalized(&d.train, &config.forecast)
+        .map_err(|e| ("forecast", LgoError::from(e)))?;
+
+    // Steps 1-3 on the test period: a *maximizing* campaign so the risk
+    // profile measures the worst-case harm per window.
+    let test_profile = try_profile_patient(&forecaster, d.profile.id, &d.test, &config.profiler)
+        .map_err(|e| ("profile", e))?;
+
+    // Detector-facing adversarial data uses *minimal* (early-exit)
+    // attacks — what a stealthy adversary would actually inject.
+    let minimal = ProfilerConfig {
+        maximize: false,
+        ..config.profiler.clone()
+    };
+    let test_minimal = try_profile_patient(&forecaster, d.profile.id, &d.test, &minimal)
+        .map_err(|e| ("profile", e))?;
+    let train_minimal = try_profile_patient(
+        &forecaster,
+        d.profile.id,
+        &d.train,
+        &ProfilerConfig {
+            stride: config.train_attack_stride,
+            ..minimal
+        },
+    )
+    .map_err(|e| ("profile", e))?;
+
+    // Detector windows: windows with missing samples cannot be scored, so
+    // only fully finite ones survive; a patient with none left is skipped.
+    let train_benign = finite_windows(benign_windows(&d.train, seq_len, config.detector_stride));
+    let test_benign = finite_windows(benign_windows(&d.test, seq_len, config.detector_stride));
+    if train_benign.is_empty() || test_benign.is_empty() {
+        return Err(("windows", LgoError::NoWindows));
     }
+
+    Ok((
+        test_profile,
+        PatientData {
+            patient: d.profile.id,
+            train_benign,
+            train_malicious: train_minimal.manipulated_windows(),
+            test_benign,
+            test_malicious: test_minimal.manipulated_windows(),
+        },
+    ))
+}
+
+/// Keeps only windows whose every sample is finite.
+fn finite_windows(windows: Vec<Window>) -> Vec<Window> {
+    windows
+        .into_iter()
+        .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -276,5 +371,47 @@ mod tests {
         let mut config = PipelineConfig::fast();
         config.patients = Some(vec![PatientId::new(Subset::A, 0)]);
         let _ = run_pipeline(&config);
+    }
+
+    #[test]
+    fn try_run_isolates_fully_degraded_patient() {
+        use lgo_glucosim::{FaultInjector, FaultKind};
+        let config = PipelineConfig::fast();
+        let ids = config.patients.clone().expect("fast config names patients");
+        let all = generate_cohort_sized(config.train_days, config.test_days);
+        let mut datasets: Vec<PatientDataset> = all
+            .into_iter()
+            .filter(|d| ids.contains(&d.profile.id))
+            .collect();
+        // Kill one patient's CGM stream entirely: every sample dropped.
+        let injector = FaultInjector::new(7).with_fault(FaultKind::Dropout { rate: 1.0 });
+        datasets[0] = injector.apply_dataset(&datasets[0]);
+
+        let report =
+            try_run_pipeline_on(&config, datasets).expect("cohort must degrade gracefully");
+        // The degraded patient is reported, not fatal.
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].patient, ids[0]);
+        assert_eq!(report.skipped[0].stage, "forecast");
+        assert!(!report.skipped[0].reason.is_empty());
+        // The rest of the cohort is still fully profiled and evaluated.
+        assert_eq!(report.profiles.len(), 3);
+        assert_eq!(report.cohort.len(), 3);
+        assert_eq!(
+            report.evaluations.len(),
+            config.strategies.len() * config.detector_kinds.len()
+        );
+        for e in &report.evaluations {
+            assert_eq!(e.per_patient.len(), 3);
+            assert_eq!(e.detectors_trained.len(), e.runs);
+        }
+    }
+
+    #[test]
+    fn clean_try_run_skips_nobody() {
+        let config = PipelineConfig::fast();
+        let report = try_run_pipeline(&config).expect("clean run succeeds");
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.profiles.len(), 4);
     }
 }

@@ -8,6 +8,7 @@ use lgo_forecast::{feature_window_sized, GlucoseForecaster};
 use lgo_glucosim::PatientId;
 use lgo_series::MultiSeries;
 
+use crate::error::LgoError;
 use crate::risk::{instantaneous_risk, RiskProfile};
 use crate::severity::SeverityTable;
 use crate::state::StateThresholds;
@@ -123,23 +124,48 @@ impl PatientAttackProfile {
 /// Panics if the series lacks the forecaster features or `fasting` channel,
 /// or `stride == 0`.
 pub fn attack_cases(series: &MultiSeries, seq_len: usize, stride: usize) -> Vec<CgmCase> {
-    assert!(stride > 0, "attack_cases: stride must be positive");
+    match try_attack_cases(series, seq_len, stride) {
+        Ok(cases) => cases,
+        Err(e) => panic!("attack_cases: {e}"),
+    }
+}
+
+/// Fallible [`attack_cases`]. Unlike the panicking wrapper this also skips
+/// windows containing non-finite samples — a window with a sensor gap in it
+/// cannot be attacked (or meaningfully risk-scored).
+///
+/// # Errors
+///
+/// Returns [`LgoError::InvalidStride`] for `stride == 0` and
+/// [`LgoError::MissingChannel`] when the `fasting` channel is absent.
+pub fn try_attack_cases(
+    series: &MultiSeries,
+    seq_len: usize,
+    stride: usize,
+) -> Result<Vec<CgmCase>, LgoError> {
+    if stride == 0 {
+        return Err(LgoError::InvalidStride);
+    }
     let fasting = series
         .channel("fasting")
-        .expect("series lacks fasting channel");
+        .ok_or_else(|| LgoError::MissingChannel {
+            name: "fasting".into(),
+        })?;
     let mut cases = Vec::new();
     let mut end = seq_len.saturating_sub(1);
     while end < series.len() {
         if let Some(window) = feature_window_sized(series, end, seq_len) {
-            cases.push(CgmCase {
-                index: end,
-                window,
-                fasting: fasting[end] == 1.0,
-            });
+            if window.iter().flatten().all(|v| v.is_finite()) {
+                cases.push(CgmCase {
+                    index: end,
+                    window,
+                    fasting: fasting[end] == 1.0,
+                });
+            }
         }
         end += stride;
     }
-    cases
+    Ok(cases)
 }
 
 /// Profiles one patient: attacks every `stride`-th window of `series` with
@@ -159,12 +185,31 @@ pub fn profile_patient(
     series: &MultiSeries,
     config: &ProfilerConfig,
 ) -> PatientAttackProfile {
+    match try_profile_patient(forecaster, patient, series, config) {
+        Ok(p) => p,
+        Err(e) => panic!("profile_patient: {e}"),
+    }
+}
+
+/// Fallible [`profile_patient`]: windows with missing (non-finite) samples
+/// are skipped, and a series so degraded that no attackable window remains
+/// is reported as an error rather than a panic.
+///
+/// # Errors
+///
+/// Returns [`LgoError::NoWindows`] when no complete finite window exists,
+/// plus everything [`try_attack_cases`] reports.
+pub fn try_profile_patient(
+    forecaster: &GlucoseForecaster,
+    patient: PatientId,
+    series: &MultiSeries,
+    config: &ProfilerConfig,
+) -> Result<PatientAttackProfile, LgoError> {
     let seq_len = forecaster.config().seq_len;
-    let cases = attack_cases(series, seq_len, config.stride);
-    assert!(
-        !cases.is_empty(),
-        "profile_patient: series too short for any window"
-    );
+    let cases = try_attack_cases(series, seq_len, config.stride)?;
+    if cases.is_empty() {
+        return Err(LgoError::NoWindows);
+    }
     let model = ForecastModel(forecaster);
     let explorer = if config.maximize {
         GreedyExplorer::maximizing(config.explorer_steps)
@@ -185,11 +230,11 @@ pub fn profile_patient(
             )
         })
         .collect();
-    PatientAttackProfile {
+    Ok(PatientAttackProfile {
         patient,
         risk_profile: RiskProfile::new(patient.to_string(), values),
         campaign,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@ use lgo_series::stats::BoxStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::error::LgoError;
+
 /// Which detector to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DetectorKind {
@@ -40,6 +42,20 @@ impl DetectorKind {
             DetectorKind::Knn => "kNN",
             DetectorKind::OcSvm => "OneClassSVM",
             DetectorKind::MadGan => "MAD-GAN",
+        }
+    }
+
+    /// The graceful-degradation fallback chain MAD-GAN → OC-SVM → kNN,
+    /// starting at `self`. When a detector cannot be trained (e.g. its
+    /// training windows are too degraded), the next, less data-hungry
+    /// detector in the chain is tried instead.
+    pub fn fallback_chain(&self) -> &'static [DetectorKind] {
+        match self {
+            DetectorKind::MadGan => {
+                &[DetectorKind::MadGan, DetectorKind::OcSvm, DetectorKind::Knn]
+            }
+            DetectorKind::OcSvm => &[DetectorKind::OcSvm, DetectorKind::Knn],
+            DetectorKind::Knn => &[DetectorKind::Knn],
         }
     }
 }
@@ -151,6 +167,10 @@ pub struct StrategyEvaluation {
     pub mean_training_windows: f64,
     /// Number of training runs averaged (1 except for Random Samples).
     pub runs: usize,
+    /// The detector that actually trained in each run. Differs from
+    /// [`detector`](Self::detector) only when the fallback chain engaged
+    /// (degraded training data).
+    pub detectors_trained: Vec<DetectorKind>,
 }
 
 impl StrategyEvaluation {
@@ -214,6 +234,24 @@ pub fn training_rosters(
     less_vulnerable: &[PatientId],
     more_vulnerable: &[PatientId],
 ) -> Vec<Vec<PatientId>> {
+    match try_training_rosters(strategy, cohort, less_vulnerable, more_vulnerable) {
+        Ok(r) => r,
+        Err(e) => panic!("training_rosters: {e}"),
+    }
+}
+
+/// Fallible [`training_rosters`].
+///
+/// # Errors
+///
+/// Returns [`LgoError::EmptyRoster`] when the strategy yields an empty
+/// selection for any run.
+pub fn try_training_rosters(
+    strategy: TrainingStrategy,
+    cohort: &[PatientId],
+    less_vulnerable: &[PatientId],
+    more_vulnerable: &[PatientId],
+) -> Result<Vec<Vec<PatientId>>, LgoError> {
     let rosters = match strategy {
         TrainingStrategy::LessVulnerable => vec![less_vulnerable.to_vec()],
         TrainingStrategy::MoreVulnerable => vec![more_vulnerable.to_vec()],
@@ -231,13 +269,14 @@ pub fn training_rosters(
         }
     };
     for (i, r) in rosters.iter().enumerate() {
-        assert!(
-            !r.is_empty(),
-            "training_rosters: empty roster for {} (run {i})",
-            strategy.name()
-        );
+        if r.is_empty() {
+            return Err(LgoError::EmptyRoster {
+                strategy: strategy.name(),
+                run: i,
+            });
+        }
     }
-    rosters
+    Ok(rosters)
 }
 
 /// Trains one detector on pooled benign (+ malicious, for kNN) windows.
@@ -253,30 +292,83 @@ pub fn train_detector(
     malicious: &[Window],
     configs: &DetectorConfigs,
 ) -> Box<dyn AnomalyDetector> {
-    match kind {
+    match try_train_detector(kind, benign, malicious, configs) {
+        Ok(d) => d,
+        Err(e) => panic!("train_detector: {e}"),
+    }
+}
+
+/// Fallible [`train_detector`].
+///
+/// # Errors
+///
+/// Returns [`LgoError::KnnNeedsMalicious`] when the supervised kNN detector
+/// is requested without malicious windows, or the underlying
+/// [`lgo_detect::DetectError`] when a detector's `try_fit` rejects the
+/// training data.
+pub fn try_train_detector(
+    kind: DetectorKind,
+    benign: &[Window],
+    malicious: &[Window],
+    configs: &DetectorConfigs,
+) -> Result<Box<dyn AnomalyDetector>, LgoError> {
+    Ok(match kind {
         // The point detectors judge individual measurements (the paper's
         // Figure 5 flags per-sample TPs/FNs), so they train and score on
         // per-sample CGM summaries rather than whole windows.
         DetectorKind::Knn => {
-            assert!(
-                !malicious.is_empty(),
-                "train_detector: kNN needs malicious training windows"
-            );
+            if malicious.is_empty() {
+                return Err(LgoError::KnnNeedsMalicious);
+            }
             Box::new(CgmSummaryDetector::with_mode(
-                KnnDetector::fit(
+                KnnDetector::try_fit(
                     &summarize_all_mode(benign, SummaryMode::Value),
                     &summarize_all_mode(malicious, SummaryMode::Value),
                     &configs.knn,
-                ),
+                )?,
                 SummaryMode::Value,
             ))
         }
         DetectorKind::OcSvm => Box::new(CgmSummaryDetector::with_mode(
-            OneClassSvm::fit(&summarize_all_mode(benign, SummaryMode::Context), &configs.ocsvm),
+            OneClassSvm::try_fit(
+                &summarize_all_mode(benign, SummaryMode::Context),
+                &configs.ocsvm,
+            )?,
             SummaryMode::Context,
         )),
-        DetectorKind::MadGan => Box::new(MadGan::fit(benign, &configs.madgan)),
+        DetectorKind::MadGan => Box::new(MadGan::try_fit(benign, &configs.madgan)?),
+    })
+}
+
+/// Trains `kind`, falling back along [`DetectorKind::fallback_chain`]
+/// (MAD-GAN → OC-SVM → kNN) when a detector cannot be trained on the
+/// (possibly degraded) windows. Returns the trained detector together with
+/// the kind that actually trained.
+///
+/// # Errors
+///
+/// Returns [`LgoError::DetectorChainExhausted`] carrying the last
+/// detector's error when every link in the chain fails; non-detector errors
+/// (e.g. [`LgoError::KnnNeedsMalicious`]) also trigger fallback but are
+/// reported verbatim when they end the chain.
+pub fn train_detector_with_fallback(
+    kind: DetectorKind,
+    benign: &[Window],
+    malicious: &[Window],
+    configs: &DetectorConfigs,
+) -> Result<(Box<dyn AnomalyDetector>, DetectorKind), LgoError> {
+    let chain = kind.fallback_chain();
+    let mut last: Option<LgoError> = None;
+    for &candidate in chain {
+        match try_train_detector(candidate, benign, malicious, configs) {
+            Ok(d) => return Ok((d, candidate)),
+            Err(e) => last = Some(e),
+        }
     }
+    Err(match last.expect("fallback chain is never empty") {
+        LgoError::Detect(e) => LgoError::DetectorChainExhausted { last: e },
+        other => other,
+    })
 }
 
 /// Evaluates a trained detector on one patient's test windows.
@@ -313,10 +405,37 @@ pub fn evaluate_strategy(
     more_vulnerable: &[PatientId],
     configs: &DetectorConfigs,
 ) -> StrategyEvaluation {
+    match try_evaluate_strategy(strategy, kind, cohort, less_vulnerable, more_vulnerable, configs)
+    {
+        Ok(e) => e,
+        Err(e) => panic!("evaluate_strategy: {e}"),
+    }
+}
+
+/// Fallible [`evaluate_strategy`] with graceful degradation: when a run's
+/// pooled training windows cannot train the requested detector, the
+/// fallback chain (MAD-GAN → OC-SVM → kNN) is walked before giving up, and
+/// the kind that actually trained is recorded in
+/// [`StrategyEvaluation::detectors_trained`].
+///
+/// # Errors
+///
+/// Returns roster errors from [`try_training_rosters`] and
+/// [`LgoError::DetectorChainExhausted`] (or [`LgoError::KnnNeedsMalicious`])
+/// when no detector in the chain can be trained for some run.
+pub fn try_evaluate_strategy(
+    strategy: TrainingStrategy,
+    kind: DetectorKind,
+    cohort: &[PatientData],
+    less_vulnerable: &[PatientId],
+    more_vulnerable: &[PatientId],
+    configs: &DetectorConfigs,
+) -> Result<StrategyEvaluation, LgoError> {
     let ids: Vec<PatientId> = cohort.iter().map(|d| d.patient).collect();
-    let rosters = training_rosters(strategy, &ids, less_vulnerable, more_vulnerable);
+    let rosters = try_training_rosters(strategy, &ids, less_vulnerable, more_vulnerable)?;
     let mut sums: Vec<PatientMetrics> = vec![PatientMetrics::default(); cohort.len()];
     let mut total_windows = 0usize;
+    let mut detectors_trained = Vec::with_capacity(rosters.len());
     for roster in &rosters {
         let mut benign = Vec::new();
         let mut malicious = Vec::new();
@@ -325,7 +444,9 @@ pub fn evaluate_strategy(
             malicious.extend(d.train_malicious.iter().cloned());
         }
         total_windows += benign.len();
-        let detector = train_detector(kind, &benign, &malicious, configs);
+        let (detector, trained) =
+            train_detector_with_fallback(kind, &benign, &malicious, configs)?;
+        detectors_trained.push(trained);
         for (i, d) in cohort.iter().enumerate() {
             let cm = evaluate_on_patient(detector.as_ref(), d);
             sums[i].recall += cm.recall();
@@ -352,13 +473,14 @@ pub fn evaluate_strategy(
             )
         })
         .collect();
-    StrategyEvaluation {
+    Ok(StrategyEvaluation {
         strategy,
         detector: kind,
         per_patient,
         mean_training_windows: total_windows as f64 / runs as f64,
         runs,
-    }
+        detectors_trained,
+    })
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use lgo_cluster::{agglomerate_points, Dendrogram, Linkage};
 use lgo_glucosim::PatientId;
 
+use crate::error::LgoError;
 use crate::profile::PatientAttackProfile;
 
 /// Number of pooled bins used when embedding risk profiles for clustering.
@@ -94,10 +95,27 @@ pub fn cluster_vulnerability(
     profiles: &[PatientAttackProfile],
     linkage: Linkage,
 ) -> VulnerabilityClusters {
-    assert!(
-        profiles.len() >= 2,
-        "cluster_vulnerability: need at least two profiles"
-    );
+    match try_cluster_vulnerability(profiles, linkage) {
+        Ok(c) => c,
+        Err(e) => panic!("cluster_vulnerability: {e}"),
+    }
+}
+
+/// Fallible [`cluster_vulnerability`].
+///
+/// # Errors
+///
+/// Returns [`LgoError::TooFewProfiles`] when `profiles` has fewer than two
+/// entries.
+pub fn try_cluster_vulnerability(
+    profiles: &[PatientAttackProfile],
+    linkage: Linkage,
+) -> Result<VulnerabilityClusters, LgoError> {
+    if profiles.len() < 2 {
+        return Err(LgoError::TooFewProfiles {
+            got: profiles.len(),
+        });
+    }
     let points = embed_profiles(profiles, PROFILE_BINS);
     let dendrogram = agglomerate_points(&points, linkage);
 
@@ -129,7 +147,7 @@ pub fn cluster_vulnerability(
             // of a genuine resilient subgroup, so weight by sqrt(|cluster|).
             let gap = (out_sum / out_n as f64 - in_sum / in_n as f64)
                 * (in_n as f64).sqrt();
-            if best.as_ref().map_or(true, |&(g, bk, _, _)| {
+            if best.as_ref().is_none_or(|&(g, bk, _, _)| {
                 gap > g + 1e-12 || (gap > g - 1e-12 && k < bk)
             }) {
                 best = Some((gap, k, labels.clone(), cluster));
@@ -169,12 +187,12 @@ pub fn cluster_vulnerability(
     if mean(&less) > mean(&more) {
         std::mem::swap(&mut less, &mut more);
     }
-    VulnerabilityClusters {
+    Ok(VulnerabilityClusters {
         less_vulnerable: less,
         more_vulnerable: more,
         dendrogram,
         labels: profiles.iter().map(|p| p.patient.to_string()).collect(),
-    }
+    })
 }
 
 /// The cohort-level clustering result: one dendrogram per subset (the
@@ -211,7 +229,24 @@ pub fn cluster_cohort(
     profiles: &[PatientAttackProfile],
     linkage: Linkage,
 ) -> CohortClusters {
-    assert!(!profiles.is_empty(), "cluster_cohort: no profiles");
+    match try_cluster_cohort(profiles, linkage) {
+        Ok(c) => c,
+        Err(e) => panic!("cluster_cohort: {e}"),
+    }
+}
+
+/// Fallible [`cluster_cohort`].
+///
+/// # Errors
+///
+/// Returns [`LgoError::NoProfiles`] when `profiles` is empty.
+pub fn try_cluster_cohort(
+    profiles: &[PatientAttackProfile],
+    linkage: Linkage,
+) -> Result<CohortClusters, LgoError> {
+    if profiles.is_empty() {
+        return Err(LgoError::NoProfiles);
+    }
     let mut subsets: Vec<lgo_glucosim::Subset> = Vec::new();
     for p in profiles {
         if !subsets.contains(&p.patient.subset) {
@@ -231,16 +266,16 @@ pub fn cluster_cohort(
             more.extend(members.iter().map(|p| p.patient));
             continue;
         }
-        let clusters = cluster_vulnerability(&members, linkage);
+        let clusters = try_cluster_vulnerability(&members, linkage)?;
         less.extend(clusters.less_vulnerable.iter().copied());
         more.extend(clusters.more_vulnerable.iter().copied());
         per_subset.push((subset, clusters));
     }
-    CohortClusters {
+    Ok(CohortClusters {
         per_subset,
         less_vulnerable: less,
         more_vulnerable: more,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@ use lgo_series::MinMaxScaler;
 use lgo_tensor::vector::minkowski;
 
 use crate::detector::{AnomalyDetector, Window};
+use crate::error::DetectError;
 use crate::kdtree::KdTree;
 
 /// Neighbour-search backend, mirroring scikit-learn's `algorithm`
@@ -69,56 +70,91 @@ pub struct KnnDetector {
 }
 
 impl KnnDetector {
-    /// Fits (memorizes) the training windows.
+    /// Fits (memorizes) the training windows. Windows containing
+    /// non-finite values are dropped (see [`try_fit`](Self::try_fit)).
     ///
     /// # Panics
     ///
     /// Panics if both classes are empty, windows are ragged, or `k == 0`.
     pub fn fit(benign: &[Window], malicious: &[Window], config: &KnnConfig) -> Self {
-        assert!(config.k > 0, "KnnDetector: k must be positive");
-        assert!(
-            !benign.is_empty() || !malicious.is_empty(),
-            "KnnDetector: no training windows"
-        );
+        match Self::try_fit(benign, malicious, config) {
+            Ok(d) => d,
+            Err(e) => panic!("KnnDetector: {e}"),
+        }
+    }
+
+    /// Fallible [`fit`](Self::fit): windows containing non-finite values
+    /// (degraded sensor data) are dropped before training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidK`] for `k == 0`,
+    /// [`DetectError::NoTrainingWindows`] when both classes are empty,
+    /// [`DetectError::NoFiniteWindows`] when every window is corrupt,
+    /// [`DetectError::InconsistentShapes`] on mismatched window shapes,
+    /// and [`DetectError::KdTreeMetric`] for a KD-tree request with
+    /// `p != 2`.
+    pub fn try_fit(
+        benign: &[Window],
+        malicious: &[Window],
+        config: &KnnConfig,
+    ) -> Result<Self, DetectError> {
+        if config.k == 0 {
+            return Err(DetectError::InvalidK);
+        }
+        if benign.is_empty() && malicious.is_empty() {
+            return Err(DetectError::NoTrainingWindows);
+        }
         let mut points = Vec::new();
         let mut labels = Vec::new();
+        let mut dropped_all_finite = true;
         for (class, label) in [(benign, false), (malicious, true)] {
             let kept = Self::stride_cap(class, config.max_samples_per_class);
             for w in kept {
-                points.push(flatten(&w));
+                let flat = flatten(&w);
+                if flat.iter().any(|v| !v.is_finite()) {
+                    dropped_all_finite = false;
+                    continue;
+                }
+                points.push(flat);
                 labels.push(label);
             }
         }
+        if points.is_empty() {
+            return Err(if dropped_all_finite {
+                DetectError::NoTrainingWindows
+            } else {
+                DetectError::NoFiniteWindows
+            });
+        }
         let width = points[0].len();
-        assert!(
-            points.iter().all(|p| p.len() == width),
-            "KnnDetector: inconsistent window shapes"
-        );
+        if !points.iter().all(|p| p.len() == width) {
+            return Err(DetectError::InconsistentShapes);
+        }
         // Per-feature min-max scaling keeps the Minkowski metric from being
         // dominated by the largest-unit channel (CGM in mg/dL vs boluses in
         // units); queries are scaled with the same training statistics.
         let mut scaler = MinMaxScaler::new();
-        scaler.fit(&points);
+        scaler.try_fit(&points)?;
         let points = scaler.transform(&points).expect("fit on these points");
         let use_tree = match config.algorithm {
             KnnAlgorithm::Brute => false,
             KnnAlgorithm::KdTree => {
-                assert!(
-                    (config.p - 2.0).abs() < f64::EPSILON,
-                    "KnnDetector: the KD-tree backend requires p = 2"
-                );
+                if (config.p - 2.0).abs() >= f64::EPSILON {
+                    return Err(DetectError::KdTreeMetric);
+                }
                 true
             }
             KnnAlgorithm::Auto => (config.p - 2.0).abs() < f64::EPSILON,
         };
         let tree = use_tree.then(|| KdTree::build(points.clone(), config.leaf_size));
-        Self {
+        Ok(Self {
             points,
             labels,
             scaler,
             tree,
             config: config.clone(),
-        }
+        })
     }
 
     fn stride_cap(class: &[Window], cap: Option<usize>) -> Vec<Window> {
@@ -159,9 +195,9 @@ impl KnnDetector {
             .zip(&self.labels)
             .map(|(p, &l)| (minkowski(p, query, self.config.p), l))
             .collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
+        // total_cmp keeps the selection well defined even if a degraded
+        // query produces NaN distances (NaN sorts last, i.e. farthest).
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let malicious = dists[..k].iter().filter(|&&(_, l)| l).count();
         malicious as f64 / k as f64
     }

@@ -33,6 +33,7 @@
 //! ```
 
 mod detector;
+mod error;
 mod kdtree;
 mod knn;
 mod madgan;
@@ -40,6 +41,7 @@ mod ocsvm;
 pub mod summary;
 
 pub use detector::AnomalyDetector;
+pub use error::DetectError;
 pub use kdtree::KdTree;
 pub use knn::{KnnAlgorithm, KnnConfig, KnnDetector};
 pub use madgan::{MadGan, MadGanConfig};

@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::detector::{AnomalyDetector, Window};
+use crate::error::DetectError;
 
 /// MAD-GAN hyper-parameters, defaulting to the paper's Appendix B
 /// (epochs = 100, 4 signals, seq_len = 12, step = 1) with the original
@@ -100,36 +101,61 @@ impl MadGan {
     /// Panics if `windows` is empty, windows are ragged, or any window's
     /// length differs from `config.seq_len`.
     pub fn fit(windows: &[Window], config: &MadGanConfig) -> Self {
-        assert!(!windows.is_empty(), "MadGan: no training windows");
+        match Self::try_fit(windows, config) {
+            Ok(gan) => gan,
+            Err(e) => panic!("MadGan: {e}"),
+        }
+    }
+
+    /// Fallible [`fit`](Self::fit): windows containing non-finite values
+    /// (degraded sensor data) are dropped before training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::NoTrainingWindows`] on empty input,
+    /// [`DetectError::NoFiniteWindows`] when every window is corrupt, and
+    /// [`DetectError::WindowLength`] / [`DetectError::RaggedWindow`] on
+    /// malformed windows.
+    pub fn try_fit(windows: &[Window], config: &MadGanConfig) -> Result<Self, DetectError> {
+        if windows.is_empty() {
+            return Err(DetectError::NoTrainingWindows);
+        }
+        let finite: Vec<Window> = windows
+            .iter()
+            .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
+            .cloned()
+            .collect();
+        if finite.is_empty() {
+            return Err(DetectError::NoFiniteWindows);
+        }
         let capped: Vec<Window>;
         let windows: &[Window] = match config.max_windows {
-            Some(cap) if cap > 0 && windows.len() > cap => {
-                let stride = windows.len() as f64 / cap as f64;
+            Some(cap) if cap > 0 && finite.len() > cap => {
+                let stride = finite.len() as f64 / cap as f64;
                 capped = (0..cap)
-                    .map(|i| windows[(i as f64 * stride) as usize].clone())
+                    .map(|i| finite[(i as f64 * stride) as usize].clone())
                     .collect();
                 &capped
             }
-            _ => windows,
+            _ => &finite,
         };
         let n_signals = windows[0][0].len();
         for (i, w) in windows.iter().enumerate() {
-            assert_eq!(
-                w.len(),
-                config.seq_len,
-                "MadGan: window {i} has length {} (expected {})",
-                w.len(),
-                config.seq_len
-            );
-            assert!(
-                w.iter().all(|r| r.len() == n_signals),
-                "MadGan: window {i} is ragged"
-            );
+            if w.len() != config.seq_len {
+                return Err(DetectError::WindowLength {
+                    index: i,
+                    got: w.len(),
+                    expected: config.seq_len,
+                });
+            }
+            if !w.iter().all(|r| r.len() == n_signals) {
+                return Err(DetectError::RaggedWindow { index: i });
+            }
         }
 
         let mut scaler = MinMaxScaler::new();
         let all_rows: Vec<Vec<f64>> = windows.iter().flatten().cloned().collect();
-        scaler.fit(&all_rows);
+        scaler.try_fit(&all_rows)?;
         let scaled: Vec<Window> = windows
             .iter()
             .map(|w| scaler.transform(w).expect("fit on these rows"))
@@ -198,7 +224,7 @@ impl MadGan {
             .collect();
         gan.threshold = lgo_series::stats::quantile(&train_scores, config.threshold_quantile)
             .expect("nonempty scores");
-        gan
+        Ok(gan)
     }
 
     fn draw_latent(config: &MadGanConfig, rng: &mut StdRng) -> Window {

@@ -3,6 +3,7 @@ use lgo_series::StandardScaler;
 use lgo_tensor::vector::dot;
 
 use crate::detector::{AnomalyDetector, Window};
+use crate::error::DetectError;
 
 /// Kernel functions for the one-class SVM.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,20 +149,44 @@ pub struct OneClassSvm {
 }
 
 impl OneClassSvm {
-    /// Trains on benign windows with SMO.
+    /// Trains on benign windows with SMO. Windows containing non-finite
+    /// values are dropped (see [`try_fit`](Self::try_fit)).
     ///
     /// # Panics
     ///
     /// Panics if `windows` is empty, `nu` is outside `(0, 1]`, or windows
     /// are ragged.
     pub fn fit(windows: &[Window], config: &OcSvmConfig) -> Self {
-        assert!(!windows.is_empty(), "OneClassSvm: no training windows");
-        assert!(
-            config.nu > 0.0 && config.nu <= 1.0,
-            "OneClassSvm: nu = {} outside (0, 1]",
-            config.nu
-        );
-        let mut points: Vec<Vec<f64>> = windows.iter().map(|w| flatten(w)).collect();
+        match Self::try_fit(windows, config) {
+            Ok(svm) => svm,
+            Err(e) => panic!("OneClassSvm: {e}"),
+        }
+    }
+
+    /// Fallible [`fit`](Self::fit): windows containing non-finite values
+    /// (degraded sensor data) are dropped before training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::NoTrainingWindows`] on empty input,
+    /// [`DetectError::InvalidNu`] for `nu` outside `(0, 1]`,
+    /// [`DetectError::NoFiniteWindows`] when every window is corrupt, and
+    /// [`DetectError::InconsistentShapes`] on mismatched window shapes.
+    pub fn try_fit(windows: &[Window], config: &OcSvmConfig) -> Result<Self, DetectError> {
+        if windows.is_empty() {
+            return Err(DetectError::NoTrainingWindows);
+        }
+        if !(config.nu > 0.0 && config.nu <= 1.0) {
+            return Err(DetectError::InvalidNu { nu: config.nu });
+        }
+        let mut points: Vec<Vec<f64>> = windows
+            .iter()
+            .map(|w| flatten(w))
+            .filter(|p| p.iter().all(|v| v.is_finite()))
+            .collect();
+        if points.is_empty() {
+            return Err(DetectError::NoFiniteWindows);
+        }
         if let Some(cap) = config.max_samples {
             if cap > 0 && points.len() > cap {
                 let stride = points.len() as f64 / cap as f64;
@@ -170,16 +195,15 @@ impl OneClassSvm {
                     .collect();
             }
         }
+        let width = points[0].len();
+        if !points.iter().all(|p| p.len() == width) {
+            return Err(DetectError::InconsistentShapes);
+        }
         // Standardize features: dot-product kernels (sigmoid/polynomial) are
         // meaningless on raw mixed-unit channels.
         let mut scaler = StandardScaler::new();
-        scaler.fit(&points);
+        scaler.try_fit(&points)?;
         let points = scaler.transform(&points).expect("fit on these points");
-        let width = points[0].len();
-        assert!(
-            points.iter().all(|p| p.len() == width),
-            "OneClassSvm: inconsistent window shapes"
-        );
         let kernel = match config.kernel {
             KernelSpec::Fixed(k) => k,
             KernelSpec::SigmoidAuto { coef0 } => Kernel::Sigmoid {
@@ -230,11 +254,11 @@ impl OneClassSvm {
             let mut j_sel: Option<usize> = None;
             for t in 0..l {
                 if alpha[t] < upper - 1e-12
-                    && i_sel.map_or(true, |i| g[t] < g[i])
+                    && i_sel.is_none_or(|i| g[t] < g[i])
                 {
                     i_sel = Some(t);
                 }
-                if alpha[t] > 1e-12 && j_sel.map_or(true, |j| g[t] > g[j]) {
+                if alpha[t] > 1e-12 && j_sel.is_none_or(|j| g[t] > g[j]) {
                     j_sel = Some(t);
                 }
             }
@@ -306,11 +330,15 @@ impl OneClassSvm {
                 (0.0..1.0).contains(&q),
                 "OneClassSvm: calibration_quantile = {q} outside [0, 1)"
             );
-            let decisions: Vec<f64> = windows.iter().map(|w| svm.decision_function(w)).collect();
+            let decisions: Vec<f64> = windows
+                .iter()
+                .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
+                .map(|w| svm.decision_function(w))
+                .collect();
             svm.threshold =
                 lgo_series::stats::quantile(&decisions, q).expect("nonempty training set");
         }
-        svm
+        Ok(svm)
     }
 
     /// Decision function `f(x) = Σ αᵢ K(xᵢ, x) − ρ` on the standardized

@@ -49,7 +49,7 @@ impl RocCurve {
         );
 
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
         let mut points = vec![RocPoint {
             threshold: f64::INFINITY,
@@ -98,11 +98,7 @@ impl RocCurve {
         *self
             .points
             .iter()
-            .max_by(|a, b| {
-                (a.tpr - a.fpr)
-                    .partial_cmp(&(b.tpr - b.fpr))
-                    .expect("finite rates")
-            })
+            .max_by(|a, b| (a.tpr - a.fpr).total_cmp(&(b.tpr - b.fpr)))
             .expect("curve has at least the origin")
     }
 }

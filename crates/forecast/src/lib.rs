@@ -29,10 +29,82 @@
 //! assert!(pred > 0.0);
 //! ```
 
-use lgo_nn::{BiLstmRegressor, Trainable};
-use lgo_series::{window::ForecastSample, MinMaxScaler, MultiSeries};
+use std::error::Error;
+use std::fmt;
+
+use lgo_nn::{BiLstmRegressor, TrainError, Trainable};
+use lgo_series::{window::ForecastSample, MinMaxScaler, MultiSeries, ScalerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Error returned by the fallible training entry points
+/// ([`GlucoseForecaster::try_train_personalized`] /
+/// [`GlucoseForecaster::try_train_aggregate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// No series were supplied.
+    NoSeries,
+    /// A series yields no complete (window, target) pairs.
+    SeriesTooShort {
+        /// Length of the offending series.
+        len: usize,
+        /// Configured window length.
+        seq_len: usize,
+        /// Configured prediction horizon.
+        horizon: usize,
+    },
+    /// A series lacks one of the required [`FEATURES`] channels.
+    MissingChannel {
+        /// The absent channel name.
+        name: String,
+    },
+    /// Every supervised sample contained a non-finite value — the data is
+    /// too degraded (e.g. a fully dropped-out CGM trace) to train on.
+    NoUsableSamples,
+    /// Scaler fitting failed on the training data.
+    Scaler(ScalerError),
+    /// The underlying model training failed (e.g. unrecoverable
+    /// divergence).
+    Training(TrainError),
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::NoSeries => write!(f, "no series given"),
+            ForecastError::SeriesTooShort {
+                len,
+                seq_len,
+                horizon,
+            } => write!(
+                f,
+                "series too short ({len} samples) for seq_len {seq_len} + horizon {horizon}"
+            ),
+            ForecastError::MissingChannel { name } => {
+                write!(f, "series lacks required channel `{name}`")
+            }
+            ForecastError::NoUsableSamples => {
+                write!(f, "no finite supervised samples — data too degraded")
+            }
+            ForecastError::Scaler(e) => write!(f, "scaler: {e}"),
+            ForecastError::Training(e) => write!(f, "training: {e}"),
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+impl From<ScalerError> for ForecastError {
+    fn from(e: ScalerError) -> Self {
+        ForecastError::Scaler(e)
+    }
+}
+
+impl From<TrainError> for ForecastError {
+    fn from(e: TrainError) -> Self {
+        ForecastError::Training(e)
+    }
+}
 
 /// The input channels the forecaster reads, in order.
 pub const FEATURES: [&str; 4] = ["cgm", "bolus", "carbs", "heart_rate"];
@@ -155,19 +227,76 @@ impl GlucoseForecaster {
         Self::train_on(series_set, config)
     }
 
+    /// Fallible [`train_personalized`](Self::train_personalized):
+    /// supervised samples containing non-finite values (from degraded or
+    /// fault-injected sensors) are dropped before training, and training
+    /// divergence is recovered or reported rather than propagated as a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// See [`ForecastError`].
+    pub fn try_train_personalized(
+        series: &MultiSeries,
+        config: &ForecastConfig,
+    ) -> Result<Self, ForecastError> {
+        Self::try_train_on(&[series], config)
+    }
+
+    /// Fallible [`train_aggregate`](Self::train_aggregate).
+    ///
+    /// # Errors
+    ///
+    /// See [`ForecastError`].
+    pub fn try_train_aggregate(
+        series_set: &[&MultiSeries],
+        config: &ForecastConfig,
+    ) -> Result<Self, ForecastError> {
+        Self::try_train_on(series_set, config)
+    }
+
     fn train_on(series_set: &[&MultiSeries], config: &ForecastConfig) -> Self {
-        assert!(!series_set.is_empty(), "train: no series given");
+        match Self::try_train_on(series_set, config) {
+            Ok(model) => model,
+            Err(e) => panic!("train: {e}"),
+        }
+    }
+
+    fn try_train_on(
+        series_set: &[&MultiSeries],
+        config: &ForecastConfig,
+    ) -> Result<Self, ForecastError> {
+        if series_set.is_empty() {
+            return Err(ForecastError::NoSeries);
+        }
         let mut raw_samples = Vec::new();
         for s in series_set {
+            for name in FEATURES {
+                if s.channel_index(name).is_none() {
+                    return Err(ForecastError::MissingChannel {
+                        name: name.to_string(),
+                    });
+                }
+            }
             let samples = supervised_samples(s, config.seq_len, config.horizon);
-            assert!(
-                !samples.is_empty(),
-                "train: series too short ({} samples) for seq_len {} + horizon {}",
-                s.len(),
-                config.seq_len,
-                config.horizon
-            );
+            if samples.is_empty() {
+                return Err(ForecastError::SeriesTooShort {
+                    len: s.len(),
+                    seq_len: config.seq_len,
+                    horizon: config.horizon,
+                });
+            }
             raw_samples.extend(samples);
+        }
+
+        // Drop samples touched by missing/corrupt readings: a NaN anywhere
+        // in the window or target would poison the loss. Training proceeds
+        // on whatever clean windows remain.
+        raw_samples.retain(|s| {
+            s.target.is_finite() && s.history.iter().flatten().all(|v| v.is_finite())
+        });
+        if raw_samples.is_empty() {
+            return Err(ForecastError::NoUsableSamples);
         }
 
         // Fit scalers on all training rows / targets.
@@ -176,10 +305,10 @@ impl GlucoseForecaster {
             .flat_map(|s| s.history.iter().cloned())
             .collect();
         let mut feature_scaler = MinMaxScaler::new();
-        feature_scaler.fit(&all_rows);
+        feature_scaler.try_fit(&all_rows)?;
         let targets: Vec<Vec<f64>> = raw_samples.iter().map(|s| vec![s.target]).collect();
         let mut target_scaler = MinMaxScaler::new();
-        target_scaler.fit(&targets);
+        target_scaler.try_fit(&targets)?;
 
         let scaled: Vec<(Vec<Vec<f64>>, f64)> = raw_samples
             .iter()
@@ -193,18 +322,18 @@ impl GlucoseForecaster {
 
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut model = BiLstmRegressor::new(FEATURES.len(), config.hidden, &mut rng);
-        model.fit(
+        model.try_fit(
             &scaled,
             config.epochs,
             config.batch_size,
             config.learning_rate,
-        );
-        Self {
+        )?;
+        Ok(Self {
             model,
             feature_scaler,
             target_scaler,
             config: config.clone(),
-        }
+        })
     }
 
     /// The configuration the model was trained with.
@@ -429,5 +558,56 @@ mod tests {
     fn train_rejects_short_series() {
         let s = series(1).slice(0, 10);
         let _ = GlucoseForecaster::train_personalized(&s, &fast_cfg());
+    }
+
+    #[test]
+    fn try_train_reports_degraded_and_degenerate_input() {
+        let cfg = fast_cfg();
+        assert_eq!(
+            GlucoseForecaster::try_train_aggregate(&[], &cfg).unwrap_err(),
+            ForecastError::NoSeries
+        );
+        let short = series(1).slice(0, 10);
+        assert_eq!(
+            GlucoseForecaster::try_train_personalized(&short, &cfg).unwrap_err(),
+            ForecastError::SeriesTooShort {
+                len: 10,
+                seq_len: 12,
+                horizon: 6
+            }
+        );
+        // A fully dropped-out CGM channel leaves no usable samples.
+        let mut dead = series(1);
+        let nan = vec![f64::NAN; dead.len()];
+        assert!(dead.set_channel("cgm", &nan));
+        assert_eq!(
+            GlucoseForecaster::try_train_personalized(&dead, &cfg).unwrap_err(),
+            ForecastError::NoUsableSamples
+        );
+        // A missing channel is reported by name.
+        let partial = series(1).select(&["cgm", "bolus"]);
+        assert_eq!(
+            GlucoseForecaster::try_train_personalized(&partial, &cfg).unwrap_err(),
+            ForecastError::MissingChannel {
+                name: "carbs".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn try_train_skips_corrupt_windows_and_still_learns() {
+        // Scatter NaN readings across the CGM trace (sparser than the
+        // window span, so clean windows survive): training must still
+        // succeed on those windows and produce a finite model.
+        let mut s = series(4);
+        let mut cgm = s.channel("cgm").unwrap();
+        for i in (0..cgm.len()).step_by(50) {
+            cgm[i] = f64::NAN;
+        }
+        assert!(s.set_channel("cgm", &cgm));
+        let model =
+            GlucoseForecaster::try_train_personalized(&s, &fast_cfg()).expect("partial data");
+        let clean = series(2);
+        assert!(model.rmse(&clean).is_finite());
     }
 }

@@ -38,6 +38,7 @@
 mod dataset;
 mod events;
 mod export;
+mod faults;
 mod ode;
 mod params;
 mod sensor;
@@ -46,6 +47,7 @@ mod sim;
 pub use dataset::{generate_cohort, generate_cohort_sized, PatientDataset};
 pub use events::{DailyEvents, Event, EventKind};
 pub use export::{from_csv, to_csv};
+pub use faults::{FaultInjector, FaultKind, FAULT_CGM_MAX, FAULT_CGM_MIN};
 pub use ode::{OdeParams, PhysioState};
 pub use params::{profile, profiles, PatientId, PatientProfile, Subset};
 pub use sensor::SensorModel;

@@ -1,0 +1,155 @@
+//! Property tests for the CGM fault injector: determinism under a fixed
+//! seed, fault-rate bounds, and physical-range preservation for every
+//! non-spike fault model.
+
+use lgo_glucosim::{FaultInjector, FaultKind, FAULT_CGM_MAX, FAULT_CGM_MIN};
+use lgo_series::MultiSeries;
+use proptest::prelude::*;
+
+/// A strategy for CGM series inside the plausible physical range
+/// 40–400 mg/dL.
+fn cgm_series(max_len: usize) -> impl Strategy<Value = MultiSeries> {
+    proptest::collection::vec(FAULT_CGM_MIN..FAULT_CGM_MAX, 1..max_len)
+        .prop_map(|vals| MultiSeries::from_rows(&["cgm"], vals.into_iter().map(|v| vec![v]).collect()))
+}
+
+/// One arbitrary fault model (spikes included), parameterized by drawn
+/// scalars so the whole configuration space gets exercised.
+fn any_fault(selector: u32, rate: f64, len: usize, magnitude: f64) -> FaultKind {
+    match selector % 5 {
+        0 => FaultKind::Dropout { rate },
+        1 => FaultKind::TransmissionGap {
+            count: len,
+            len: len.max(1),
+        },
+        2 => FaultKind::StuckAt {
+            rate,
+            len: len.max(1),
+        },
+        3 => FaultKind::SpikeNoise { rate, magnitude },
+        _ => FaultKind::CalibrationDrift {
+            per_sample: magnitude / 100.0,
+            max_abs: magnitude,
+        },
+    }
+}
+
+fn cgm_bits(s: &MultiSeries) -> Vec<u64> {
+    s.channel("cgm")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+proptest! {
+    /// Fixed seed + fixed faults + same input => bit-identical output,
+    /// whatever the fault mix.
+    #[test]
+    fn injector_is_deterministic(
+        series in cgm_series(200),
+        seed in 0u64..1_000_000,
+        selector in 0u32..5,
+        rate in 0.0..1.0f64,
+        len in 1usize..20,
+    ) {
+        let inj = FaultInjector::new(seed).with_fault(any_fault(selector, rate, len, 80.0));
+        let a = inj.apply_series(&series);
+        let b = inj.apply_series(&series);
+        prop_assert_eq!(cgm_bits(&a), cgm_bits(&b));
+    }
+
+    /// Dropout at rate `r` on `n` samples erases at most a bounded excess
+    /// over the expectation (Chernoff-ish slack: r*n + 6*sqrt(n) + 6).
+    #[test]
+    fn dropout_rate_bounded(
+        series in cgm_series(400),
+        seed in 0u64..100_000,
+        rate in 0.0..0.9f64,
+    ) {
+        let out = FaultInjector::new(seed)
+            .with_fault(FaultKind::Dropout { rate })
+            .apply_series(&series);
+        let n = out.len() as f64;
+        let missing = out
+            .channel("cgm")
+            .unwrap()
+            .iter()
+            .filter(|v| v.is_nan())
+            .count() as f64;
+        let bound = rate * n + 6.0 * n.sqrt() + 6.0;
+        prop_assert!(missing <= bound, "missing {missing} > bound {bound} (n={n}, rate={rate})");
+    }
+
+    /// Transmission gaps can never erase more than count*len samples.
+    #[test]
+    fn gap_budget_bounded(
+        series in cgm_series(300),
+        seed in 0u64..100_000,
+        count in 0usize..5,
+        len in 1usize..30,
+    ) {
+        let out = FaultInjector::new(seed)
+            .with_fault(FaultKind::TransmissionGap { count, len })
+            .apply_series(&series);
+        let missing = out
+            .channel("cgm")
+            .unwrap()
+            .iter()
+            .filter(|v| v.is_nan())
+            .count();
+        prop_assert!(missing <= count * len, "missing {} > budget {}", missing, count * len);
+    }
+
+    /// Every non-spike fault keeps finite readings inside the plausible
+    /// physical range 40–400 mg/dL when fed in-range input.
+    #[test]
+    fn non_spike_faults_stay_in_physical_range(
+        series in cgm_series(300),
+        seed in 0u64..100_000,
+        rate in 0.0..1.0f64,
+        len in 1usize..20,
+        drift in 0.0..100.0f64,
+    ) {
+        let inj = FaultInjector::new(seed)
+            .with_fault(FaultKind::Dropout { rate: rate * 0.3 })
+            .with_fault(FaultKind::TransmissionGap { count: 1, len })
+            .with_fault(FaultKind::StuckAt { rate, len })
+            .with_fault(FaultKind::CalibrationDrift { per_sample: drift / 50.0, max_abs: drift });
+        let out = inj.apply_series(&series);
+        for v in out.channel("cgm").unwrap() {
+            if v.is_finite() {
+                prop_assert!(
+                    (FAULT_CGM_MIN..=FAULT_CGM_MAX).contains(&v),
+                    "reading {v} outside physical range"
+                );
+            }
+        }
+    }
+
+    /// Stuck-at and drift never introduce missing samples; dropout and
+    /// gaps never alter the values of samples they keep.
+    #[test]
+    fn faults_only_do_their_own_kind_of_damage(
+        series in cgm_series(300),
+        seed in 0u64..100_000,
+        rate in 0.0..1.0f64,
+    ) {
+        let value_only = FaultInjector::new(seed)
+            .with_fault(FaultKind::StuckAt { rate, len: 5 })
+            .with_fault(FaultKind::CalibrationDrift { per_sample: 0.5, max_abs: 20.0 })
+            .apply_series(&series);
+        prop_assert!(value_only.channel("cgm").unwrap().iter().all(|v| v.is_finite()));
+
+        let missing_only = FaultInjector::new(seed)
+            .with_fault(FaultKind::Dropout { rate })
+            .with_fault(FaultKind::TransmissionGap { count: 2, len: 7 })
+            .apply_series(&series);
+        let orig = series.channel("cgm").unwrap();
+        for (o, f) in orig.iter().zip(missing_only.channel("cgm").unwrap()) {
+            if f.is_finite() {
+                prop_assert_eq!(*o, f);
+            }
+        }
+    }
+}

@@ -1,11 +1,17 @@
 use lgo_tensor::Matrix;
-use rand::RngExt;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::activation::Activation;
 use crate::dense::Dense;
+use crate::error::TrainError;
 use crate::loss::Loss;
 use crate::lstm::{LstmCell, LstmState};
 use crate::optimizer::{clip_global_norm, Adam, Trainable};
+
+/// Recovery attempts [`BiLstmRegressor::try_fit`] makes before reporting
+/// [`TrainError::Diverged`].
+pub const DEFAULT_MAX_RECOVERIES: usize = 3;
 
 /// A bidirectional-LSTM regressor: the architecture of the Rubin-Falcone
 /// et al. blood-glucose forecaster that the paper uses as the target DNN.
@@ -118,7 +124,9 @@ impl BiLstmRegressor {
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty, `batch_size == 0`, or `epochs == 0`.
+    /// Panics if `samples` is empty, `batch_size == 0`, `epochs == 0`, or
+    /// training diverges beyond recovery (see
+    /// [`try_fit`](Self::try_fit) for the non-panicking form).
     pub fn fit(
         &mut self,
         samples: &[SeqSample],
@@ -126,27 +134,137 @@ impl BiLstmRegressor {
         batch_size: usize,
         lr: f64,
     ) -> Vec<f64> {
-        assert!(!samples.is_empty(), "fit: no samples");
-        assert!(batch_size > 0, "fit: batch_size must be positive");
-        assert!(epochs > 0, "fit: epochs must be positive");
-        let mut opt = Adam::new(lr);
+        match self.try_fit(samples, epochs, batch_size, lr) {
+            Ok(history) => history,
+            Err(e) => panic!("fit: {e}"),
+        }
+    }
+
+    /// Fallible [`fit`](Self::fit) with divergence recovery:
+    /// [`try_fit_with_recoveries`](Self::try_fit_with_recoveries) with the
+    /// default budget of [`DEFAULT_MAX_RECOVERIES`] attempts.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_fit_with_recoveries`](Self::try_fit_with_recoveries).
+    pub fn try_fit(
+        &mut self,
+        samples: &[SeqSample],
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+    ) -> Result<Vec<f64>, TrainError> {
+        self.try_fit_with_recoveries(samples, epochs, batch_size, lr, DEFAULT_MAX_RECOVERIES)
+    }
+
+    /// Trains like [`fit`](Self::fit) but detects non-finite losses
+    /// mid-epoch and recovers instead of poisoning the model:
+    ///
+    /// 1. the failing epoch's partial updates are discarded by rolling the
+    ///    parameters back to the last epoch that finished with a finite
+    ///    loss (or a fresh deterministic re-initialization when the very
+    ///    first epoch diverges),
+    /// 2. the learning rate is halved and the gradient-norm clip
+    ///    tightened (halved) for all subsequent epochs, and
+    /// 3. the epoch is retried, up to `max_recoveries` times across the
+    ///    whole run.
+    ///
+    /// Returns the per-epoch mean training losses (finite by
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::NoSamples`] / [`TrainError::ZeroBatchSize`] /
+    /// [`TrainError::ZeroEpochs`] for degenerate arguments, and
+    /// [`TrainError::Diverged`] when the recovery budget is exhausted; the
+    /// model is left at its last finite state in that case.
+    pub fn try_fit_with_recoveries(
+        &mut self,
+        samples: &[SeqSample],
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        max_recoveries: usize,
+    ) -> Result<Vec<f64>, TrainError> {
+        if samples.is_empty() {
+            return Err(TrainError::NoSamples);
+        }
+        if batch_size == 0 {
+            return Err(TrainError::ZeroBatchSize);
+        }
+        if epochs == 0 {
+            return Err(TrainError::ZeroEpochs);
+        }
+        let (input, hidden) = (self.input_size(), self.hidden_size());
+        let mut cur_lr = lr;
+        let mut clip = 5.0;
+        let mut recoveries = 0usize;
+        let mut opt = Adam::new(cur_lr);
         let mut history = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
+        // Snapshot of the parameters after the last finite epoch (None
+        // until one completes — recovery then re-initializes instead).
+        let mut good: Option<Vec<Matrix>> = None;
+        let mut epoch = 0;
+        while epoch < epochs {
             let mut total = 0.0;
-            for batch in samples.chunks(batch_size) {
+            let mut finite = true;
+            'batches: for batch in samples.chunks(batch_size) {
                 self.zero_grads();
                 for (w, y) in batch {
-                    total += self.accumulate(w, *y, Loss::Mse);
+                    let l = self.accumulate(w, *y, Loss::Mse);
+                    if !l.is_finite() {
+                        finite = false;
+                        break 'batches;
+                    }
+                    total += l;
                 }
                 // Average over the batch so the lr is batch-size invariant.
                 let scale = 1.0 / batch.len() as f64;
                 self.visit_params(&mut |_, g| g.map_inplace(|x| x * scale));
-                clip_global_norm(self, 5.0);
+                clip_global_norm(self, clip);
                 opt.step(self);
             }
-            history.push(total / samples.len() as f64);
+            if finite {
+                good = Some(self.param_snapshot());
+                history.push(total / samples.len() as f64);
+                epoch += 1;
+                continue;
+            }
+            // Divergence: roll back, back off, retry this epoch.
+            match &good {
+                Some(snap) => self.restore_params(snap),
+                None => {
+                    // No finite epoch yet — restart from a fresh
+                    // deterministic initialization instead.
+                    let mut rng = StdRng::seed_from_u64(0x6c67_6f00 + recoveries as u64);
+                    *self = Self::new(input, hidden, &mut rng);
+                }
+            }
+            if recoveries >= max_recoveries {
+                return Err(TrainError::Diverged { epoch, recoveries });
+            }
+            recoveries += 1;
+            cur_lr *= 0.5;
+            clip *= 0.5;
+            opt = Adam::new(cur_lr);
         }
-        history
+        Ok(history)
+    }
+
+    /// Clones every parameter matrix (not gradients).
+    fn param_snapshot(&mut self) -> Vec<Matrix> {
+        let mut snap = Vec::new();
+        self.visit_params(&mut |p, _| snap.push(p.clone()));
+        snap
+    }
+
+    /// Writes a [`param_snapshot`](Self::param_snapshot) back.
+    fn restore_params(&mut self, snap: &[Matrix]) {
+        let mut i = 0;
+        self.visit_params(&mut |p, _| {
+            p.clone_from(&snap[i]);
+            i += 1;
+        });
     }
 
     /// Mean squared error over a sample set (pure evaluation).
@@ -283,6 +401,66 @@ mod tests {
     #[should_panic(expected = "empty window")]
     fn predict_rejects_empty_window() {
         let _ = model(1, 2).predict(&[]);
+    }
+
+    #[test]
+    fn try_fit_rejects_degenerate_arguments() {
+        let mut m = model(1, 2);
+        let samples = mean_task(4);
+        assert_eq!(m.try_fit(&[], 1, 1, 0.01), Err(TrainError::NoSamples));
+        assert_eq!(
+            m.try_fit(&samples, 1, 0, 0.01),
+            Err(TrainError::ZeroBatchSize)
+        );
+        assert_eq!(m.try_fit(&samples, 0, 1, 0.01), Err(TrainError::ZeroEpochs));
+    }
+
+    #[test]
+    fn try_fit_recovers_from_poisoned_initialization() {
+        // Poison every parameter with NaN: the first epoch must produce a
+        // non-finite loss, and recovery must re-initialize and converge.
+        let mut m = model(1, 4);
+        m.visit_params(&mut |p, _| p.map_inplace(|_| f64::NAN));
+        let samples = mean_task(32);
+        let history = m
+            .try_fit(&samples, 5, 8, 0.01)
+            .expect("recovery should succeed");
+        assert_eq!(history.len(), 5);
+        assert!(history.iter().all(|l| l.is_finite()));
+        assert!(m.mse(&samples).is_finite());
+    }
+
+    #[test]
+    fn try_fit_reports_unrecoverable_divergence() {
+        // A NaN target makes every retry diverge; the budget must bound the
+        // attempts and the model must come back finite (rolled back).
+        let mut m = model(1, 3);
+        let mut samples = mean_task(8);
+        samples[0].1 = f64::NAN;
+        let err = m.try_fit(&samples, 3, 4, 0.01).unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::Diverged {
+                epoch: 0,
+                recoveries: DEFAULT_MAX_RECOVERIES
+            }
+        );
+        // The rollback leaves usable (finite) parameters behind.
+        let mut all_finite = true;
+        m.visit_params(&mut |p, _| {
+            all_finite &= p.as_slice().iter().all(|v| v.is_finite());
+        });
+        assert!(all_finite, "diverged model must be left at a finite state");
+    }
+
+    #[test]
+    fn fit_matches_try_fit_on_clean_data() {
+        let samples = mean_task(16);
+        let mut a = model(1, 4);
+        let mut b = model(1, 4);
+        let ha = a.fit(&samples, 3, 4, 0.01);
+        let hb = b.try_fit(&samples, 3, 4, 0.01).unwrap();
+        assert_eq!(ha, hb);
     }
 
     #[test]

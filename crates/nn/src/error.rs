@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible training entry points such as
+/// [`BiLstmRegressor::try_fit`](crate::BiLstmRegressor::try_fit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training samples were supplied.
+    NoSamples,
+    /// A zero batch size was requested.
+    ZeroBatchSize,
+    /// Zero epochs were requested.
+    ZeroEpochs,
+    /// Training produced a non-finite loss and every recovery attempt
+    /// (snapshot rollback, learning-rate backoff, tighter clipping) also
+    /// diverged. The model is left at its last finite state.
+    Diverged {
+        /// Epoch (0-based) at which the unrecoverable divergence occurred.
+        epoch: usize,
+        /// Recovery attempts consumed before giving up.
+        recoveries: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoSamples => write!(f, "no samples"),
+            TrainError::ZeroBatchSize => write!(f, "batch_size must be positive"),
+            TrainError::ZeroEpochs => write!(f, "epochs must be positive"),
+            TrainError::Diverged { epoch, recoveries } => write!(
+                f,
+                "training diverged at epoch {epoch} after {recoveries} recovery attempts"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {}

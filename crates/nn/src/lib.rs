@@ -46,6 +46,7 @@ mod bigru;
 mod bilstm;
 mod dense;
 mod discriminator;
+mod error;
 mod gru;
 pub mod init;
 mod loss;
@@ -56,7 +57,8 @@ mod seq2seq;
 
 pub use activation::{sigmoid, Activation};
 pub use bigru::BiGruRegressor;
-pub use bilstm::{BiLstmRegressor, SeqSample};
+pub use bilstm::{BiLstmRegressor, SeqSample, DEFAULT_MAX_RECOVERIES};
+pub use error::TrainError;
 pub use dense::{Dense, DenseCache};
 pub use gru::{GruCell, GruState, GruTrace};
 pub use discriminator::LstmDiscriminator;

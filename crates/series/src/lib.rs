@@ -25,4 +25,4 @@ pub mod stats;
 pub mod window;
 
 pub use multiseries::MultiSeries;
-pub use scaler::{MinMaxScaler, StandardScaler};
+pub use scaler::{MinMaxScaler, ScalerError, StandardScaler};

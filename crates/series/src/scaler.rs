@@ -8,8 +8,9 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error returned when a scaler is used before being fit, or when the input
-/// width does not match the fitted width.
+/// Error returned when a scaler is used before being fit, when the input
+/// width does not match the fitted width, or when `try_fit` is handed data
+/// no scale can be learned from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScalerError {
     /// `transform`/`inverse_transform` called before `fit`.
@@ -21,6 +22,13 @@ pub enum ScalerError {
         /// Features in the offending input.
         got: usize,
     },
+    /// `try_fit` called with no rows at all.
+    EmptyFit,
+    /// `try_fit` called with rows of differing widths.
+    RaggedRows,
+    /// Every row handed to `try_fit` contained a non-finite value, so no
+    /// scale can be learned — the signature of a fully degraded sensor.
+    NoFiniteRows,
 }
 
 impl fmt::Display for ScalerError {
@@ -30,6 +38,9 @@ impl fmt::Display for ScalerError {
             ScalerError::WidthMismatch { fitted, got } => {
                 write!(f, "scaler fitted on {fitted} features but input has {got}")
             }
+            ScalerError::EmptyFit => write!(f, "empty data"),
+            ScalerError::RaggedRows => write!(f, "ragged rows"),
+            ScalerError::NoFiniteRows => write!(f, "no finite rows"),
         }
     }
 }
@@ -79,14 +90,35 @@ impl MinMaxScaler {
     /// # Panics
     ///
     /// Panics if `data` is empty or all rows contain non-finite values.
+    /// Use [`try_fit`](Self::try_fit) to handle degraded data gracefully.
     pub fn fit(&mut self, data: &[Vec<f64>]) {
-        assert!(!data.is_empty(), "MinMaxScaler::fit: empty data");
+        if let Err(e) = self.try_fit(data) {
+            panic!("MinMaxScaler::fit: {e}");
+        }
+    }
+
+    /// Fallible [`fit`](Self::fit): learns per-feature minima and ranges,
+    /// skipping rows with non-finite entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError::EmptyFit`] on empty input,
+    /// [`ScalerError::RaggedRows`] on inconsistent widths, and
+    /// [`ScalerError::NoFiniteRows`] when every row carries a non-finite
+    /// value (e.g. a 100%-dropout CGM trace). The scaler is unchanged on
+    /// error.
+    pub fn try_fit(&mut self, data: &[Vec<f64>]) -> Result<(), ScalerError> {
+        if data.is_empty() {
+            return Err(ScalerError::EmptyFit);
+        }
         let width = data[0].len();
         let mut mins = vec![f64::INFINITY; width];
         let mut maxs = vec![f64::NEG_INFINITY; width];
         let mut used = 0usize;
         for row in data {
-            assert_eq!(row.len(), width, "MinMaxScaler::fit: ragged rows");
+            if row.len() != width {
+                return Err(ScalerError::RaggedRows);
+            }
             if row.iter().any(|v| !v.is_finite()) {
                 continue;
             }
@@ -96,13 +128,16 @@ impl MinMaxScaler {
                 maxs[j] = maxs[j].max(v);
             }
         }
-        assert!(used > 0, "MinMaxScaler::fit: no finite rows");
+        if used == 0 {
+            return Err(ScalerError::NoFiniteRows);
+        }
         self.mins = mins;
         self.ranges = maxs
             .iter()
             .zip(&self.mins)
             .map(|(&mx, &mn)| if mx > mn { mx - mn } else { 1.0 })
             .collect();
+        Ok(())
     }
 
     /// Maps data into the fitted `[0, 1]` ranges.
@@ -231,14 +266,32 @@ impl StandardScaler {
     ///
     /// # Panics
     ///
-    /// Panics if `data` is empty or rows are ragged.
+    /// Panics if `data` is empty or rows are ragged. Use
+    /// [`try_fit`](Self::try_fit) to handle degraded data gracefully.
     pub fn fit(&mut self, data: &[Vec<f64>]) {
-        assert!(!data.is_empty(), "StandardScaler::fit: empty data");
+        if let Err(e) = self.try_fit(data) {
+            panic!("StandardScaler::fit: {e}");
+        }
+    }
+
+    /// Fallible [`fit`](Self::fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError::EmptyFit`] on empty input and
+    /// [`ScalerError::RaggedRows`] on inconsistent widths. The scaler is
+    /// unchanged on error.
+    pub fn try_fit(&mut self, data: &[Vec<f64>]) -> Result<(), ScalerError> {
+        if data.is_empty() {
+            return Err(ScalerError::EmptyFit);
+        }
         let width = data[0].len();
         let n = data.len() as f64;
         let mut means = vec![0.0; width];
         for row in data {
-            assert_eq!(row.len(), width, "StandardScaler::fit: ragged rows");
+            if row.len() != width {
+                return Err(ScalerError::RaggedRows);
+            }
             for (j, &v) in row.iter().enumerate() {
                 means[j] += v;
             }
@@ -264,6 +317,7 @@ impl StandardScaler {
             })
             .collect();
         self.means = means;
+        Ok(())
     }
 
     /// Standardizes data with the fitted statistics.
@@ -370,6 +424,41 @@ mod tests {
         assert_eq!(s.value(0, 100.0), 0.5);
         assert_eq!(s.inverse_value(0, 0.25), 50.0);
         assert_eq!(s.transform_row(&[50.0]).unwrap(), vec![0.25]);
+    }
+
+    #[test]
+    fn minmax_try_fit_reports_degraded_data() {
+        let mut s = MinMaxScaler::new();
+        assert_eq!(s.try_fit(&[]), Err(ScalerError::EmptyFit));
+        assert_eq!(
+            s.try_fit(&[vec![f64::NAN], vec![f64::INFINITY]]),
+            Err(ScalerError::NoFiniteRows)
+        );
+        assert_eq!(
+            s.try_fit(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(ScalerError::RaggedRows)
+        );
+        assert!(!s.is_fitted(), "failed try_fit must leave scaler unfitted");
+        assert!(s.try_fit(&[vec![0.0], vec![10.0]]).is_ok());
+        assert_eq!(s.value(0, 5.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite rows")]
+    fn minmax_fit_panics_on_all_nan() {
+        let mut s = MinMaxScaler::new();
+        s.fit(&[vec![f64::NAN]]);
+    }
+
+    #[test]
+    fn standard_try_fit_reports_degraded_data() {
+        let mut s = StandardScaler::new();
+        assert_eq!(s.try_fit(&[]), Err(ScalerError::EmptyFit));
+        assert_eq!(
+            s.try_fit(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(ScalerError::RaggedRows)
+        );
+        assert!(s.try_fit(&[vec![1.0], vec![3.0]]).is_ok());
     }
 
     #[test]

@@ -371,8 +371,8 @@ impl Matrix {
         );
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += row[c];
+            for (c, &v) in row.iter().enumerate() {
+                out.data[r * self.cols + c] += v;
             }
         }
         out

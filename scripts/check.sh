@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: build, test, lint. Run from the repository root.
+#
+#   ./scripts/check.sh           # everything
+#   SKIP_CLIPPY=1 ./scripts/check.sh   # build + tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+if [ -z "${SKIP_CLIPPY:-}" ]; then
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace -- -D warnings
+fi
+
+echo "==> all checks passed"

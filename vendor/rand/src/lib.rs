@@ -1,0 +1,260 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the API surface the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random_range`] over half-open
+//! ranges, and [`seq::SliceRandom::shuffle`] — backed by xoshiro256++
+//! (Blackman & Vigna), a small, fast generator with excellent statistical
+//! quality for simulation workloads. Not cryptographically secure.
+
+use std::ops::Range;
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Uniform sampling of a value from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)`.
+    fn sample_single<R: RngExt + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range` (half-open: `range.end` is excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "random_range: empty range");
+        T::sample_single(range.start, range.end, self)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform random boolean with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngExt + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        let v = lo + rng.random_f64() * (hi - lo);
+        // Floating-point rounding can land exactly on `hi` for very wide
+        // ranges; nudge back inside to keep the half-open contract.
+        if v < hi {
+            v
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngExt + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire); the slight bias
+                // for astronomically large spans is irrelevant here.
+                let hi64 = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + hi64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with SplitMix64, the recommended seeding
+            // procedure for the xoshiro family.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self::from_state([next(), next(), next(), next()])
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice-level randomization helpers.
+pub mod seq {
+    use super::RngExt;
+
+    /// Random reordering and selection on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: RngExt + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngExt + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(f64::EPSILON..1.0);
+            assert!(v >= f64::EPSILON && v < 1.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..10_000).map(|_| rng.random_range(0.0..10.0)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        assert!(draws.iter().any(|&v| v < 1.0));
+        assert!(draws.iter().any(|&v| v > 9.0));
+    }
+
+    #[test]
+    fn int_range_uniformish() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((1700..2300).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn u32_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.random_range(30..75u32);
+            assert!((30..75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "20 elements left in order is ~1/20! unlikely");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [10, 20, 30];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(1.0..1.0);
+    }
+}
