@@ -1,0 +1,548 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The analyzer runs in the same offline environment as the rest of the
+//! workspace, so it cannot lean on `syn`/`proc-macro2`. Instead this module
+//! tokenizes Rust source directly. It is not a full parser: the lint rules
+//! (see [`crate::rules`]) only need a faithful token stream with line
+//! numbers, correct comment/string/char-literal boundaries, and enough
+//! number-literal classification to recognise floats.
+//!
+//! The tricky corners handled here, each covered by a unit test:
+//!
+//! * line vs. outer-doc (`///`) vs. inner-doc (`//!`) comments;
+//! * nested block comments (`/* /* */ */` is one comment);
+//! * string escapes (`"\""`), raw strings (`r#"..."#`) and byte strings;
+//! * lifetimes vs. char literals (`'a` vs. `'a'` vs. `'\n'`);
+//! * raw identifiers (`r#fn`) vs. raw strings (`r#"..."`);
+//! * float classification (`1.0`, `1.`, `1e-3`, `2f64`) vs. integer
+//!   literals, ranges (`0..10`) and method calls on integers.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (without trailing quote).
+    Lifetime,
+    /// Character literal such as `'x'` or `'\n'`.
+    CharLit,
+    /// String literal (regular, raw, byte, or raw-byte).
+    StrLit,
+    /// Number literal; `is_float` distinguishes `1.0` from `1`.
+    NumLit { is_float: bool },
+    /// Operator or punctuation, possibly multi-char (`==`, `->`, `::`).
+    Op,
+    /// Non-doc line comment (`// ...`), text includes the slashes.
+    LineComment,
+    /// Doc comment: `/// ...`, `//! ...`, `/** */`, or `/*! */`.
+    DocComment,
+    /// Non-doc block comment, nesting already consumed.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// True for comment tokens (which most rules skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+        )
+    }
+}
+
+/// Tokenizes `src`, never failing: unterminated literals are closed at EOF.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+// Multi-char operators, longest first so greedy matching is correct.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start, line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start, line),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                }
+                'r' if self.is_raw_string(0) => {
+                    self.bump();
+                    self.raw_string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string(1) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_body();
+                    self.push(TokenKind::CharLit, start, line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#fn`.
+                    self.bump();
+                    self.bump();
+                    self.ident_body();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                '\'' => self.lifetime_or_char(start, line),
+                c if c.is_ascii_digit() => self.number(start, line),
+                c if is_ident_start(c) => {
+                    self.ident_body();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ => self.operator(start, line),
+            }
+        }
+        self.out
+    }
+
+    /// At `self.pos + off` sits an `r`; is it the start of a raw string?
+    fn is_raw_string(&self, off: usize) -> bool {
+        let mut i = off + 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, start: usize, line: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // `///` (but not `////`) and `//!` are doc comments.
+        let kind = if (text.starts_with("///") && !text.starts_with("////"))
+            || text.starts_with("//!")
+        {
+            TokenKind::DocComment
+        } else {
+            TokenKind::LineComment
+        };
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn block_comment(&mut self, start: usize, line: usize) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let is_doc = matches!(self.peek(0), Some('*') if self.peek(1) != Some('*') && self.peek(1) != Some('/'))
+            || self.peek(0) == Some('!');
+        let mut depth = 1_usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let kind = if is_doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        };
+        self.push(kind, start, line);
+    }
+
+    /// Consumes a string body after the opening `"`, honouring `\` escapes.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes `#*"..."#*` after the leading `r` has been eaten.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after the opening `'`.
+    fn char_body(&mut self) {
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump();
+            // Multi-char escapes (`\x41`, `\u{1F600}`) run to the quote.
+            while let Some(c) = self.peek(0) {
+                if c == '\'' {
+                    break;
+                }
+                self.bump();
+            }
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` / `'static` (lifetime).
+    fn lifetime_or_char(&mut self, start: usize, line: usize) {
+        self.bump(); // opening quote
+        if self.peek(0) == Some('\\') {
+            self.char_body();
+            self.push(TokenKind::CharLit, start, line);
+            return;
+        }
+        // `'x'` — exactly one char then a closing quote — is a char literal;
+        // `'ident` with no closing quote is a lifetime.
+        if self.peek(1) == Some('\'') && self.peek(0).is_some() {
+            self.bump();
+            self.bump();
+            self.push(TokenKind::CharLit, start, line);
+            return;
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(TokenKind::Lifetime, start, line);
+    }
+
+    fn ident_body(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    fn number(&mut self, start: usize, line: usize) {
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Hex / octal / binary: never floats.
+            self.bump();
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(TokenKind::NumLit { is_float: false }, start, line);
+            return;
+        }
+        self.digits();
+        // Fractional part: `1.5` and trailing `1.` are floats, but `0..10`
+        // (range) and `1.max(2)` (method call) are not.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    self.bump();
+                    self.digits();
+                    is_float = true;
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    self.bump();
+                    is_float = true;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (a, b) = (self.peek(1), self.peek(2));
+            let has_exp = matches!(a, Some(c) if c.is_ascii_digit())
+                || (matches!(a, Some('+' | '-')) && matches!(b, Some(c) if c.is_ascii_digit()));
+            if has_exp {
+                self.bump();
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    self.bump();
+                }
+                self.digits();
+                is_float = true;
+            }
+        }
+        // Suffix (`f32`, `f64`, `u8`, `usize`, ...).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        self.push(TokenKind::NumLit { is_float }, start, line);
+    }
+
+    fn digits(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+    }
+
+    fn operator(&mut self, start: usize, line: usize) {
+        for op in OPS {
+            if op
+                .chars()
+                .enumerate()
+                .all(|(i, c)| self.peek(i) == Some(c))
+            {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(TokenKind::Op, start, line);
+                return;
+            }
+        }
+        self.bump();
+        self.push(TokenKind::Op, start, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Non-comment tokens as `(kind, text)` pairs, for compact assertions.
+    fn sig(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn line_vs_doc_comments() {
+        assert_eq!(kinds("// plain\n"), vec![TokenKind::LineComment]);
+        assert_eq!(kinds("/// outer doc\n"), vec![TokenKind::DocComment]);
+        assert_eq!(kinds("//! inner doc\n"), vec![TokenKind::DocComment]);
+        // Four slashes is a plain comment again (rustdoc convention).
+        assert_eq!(kinds("//// rule\n"), vec![TokenKind::LineComment]);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = tokenize("/* outer /* inner */ still outer */ fn");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.ends_with("outer */"));
+        assert_eq!(toks[1].text, "fn");
+    }
+
+    #[test]
+    fn block_doc_comments() {
+        assert_eq!(kinds("/** docs */"), vec![TokenKind::DocComment]);
+        assert_eq!(kinds("/*! inner */"), vec![TokenKind::DocComment]);
+        assert_eq!(kinds("/* plain */"), vec![TokenKind::BlockComment]);
+        // `/**/` is an empty plain comment, not a doc comment.
+        assert_eq!(kinds("/**/"), vec![TokenKind::BlockComment]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let toks = sig(r#"let s = "quote \" inside";"#);
+        let lit = toks.iter().find(|(k, _)| *k == TokenKind::StrLit).unwrap();
+        assert_eq!(lit.1, r#""quote \" inside""#);
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_match_hashes() {
+        let toks = sig(r##"let s = r#"has "quotes" and \ slashes"#;"##);
+        let lit = toks.iter().find(|(k, _)| *k == TokenKind::StrLit).unwrap();
+        assert_eq!(lit.1, r##"r#"has "quotes" and \ slashes"#"##);
+        // A comment-looking sequence inside a raw string stays in the string.
+        let toks = sig(r#"r"// not a comment""#);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(sig(r#"b"bytes""#)[0].0, TokenKind::StrLit);
+        assert_eq!(sig(r##"br#"raw bytes"#"##)[0].0, TokenKind::StrLit);
+        assert_eq!(sig("b'x'")[0].0, TokenKind::CharLit);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = sig("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::CharLit).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'x'");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        assert_eq!(sig(r"'\n'")[0], (TokenKind::CharLit, r"'\n'".to_string()));
+        assert_eq!(sig(r"'\''")[0], (TokenKind::CharLit, r"'\''".to_string()));
+        assert_eq!(sig(r"'\u{1F600}'")[0].0, TokenKind::CharLit);
+        assert_eq!(sig("'static")[0], (TokenKind::Lifetime, "'static".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = sig("let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn float_classification() {
+        for float in ["1.0", "1.", "1e-3", "2.5E+7", "2f64", "3f32", "1_000.5"] {
+            let toks = sig(float);
+            assert_eq!(
+                toks[0].0,
+                TokenKind::NumLit { is_float: true },
+                "{float} should lex as a float"
+            );
+        }
+        for int in ["1", "0x1F", "0o77", "0b1010", "42usize", "1_000u64"] {
+            let toks = sig(int);
+            assert_eq!(
+                toks[0].0,
+                TokenKind::NumLit { is_float: false },
+                "{int} should lex as an integer"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_integers_are_not_floats() {
+        let toks = sig("0..10");
+        assert_eq!(toks[0].0, TokenKind::NumLit { is_float: false });
+        assert_eq!(toks[1], (TokenKind::Op, "..".to_string()));
+        let toks = sig("1.max(2)");
+        assert_eq!(toks[0].0, TokenKind::NumLit { is_float: false });
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn multi_char_operators_lex_greedily() {
+        let texts: Vec<String> = sig("a <<= b ..= c == d -> e :: f")
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Op)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(texts, vec!["<<=", "..=", "==", "->", "::"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "/* one\ntwo */\nfn f() {}\n\"a\nb\"\nlast";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].line, 1); // block comment starts on line 1
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 3);
+        let last = toks.iter().find(|t| t.text == "last").unwrap();
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn unterminated_literals_close_at_eof() {
+        // Must not panic or loop forever.
+        assert_eq!(sig("\"never closed").len(), 1);
+        assert_eq!(sig(r##"r#"never closed"##).len(), 1);
+        assert!(!tokenize("/* never closed").is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! `lgo-analyze` — offline static analysis for the lgo workspace.
+//!
+//! The BGMS defense stack sits in a safety-critical loop (CGM → anomaly
+//! detector → BiLSTM forecaster → dosing). A silent NaN in a risk profile,
+//! a `partial_cmp` that misorders NaN scores, or a stray `unwrap()` in a
+//! per-patient stage corrupts exactly the quantities the selective-training
+//! defense depends on. This crate enforces the repo conventions that guard
+//! against that, as a build gate (`scripts/check.sh`) with no external
+//! dependencies so it runs in the same offline environment as the rest of
+//! the workspace.
+//!
+//! * [`lexer`] — hand-rolled Rust tokenizer;
+//! * [`rules`] — the lint catalog (L1–L5) and the per-file engine;
+//! * [`allow`] — `// lint: allow(<rule>): <why>` suppression directives;
+//! * [`report`] — findings plus text/JSON rendering;
+//! * [`walk`] — workspace file discovery.
+//!
+//! ```
+//! use lgo_analyze::{analyze_source, FileScope};
+//!
+//! let src = "fn f(xs: &[f64]) -> f64 { *xs.first().unwrap() }\n";
+//! let findings = analyze_source("demo.rs", src, FileScope::all());
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "L1");
+//! ```
+
+pub mod allow;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{render_json, Finding};
+pub use rules::{analyze_source, FileScope};
+
+use std::path::Path;
+
+/// Scans the workspace rooted at `root`, applying path-derived rule scopes.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading source files.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in walk::workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(scope) = FileScope::for_path(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(analyze_source(&rel, &src, scope));
+    }
+    Ok(findings)
+}

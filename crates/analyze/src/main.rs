@@ -1,0 +1,123 @@
+//! CLI for the lgo workspace lint engine.
+//!
+//! ```text
+//! lgo-analyze --workspace [--root DIR] [--json]   # scan the whole repo
+//! lgo-analyze FILE...     [--json]                # scan files, all rules on
+//! lgo-analyze --list-rules                        # print the lint catalog
+//! ```
+//!
+//! Exits 0 when clean, 1 on findings, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lgo_analyze::{analyze_source, analyze_workspace, render_json, FileScope, Finding};
+
+const RULE_CATALOG: &str = "\
+L1  no .unwrap()/.expect()/panic!/unreachable!/todo!/unimplemented! in non-test
+    library code of the defense crates (core, detect, forecast, nn, tensor,
+    series, cluster); allow with `// lint: allow(L1): <why>`
+L2  no partial_cmp / raw </> comparator closures on floats; use f64::total_cmp
+L3  a pub fn that can panic must return Result or have a try_ twin
+L4  no ==/!= against float literals; compare with an epsilon
+L5  every pub item in lgo-core carries a doc comment
+A0  lint directives must be well-formed and carry a justification
+A1  lint directives must suppress at least one finding";
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    list_rules: bool,
+    root: PathBuf,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root requires a directory".to_string())?,
+                );
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.list_rules && !args.workspace && args.files.is_empty() {
+        return Err("nothing to do: pass --workspace or file paths".to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    if args.workspace {
+        findings.extend(analyze_workspace(&args.root)?);
+    }
+    // Explicit files are scanned with every rule enabled: used for fixture
+    // tests and for checking a file before it lands in a scoped crate.
+    for path in &args.files {
+        let src = std::fs::read_to_string(path)?;
+        findings.extend(analyze_source(&path.to_string_lossy(), &src, FileScope::all()));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("lgo-analyze: {msg}");
+            }
+            eprintln!(
+                "usage: lgo-analyze --workspace [--root DIR] [--json] | FILE... | --list-rules"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        println!("{RULE_CATALOG}");
+        return ExitCode::SUCCESS;
+    }
+    let findings = match run(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lgo-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            println!("lgo-analyze: workspace clean");
+        } else {
+            println!("lgo-analyze: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

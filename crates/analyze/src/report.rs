@@ -1,0 +1,98 @@
+//! Finding type and the text / JSON renderers.
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Rule ID: `L1`..`L5` for lint rules, `A0`/`A1` for allowlist hygiene.
+    pub rule: &'static str,
+    /// Human-readable description with the offending construct named.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: RULE: message` — the grep-able diagnostic format.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Renders findings as a JSON document for machine consumption
+/// (`lgo-analyze --json`). Hand-rolled because the workspace builds offline
+/// without serde.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&f.file),
+            f.line,
+            f.rule,
+            escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_grepable() {
+        let f = Finding {
+            file: "crates/core/src/risk.rs".into(),
+            line: 7,
+            rule: "L1",
+            message: "found `.unwrap()`".into(),
+        };
+        assert_eq!(f.render(), "crates/core/src/risk.rs:7: L1: found `.unwrap()`");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let fs = vec![Finding {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: "L4",
+            message: "x == 1.0".into(),
+        }];
+        let j = render_json(&fs);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn json_empty_findings() {
+        let j = render_json(&[]);
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"count\": 0"));
+    }
+}

@@ -1,0 +1,653 @@
+//! The lint rules.
+//!
+//! | ID | Enforced on | Violation |
+//! |----|-------------|-----------|
+//! | L1 | non-test library code of the seven defense crates | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | L2 | whole workspace (non-test) | `partial_cmp` on floats / raw `<` `>` inside comparator closures — use `f64::total_cmp` |
+//! | L3 | error-layer crates | `pub fn` that can panic without a `try_` twin or `Result` return |
+//! | L4 | whole workspace (non-test) | `==` / `!=` against a float literal |
+//! | L5 | `lgo-core` | `pub` item without a doc comment |
+//!
+//! Rules operate on the token stream from [`crate::lexer`]; test code
+//! (`#[cfg(test)]` items, `#[test]` fns) is masked out first. Findings can
+//! be suppressed with a trailing `// lint: allow(<rule>): <why>` comment —
+//! see [`crate::allow`].
+
+use crate::allow::parse_allows;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::report::Finding;
+
+/// Which rules apply to a given file; derived from its workspace path by
+/// [`FileScope::for_path`], or use [`FileScope::all`] to enforce everything
+/// (explicit-file mode, fixtures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    pub l1: bool,
+    pub l2: bool,
+    pub l3: bool,
+    pub l4: bool,
+    pub l5: bool,
+}
+
+/// The defense-stack library crates where a stray panic corrupts risk
+/// profiles silently (L1/L3 scope).
+pub const LIB_CRATES: &[&str] = &[
+    "core", "detect", "forecast", "nn", "tensor", "series", "cluster",
+];
+
+impl FileScope {
+    /// Every rule enabled.
+    pub fn all() -> Self {
+        FileScope { l1: true, l2: true, l3: true, l4: true, l5: true }
+    }
+
+    /// Scope for a workspace-relative path (`crates/core/src/risk.rs`).
+    ///
+    /// Returns `None` for files the analyzer should not scan at all
+    /// (vendored dependencies, fixture trees).
+    pub fn for_path(rel: &str) -> Option<Self> {
+        let rel = rel.replace('\\', "/");
+        if rel.starts_with("vendor/") || rel.contains("/fixtures/") || rel.starts_with("target/") {
+            return None;
+        }
+        let krate = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("");
+        // Library source excludes binaries, integration tests and benches.
+        let in_lib_src = rel.contains("/src/") && !rel.contains("/src/bin/");
+        let is_test_file = rel.contains("/tests/") || rel.contains("/benches/");
+        let lib_crate = LIB_CRATES.contains(&krate);
+        Some(FileScope {
+            l1: lib_crate && in_lib_src && !is_test_file,
+            l2: !is_test_file,
+            l3: lib_crate && in_lib_src && !is_test_file,
+            l4: !is_test_file,
+            l5: krate == "core" && in_lib_src && !is_test_file,
+        })
+    }
+}
+
+/// Runs every in-scope rule over one file's source text.
+pub fn analyze_source(file: &str, src: &str, scope: FileScope) -> Vec<Finding> {
+    let tokens = tokenize(src);
+    let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let ctx = Ctx { tokens: &tokens, sig: &sig };
+    let test_mask = ctx.test_mask();
+    let mut allows = parse_allows(&tokens);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    site_rules(file, &ctx, &test_mask, scope, &mut raw);
+    if scope.l3 {
+        rule_l3(file, &ctx, &test_mask, &allows, &mut raw);
+    }
+    if scope.l5 {
+        rule_l5(file, &ctx, &test_mask, &mut raw);
+    }
+
+    // Apply the allowlist: a finding survives unless a directive on its
+    // line names its rule.
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.covers(f.rule, f.line) {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    // Allowlist hygiene.
+    for a in &allows {
+        if a.malformed {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "A0",
+                message: "malformed lint directive; expected `// lint: allow(L<n>): <why>`"
+                    .to_string(),
+            });
+        } else if a.justification.is_empty() {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "A0",
+                message: format!(
+                    "allow({}) directive is missing its mandatory justification",
+                    a.rules.join(", ")
+                ),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "A1",
+                message: format!(
+                    "allow({}) directive suppresses nothing; remove it",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Token-stream cursor shared by the rules: `sig[i]` indexes into `tokens`,
+/// skipping comments.
+struct Ctx<'a> {
+    tokens: &'a [Token],
+    sig: &'a [usize],
+}
+
+impl<'a> Ctx<'a> {
+    fn n(&self) -> usize {
+        self.sig.len()
+    }
+
+    fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    fn text(&self, i: usize) -> &str {
+        &self.tok(i).text
+    }
+
+    fn text_at(&self, i: isize) -> &str {
+        if i < 0 || i as usize >= self.n() {
+            ""
+        } else {
+            self.text(i as usize)
+        }
+    }
+
+    /// Marks tokens inside test-only items: `#[cfg(test)] mod`, `#[test]`
+    /// and `#[should_panic]` fns.
+    fn test_mask(&self) -> Vec<bool> {
+        let n = self.n();
+        let mut mask = vec![false; n];
+        let mut i = 0;
+        while i < n {
+            if self.text(i) == "#" && i + 1 < n && self.text(i + 1) == "[" {
+                let (attr_end, is_test) = self.scan_attr(i + 1);
+                if is_test {
+                    // Skip any further attributes before the item itself.
+                    let mut j = attr_end + 1;
+                    while j + 1 < n && self.text(j) == "#" && self.text(j + 1) == "[" {
+                        let (e, _) = self.scan_attr(j + 1);
+                        j = e + 1;
+                    }
+                    let end = self.item_end(j);
+                    for m in mask.iter_mut().take(end.min(n - 1) + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i += 1;
+        }
+        mask
+    }
+
+    /// From the `[` of an attribute, returns (index of matching `]`,
+    /// whether the attribute marks test-only code).
+    fn scan_attr(&self, open: usize) -> (usize, bool) {
+        let n = self.n();
+        let mut depth = 0usize;
+        let mut end = n - 1;
+        for i in open..n {
+            match self.text(i) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let inner: Vec<&str> = (open + 1..end).map(|i| self.text(i)).collect();
+        let is_test = match inner.first() {
+            Some(&"test") | Some(&"should_panic") => true,
+            Some(&"cfg") => !inner.contains(&"not") && inner.contains(&"test"),
+            _ => false,
+        };
+        (end, is_test)
+    }
+
+    /// From the first token of an item, returns the index of its final
+    /// token (`;` at top nesting or the matching `}` of its body).
+    fn item_end(&self, start: usize) -> usize {
+        let n = self.n();
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut i = start;
+        while i < n {
+            match self.text(i) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => return i,
+                "{" if paren == 0 && bracket == 0 => {
+                    return self.match_brace(i);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        n.saturating_sub(1)
+    }
+
+    /// Index of the `}` matching the `{` at `open`.
+    fn match_brace(&self, open: usize) -> usize {
+        let n = self.n();
+        let mut depth = 0isize;
+        for i in open..n {
+            match self.text(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        n - 1
+    }
+
+    /// Index of the `)` matching the `(` at `open`.
+    fn match_paren(&self, open: usize) -> usize {
+        let n = self.n();
+        let mut depth = 0isize;
+        for i in open..n {
+            match self.text(i) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        n - 1
+    }
+
+    /// If sig index `i` is a panic-family site, returns a display name:
+    /// `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / ...
+    fn panic_site(&self, i: usize) -> Option<&'static str> {
+        let t = self.tok(i);
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        let prev = self.text_at(i as isize - 1);
+        let next = self.text_at(i as isize + 1);
+        match t.text.as_str() {
+            "unwrap" if prev == "." && next == "(" => Some(".unwrap()"),
+            "expect" if prev == "." && next == "(" => Some(".expect()"),
+            "panic" if next == "!" && prev != "::" => Some("panic!"),
+            "unreachable" if next == "!" && prev != "::" => Some("unreachable!"),
+            "todo" if next == "!" && prev != "::" => Some("todo!"),
+            "unimplemented" if next == "!" && prev != "::" => Some("unimplemented!"),
+            _ => None,
+        }
+    }
+}
+
+/// Comparator-style adapters whose closure must not use raw `<` / `>`.
+const COMPARATOR_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// Single pass emitting the site-local rules L1, L2 and L4.
+fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: &mut Vec<Finding>) {
+    let n = ctx.n();
+    for (i, &masked) in test_mask.iter().enumerate() {
+        if masked {
+            continue;
+        }
+        let t = ctx.tok(i);
+        // L1: panic-family call sites.
+        if scope.l1 {
+            if let Some(name) = ctx.panic_site(i) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "L1",
+                    message: format!(
+                        "found `{name}` in library code; return a Result through the error \
+                         layer (or justify with `// lint: allow(L1): <why>`)"
+                    ),
+                });
+            }
+        }
+        // L2: NaN-unsound float ordering.
+        if scope.l2 && t.kind == TokenKind::Ident {
+            if t.text == "partial_cmp" {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "L2",
+                    message: "`partial_cmp` on floats is NaN-unsound; use `f64::total_cmp` \
+                              (or `Ord::cmp` for non-float keys)"
+                        .to_string(),
+                });
+            } else if COMPARATOR_FNS.contains(&t.text.as_str())
+                && ctx.text_at(i as isize + 1) == "("
+                && ctx.text_at(i as isize + 2) == "|"
+            {
+                let close = ctx.match_paren(i + 1);
+                for j in i + 2..close {
+                    let op = ctx.text(j);
+                    if matches!(op, "<" | ">" | "<=" | ">=") && ctx.text_at(j as isize - 1) != "::"
+                    {
+                        out.push(Finding {
+                            file: file.to_string(),
+                            line: ctx.tok(j).line,
+                            rule: "L2",
+                            message: format!(
+                                "raw `{op}` inside a `{}` comparator is NaN-unsound; \
+                                 use `total_cmp`/`cmp`",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // L4: float literal equality.
+        if scope.l4 && t.kind == TokenKind::Op && (t.text == "==" || t.text == "!=") {
+            let float_neighbor = |j: isize| -> bool {
+                if j < 0 || j as usize >= n {
+                    return false;
+                }
+                matches!(ctx.tok(j as usize).kind, TokenKind::NumLit { is_float: true })
+            };
+            if float_neighbor(i as isize - 1) || float_neighbor(i as isize + 1) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "L4",
+                    message: format!(
+                        "`{}` against a float literal; compare with an epsilon or justify \
+                         exact comparison with `// lint: allow(L4): <why>`",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// One public function parsed out of the token stream.
+struct PubFn {
+    name: String,
+    line: usize,
+    returns_result: bool,
+    body: Option<(usize, usize)>,
+}
+
+/// L3: a `pub fn` that can panic must have a `try_` twin or return Result.
+fn rule_l3(
+    file: &str,
+    ctx: &Ctx,
+    test_mask: &[bool],
+    allows: &[crate::allow::AllowDirective],
+    out: &mut Vec<Finding>,
+) {
+    let n = ctx.n();
+    // All function names in the file, for `try_` twin lookup.
+    let mut fn_names: Vec<String> = Vec::new();
+    for i in 0..n {
+        if ctx.text(i) == "fn" && i + 1 < n && ctx.tok(i + 1).kind == TokenKind::Ident {
+            fn_names.push(ctx.text(i + 1).to_string());
+        }
+    }
+    for f in collect_pub_fns(ctx, test_mask) {
+        if f.returns_result || f.name.starts_with("try_") {
+            continue;
+        }
+        if fn_names.iter().any(|n| n == &format!("try_{}", f.name)) {
+            continue;
+        }
+        let Some((body_open, body_close)) = f.body else {
+            continue;
+        };
+        // "Can fail" = contains a panic-family site that is not individually
+        // excused via an L1 allow (an excused site is a documented
+        // invariant, not a failure mode).
+        let mut can_fail = None;
+        for (i, &masked) in test_mask
+            .iter()
+            .enumerate()
+            .take(body_close + 1)
+            .skip(body_open)
+        {
+            if masked {
+                continue;
+            }
+            if let Some(site) = ctx.panic_site(i) {
+                let line = ctx.tok(i).line;
+                let excused = allows.iter().any(|a| a.covers("L1", line));
+                if !excused {
+                    can_fail = Some(site);
+                    break;
+                }
+            }
+        }
+        if let Some(site) = can_fail {
+            out.push(Finding {
+                file: file.to_string(),
+                line: f.line,
+                rule: "L3",
+                message: format!(
+                    "pub fn `{}` can panic (contains `{site}`) but neither returns Result \
+                     nor has a `try_{}` twin",
+                    f.name, f.name
+                ),
+            });
+        }
+    }
+}
+
+/// Parses `pub fn` items: name, Result return, body span.
+fn collect_pub_fns(ctx: &Ctx, test_mask: &[bool]) -> Vec<PubFn> {
+    let n = ctx.n();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if test_mask[i] || ctx.text(i) != "pub" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` / `pub(super)` are not public API.
+        if ctx.text_at(j as isize) == "(" {
+            i = ctx.match_paren(j) + 1;
+            continue;
+        }
+        // Skip fn qualifiers (`pub const fn`, `pub unsafe extern "C" fn`, ...).
+        while j < n {
+            let t = ctx.text(j);
+            let qualifier = matches!(t, "async" | "unsafe" | "extern")
+                || (t == "const" && ctx.text_at(j as isize + 1) == "fn")
+                || ctx.tok(j).kind == TokenKind::StrLit;
+            if !qualifier {
+                break;
+            }
+            j += 1;
+        }
+        if j >= n || ctx.text(j) != "fn" {
+            i += 1;
+            continue;
+        }
+        let name_idx = j + 1;
+        if name_idx >= n || ctx.tok(name_idx).kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = ctx.text(name_idx).to_string();
+        let line = ctx.tok(name_idx).line;
+        // Skip generics to the argument list.
+        let mut k = name_idx + 1;
+        if ctx.text_at(k as isize) == "<" {
+            let mut depth = 0isize;
+            while k < n {
+                match ctx.text(k) {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                k += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        if k >= n || ctx.text(k) != "(" {
+            i = name_idx + 1;
+            continue;
+        }
+        let args_close = ctx.match_paren(k);
+        // Return type: tokens after `->` up to the body / `;` / `where`.
+        let mut returns_result = false;
+        let mut m = args_close + 1;
+        if ctx.text_at(m as isize) == "->" {
+            m += 1;
+            while m < n {
+                let t = ctx.text(m);
+                if t == "{" || t == ";" || t == "where" {
+                    break;
+                }
+                if ctx.tok(m).kind == TokenKind::Ident && t.ends_with("Result") {
+                    returns_result = true;
+                }
+                m += 1;
+            }
+        }
+        // Body: first `{` before a `;` (trait methods without bodies end at `;`).
+        let mut body = None;
+        while m < n {
+            match ctx.text(m) {
+                "{" => {
+                    body = Some((m, ctx.match_brace(m)));
+                    break;
+                }
+                ";" => break,
+                _ => m += 1,
+            }
+        }
+        out.push(PubFn { name, line, returns_result, body });
+        i = match body {
+            Some((_, close)) => close + 1,
+            None => m + 1,
+        };
+    }
+    out
+}
+
+/// Item keywords L5 requires documentation on.
+const DOC_ITEMS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "mod", "static", "const", "union",
+];
+
+/// L5: every `pub` item in `lgo-core` carries a doc comment.
+fn rule_l5(file: &str, ctx: &Ctx, test_mask: &[bool], out: &mut Vec<Finding>) {
+    let n = ctx.n();
+    for (i, &masked) in test_mask.iter().enumerate() {
+        if masked || ctx.text(i) != "pub" {
+            continue;
+        }
+        if ctx.text_at(i as isize + 1) == "(" {
+            continue; // pub(crate) / pub(super)
+        }
+        // Find the item keyword, skipping qualifiers.
+        let mut j = i + 1;
+        while j < n
+            && (matches!(ctx.text(j), "async" | "unsafe" | "extern")
+                || ctx.tok(j).kind == TokenKind::StrLit)
+        {
+            j += 1;
+        }
+        let Some(kw) = (j < n).then(|| ctx.text(j)) else {
+            continue;
+        };
+        // `pub const fn` -> fn; `pub const NAME` -> const.
+        let kw = if kw == "const" && ctx.text_at(j as isize + 1) == "fn" { "fn" } else { kw };
+        if !DOC_ITEMS.contains(&kw) {
+            continue; // `pub use` re-exports, struct fields, enum variants...
+        }
+        let name = if j + 1 < n && ctx.tok(j + 1).kind == TokenKind::Ident {
+            ctx.text(j + 1).to_string()
+        } else {
+            kw.to_string()
+        };
+        if !has_doc_before(ctx, i) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: ctx.tok(i).line,
+                rule: "L5",
+                message: format!("public item `{name}` lacks a doc comment (`///`)"),
+            });
+        }
+    }
+}
+
+/// Walks backwards from the `pub` at sig index `i`, skipping attributes and
+/// plain comments, looking for a doc comment.
+fn has_doc_before(ctx: &Ctx, i: usize) -> bool {
+    // Position in the full (comment-bearing) token stream.
+    let mut f = ctx.sig[i];
+    while f > 0 {
+        f -= 1;
+        let t = &ctx.tokens[f];
+        match t.kind {
+            // Inner docs (`//!`, `/*!`) document the enclosing module, not
+            // the item that happens to follow them.
+            TokenKind::DocComment => {
+                if t.text.starts_with("//!") || t.text.starts_with("/*!") {
+                    continue;
+                }
+                return true;
+            }
+            TokenKind::LineComment | TokenKind::BlockComment => continue,
+            TokenKind::Op if t.text == "]" => {
+                // Skip an attribute `#[ ... ]` (or inner `#![ ... ]`).
+                let mut depth = 1isize;
+                while f > 0 && depth > 0 {
+                    f -= 1;
+                    match ctx.tokens[f].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if f > 0 && ctx.tokens[f - 1].text == "!" {
+                    f -= 1;
+                }
+                if f > 0 && ctx.tokens[f - 1].text == "#" {
+                    f -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}

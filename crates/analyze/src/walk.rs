@@ -1,0 +1,43 @@
+//! Workspace file discovery.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored
+/// third-party stand-ins, test fixtures with deliberate violations, and
+/// test/bench trees (test code is out of scope for every rule).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", "tests", "benches", ".git"];
+
+/// Collects every `.rs` file under `root` that the workspace scan should
+/// lint, sorted for deterministic output. Returns workspace-relative paths.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    // The facade crate's `src/` plus everything under `crates/`.
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! L1 fixture: panic-family call sites in library code.
+//!
+//! Trailing tilde markers declare the findings the analyzer must report
+//! for that line; see `tests/golden.rs`. Scope: L1 only.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap() //~ L1
+}
+
+pub fn second(xs: &[f64]) -> f64 {
+    *xs.get(1).expect("len checked above") //~ L1
+}
+
+pub fn stop() -> ! {
+    panic!("boom") //~ L1
+}
+
+pub fn switch(v: u8) -> u8 {
+    match v {
+        0 => 1,
+        1 => todo!(), //~ L1
+        2 => unimplemented!(), //~ L1
+        _ => unreachable!(), //~ L1
+    }
+}
+
+pub fn excused_trailing(xs: &[f64]) -> f64 {
+    *xs.first().unwrap() // lint: allow(L1): caller guarantees nonempty input
+}
+
+pub fn excused_standalone(xs: &[f64]) -> f64 {
+    // lint: allow(L1): caller guarantees nonempty input
+    *xs.first().unwrap()
+}
+
+pub fn not_code() -> &'static str {
+    "mentioning .unwrap() or panic! inside a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_masked() {
+        assert_eq!(*[1.0_f64].first().unwrap(), 1.0);
+    }
+}

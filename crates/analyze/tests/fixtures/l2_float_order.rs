@@ -1,0 +1,30 @@
+//! L2 fixture: NaN-unsound float ordering. Scope: L2 only.
+
+pub fn ranked(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ L2
+    xs
+}
+
+pub fn raw_less_than(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| if a < b { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater }); //~ L2
+    xs
+}
+
+pub fn raw_greater_in_max_by(xs: &[f64]) -> Option<&f64> {
+    xs.iter()
+        .max_by(|a, b| if a > b { std::cmp::Ordering::Greater } else { std::cmp::Ordering::Less }) //~ L2
+}
+
+pub fn clean_total_cmp(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}
+
+pub fn clean_integer_keys(mut xs: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    xs.sort_by(|a, b| a.0.cmp(&b.0));
+    xs
+}
+
+pub fn comparisons_outside_comparators_are_fine(x: f64, y: f64) -> bool {
+    x < y
+}

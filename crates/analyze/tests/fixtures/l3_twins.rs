@@ -1,0 +1,28 @@
+//! L3 fixture: a `pub fn` that can panic needs a `try_` twin or a Result
+//! return. Scope: L1 + L3 (as in the real lib-crate scope, so that L1
+//! allow directives are consumed the same way).
+
+pub fn lonely(xs: &[f64]) -> f64 { //~ L3
+    *xs.first().unwrap() //~ L1
+}
+
+pub fn twinned(xs: &[f64]) -> f64 {
+    *xs.first().unwrap() //~ L1
+}
+
+pub fn try_twinned(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn returns_result(xs: &[f64]) -> Result<f64, String> {
+    Ok(*xs.first().unwrap()) //~ L1
+}
+
+pub fn excused_site_is_an_invariant(xs: &[f64]) -> f64 {
+    // lint: allow(L1): documented precondition; xs is nonempty per # Panics
+    *xs.first().unwrap()
+}
+
+pub fn infallible(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

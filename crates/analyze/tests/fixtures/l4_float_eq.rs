@@ -1,0 +1,30 @@
+//! L4 fixture: equality against float literals. Scope: L4 only.
+
+pub fn is_flag(v: f64) -> bool {
+    v == 1.0 //~ L4
+}
+
+pub fn literal_on_the_left(v: f64) -> bool {
+    0.0 != v //~ L4
+}
+
+pub fn exponent_literal(v: f64) -> bool {
+    v == 1e-3 //~ L4
+}
+
+pub fn suffixed_literal(v: f64) -> bool {
+    v == 2f64 //~ L4
+}
+
+pub fn integer_equality_is_fine(v: usize) -> bool {
+    v == 1
+}
+
+pub fn excused(v: f64) -> bool {
+    // lint: allow(L4): 0/1 flag channel stored exactly
+    v == 1.0
+}
+
+pub fn epsilon_comparison_is_fine(v: f64) -> bool {
+    (v - 1.0).abs() < 1e-9
+}

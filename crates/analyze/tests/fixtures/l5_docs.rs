@@ -1,0 +1,29 @@
+//! L5 fixture: every public item carries a doc comment. Scope: L5 only.
+
+pub struct Undocumented; //~ L5
+
+/// Documented.
+pub struct Documented;
+
+pub fn naked() {} //~ L5
+
+/// Documented function.
+pub fn covered() {}
+
+/// Documentation above an attribute still counts.
+#[derive(Clone)]
+pub struct Attributed;
+
+pub const LIMIT: usize = 10; //~ L5
+
+/// Documented module.
+pub mod inner {
+    pub enum Kind { //~ L5
+        A,
+        B,
+    }
+}
+
+pub(crate) fn crate_private_needs_no_docs() {}
+
+pub use std::f64::consts::PI;

@@ -1,0 +1,117 @@
+//! Golden-file tests for the lint engine.
+//!
+//! Each fixture under `tests/fixtures/` is a plain Rust source file (never
+//! compiled) that declares its own expected findings with trailing
+//! `//~ <RULE>` markers, compiletest-style. The harness lexes and analyzes
+//! the fixture text, then diffs the `(line, rule)` set against the markers,
+//! so a fixture documents the analyzer's exact behaviour line by line.
+
+use lgo_analyze::{analyze_source, FileScope};
+
+fn scope(l1: bool, l2: bool, l3: bool, l4: bool, l5: bool) -> FileScope {
+    FileScope { l1, l2, l3, l4, l5 }
+}
+
+/// `(line, rule)` pairs declared by `//~` markers in the fixture text.
+fn expected_findings(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for rule in line[pos + 3..].split_whitespace() {
+                out.push((idx + 1, rule.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn check_fixture(name: &str, scope: FileScope) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+    let mut found: Vec<(usize, String)> = analyze_source(name, &src, scope)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        expected_findings(&src),
+        "fixture {name}: analyzer findings (left) disagree with //~ markers (right)"
+    );
+}
+
+#[test]
+fn l1_panic_sites() {
+    check_fixture("l1_sites.rs", scope(true, false, false, false, false));
+}
+
+#[test]
+fn l2_float_ordering() {
+    check_fixture("l2_float_order.rs", scope(false, true, false, false, false));
+}
+
+#[test]
+fn l3_try_twins() {
+    // L1 + L3 together, as in the real lib-crate scope, so that allow(L1)
+    // directives are consumed exactly like they are in the workspace.
+    check_fixture("l3_twins.rs", scope(true, false, true, false, false));
+}
+
+#[test]
+fn l4_float_literal_equality() {
+    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false));
+}
+
+#[test]
+fn l5_missing_docs() {
+    check_fixture("l5_docs.rs", scope(false, false, false, false, true));
+}
+
+#[test]
+fn allowlist_hygiene() {
+    check_fixture("allow_hygiene.rs", FileScope::all());
+}
+
+#[test]
+fn clean_file_reports_nothing() {
+    check_fixture("clean.rs", FileScope::all());
+}
+
+#[test]
+fn fixture_trees_are_out_of_scope() {
+    assert_eq!(
+        FileScope::for_path("crates/analyze/tests/fixtures/l1_sites.rs"),
+        None
+    );
+    assert_eq!(FileScope::for_path("vendor/rand/src/lib.rs"), None);
+}
+
+#[test]
+fn workspace_path_scoping() {
+    let core = FileScope::for_path("crates/core/src/risk.rs").unwrap();
+    assert!(core.l1 && core.l3 && core.l5);
+    let bench_bin = FileScope::for_path("crates/bench/src/bin/exp_fig4.rs").unwrap();
+    assert!(!bench_bin.l1 && bench_bin.l2 && bench_bin.l4 && !bench_bin.l5);
+    let test_file = FileScope::for_path("crates/detect/tests/integration.rs").unwrap();
+    assert!(!test_file.l1 && !test_file.l2 && !test_file.l4);
+}
+
+/// The whole point of the crate: the workspace itself stays lint-clean.
+/// This pins the invariant into `cargo test` as well as `scripts/check.sh`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate dir has a workspace root two levels up")
+        .to_path_buf();
+    let findings = lgo_analyze::analyze_workspace(&root).expect("workspace walk");
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -370,11 +370,10 @@ impl<I: Clone> Explorer<I> for BeamExplorer {
             if next.is_empty() {
                 break;
             }
-            next.sort_by(|a, b| {
-                goal.score(b.1)
-                    .partial_cmp(&goal.score(a.1))
-                    .expect("scores are finite")
-            });
+            // total_cmp keeps the beam ordering deterministic even if a
+            // score goes NaN (it sinks below every real in this descending
+            // sort) instead of panicking mid-attack.
+            next.sort_by(|a, b| goal.score(b.1).total_cmp(&goal.score(a.1)));
             next.truncate(self.width);
             frontier = next;
         }

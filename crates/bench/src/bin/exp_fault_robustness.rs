@@ -10,8 +10,9 @@
 //! output is a JSON document mapping fault rate to per-detector metrics,
 //! so degradation curves can be plotted directly.
 
+use lgo_core::error::LgoError;
 use lgo_core::pipeline::benign_windows;
-use lgo_core::profile::{profile_patient, ProfilerConfig};
+use lgo_core::profile::{try_profile_patient, ProfilerConfig};
 use lgo_core::selective::{
     evaluate_on_patient, train_detector_with_fallback, DetectorKind, PatientData,
 };
@@ -70,7 +71,7 @@ fn json_key(kind: DetectorKind) -> &'static str {
     }
 }
 
-fn main() {
+fn main() -> Result<(), LgoError> {
     let scale = Scale::from_env();
     // Progress goes to stderr so stdout is a clean JSON document.
     eprintln!(
@@ -99,29 +100,27 @@ fn main() {
     // Steps 0–3 once, on clean data: personalized forecasters, minimal
     // (stealthy) attack campaigns, benign/malicious window extraction.
     eprintln!("profiling {} patients on clean data ...", datasets.len());
-    let cohort: Vec<PatientData> = datasets
-        .iter()
-        .map(|d| {
-            let forecaster = GlucoseForecaster::train_personalized(&d.train, &fc);
-            let test_minimal = profile_patient(&forecaster, d.profile.id, &d.test, &minimal);
-            let train_minimal = profile_patient(
-                &forecaster,
-                d.profile.id,
-                &d.train,
-                &ProfilerConfig {
-                    stride: config.train_attack_stride,
-                    ..minimal.clone()
-                },
-            );
-            PatientData {
-                patient: d.profile.id,
-                train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
-                train_malicious: train_minimal.manipulated_windows(),
-                test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
-                test_malicious: test_minimal.manipulated_windows(),
-            }
-        })
-        .collect();
+    let mut cohort: Vec<PatientData> = Vec::with_capacity(datasets.len());
+    for d in &datasets {
+        let forecaster = GlucoseForecaster::try_train_personalized(&d.train, &fc)?;
+        let test_minimal = try_profile_patient(&forecaster, d.profile.id, &d.test, &minimal)?;
+        let train_minimal = try_profile_patient(
+            &forecaster,
+            d.profile.id,
+            &d.train,
+            &ProfilerConfig {
+                stride: config.train_attack_stride,
+                ..minimal.clone()
+            },
+        )?;
+        cohort.push(PatientData {
+            patient: d.profile.id,
+            train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
+            train_malicious: train_minimal.manipulated_windows(),
+            test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
+            test_malicious: test_minimal.manipulated_windows(),
+        });
+    }
     let malicious: Vec<Window> = cohort
         .iter()
         .flat_map(|d| d.train_malicious.iter().cloned())
@@ -193,4 +192,5 @@ fn main() {
         baseline.join(", "),
         sweep_rows.join(",\n")
     );
+    Ok(())
 }

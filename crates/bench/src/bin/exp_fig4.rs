@@ -25,6 +25,7 @@ fn main() {
             let cgm = series.channel("cgm").expect("cgm channel");
             let fasting = series.channel("fasting").expect("fasting channel");
             let c = QuadrantCounts::tally(
+                // lint: allow(L4): fasting is a 0/1 flag channel stored exactly
                 cgm.iter().zip(&fasting).map(|(&g, &f)| (g, f == 1.0, false)),
                 &thresholds,
             );

@@ -65,6 +65,7 @@ fn main() {
             let cgm = series.channel("cgm").expect("cgm");
             let fasting = series.channel("fasting").expect("fasting");
             for (&g, &f) in cgm.iter().zip(&fasting) {
+                // lint: allow(L4): fasting is a 0/1 flag channel stored exactly
                 match thresholds.classify(g, f == 1.0) {
                     lgo_core::state::GlucoseState::Normal => normal += 1,
                     _ => abnormal += 1,

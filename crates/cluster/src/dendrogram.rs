@@ -105,6 +105,7 @@ impl Dendrogram {
         }
         match Self::try_new(n_leaves, merges) {
             Ok(d) => d,
+            // lint: allow(L1): documented panicking wrapper; try_new is the checked path
             Err(e) => panic!("Dendrogram: {e}"),
         }
     }
@@ -161,14 +162,10 @@ impl Dendrogram {
             return None;
         }
         let mut heights: Vec<f64> = self.merges.iter().map(|m| m.height).collect();
-        heights.sort_by(|a, b| a.partial_cmp(b).expect("finite heights"));
+        heights.sort_by(f64::total_cmp);
         heights
             .windows(2)
-            .max_by(|a, b| {
-                (a[1] - a[0])
-                    .partial_cmp(&(b[1] - b[0]))
-                    .expect("finite heights")
-            })
+            .max_by(|a, b| (a[1] - a[0]).total_cmp(&(b[1] - b[0])))
             .map(|w| (w[0], w[1]))
     }
 
@@ -219,8 +216,7 @@ impl Dendrogram {
         order.sort_by(|&a, &b| {
             self.merges[a]
                 .height
-                .partial_cmp(&self.merges[b].height)
-                .expect("finite heights")
+                .total_cmp(&self.merges[b].height)
                 .then(a.cmp(&b))
         });
         let to_apply = self.n_leaves - k;
@@ -377,7 +373,7 @@ impl Dendrogram {
             vx += (x - mx) * (x - mx);
             vy += (y - my) * (y - my);
         }
-        if vx == 0.0 || vy == 0.0 {
+        if vx == 0.0 || vy == 0.0 { // lint: allow(L4): zero variance is the exact degenerate case, not a rounding artifact
             return None;
         }
         Some(cov / (vx.sqrt() * vy.sqrt()))

@@ -42,7 +42,14 @@ pub fn dtw(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
         let hi = (i + w).min(m);
         for j in lo..=hi {
             let cost = (a[i - 1] - b[j - 1]).abs();
-            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            // IEEE `f64::min` silently discards NaN operands, which would let
+            // a corrupted cell vanish from the alignment; total_cmp orders
+            // NaN above infinity so a poisoned path can never win, and the
+            // `cost +` term still propagates NaN from the current pair.
+            let best = [prev[j], curr[j - 1], prev[j - 1]]
+                .into_iter()
+                .min_by(|x, y| x.total_cmp(y))
+                .unwrap_or(f64::INFINITY);
             curr[j] = cost + best;
         }
         std::mem::swap(&mut prev, &mut curr);
@@ -121,10 +128,10 @@ mod tests {
             vec![1.0, 1.0, 1.0],
         ];
         let d = dtw_distance_matrix(&series, None);
-        for i in 0..3 {
-            assert_eq!(d[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, d[j][i]);
             }
         }
     }

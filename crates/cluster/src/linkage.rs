@@ -117,17 +117,21 @@ pub fn agglomerate(distances: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
                     continue;
                 }
                 let d = work[i][j];
-                if best.is_none_or(|(_, _, bd)| d < bd) {
+                // total_cmp keeps the scan deterministic even if a distance
+                // degrades to NaN (NaN orders above every real, so it can
+                // never win the minimum).
+                if best.is_none_or(|(_, _, bd)| d.total_cmp(&bd).is_lt()) {
                     best = Some((i, j, d));
                 }
             }
         }
+        // lint: allow(L1): n - step active slots remain, so step < n - 1 guarantees a pair
         let (i, j, d) = best.expect("at least two active clusters");
         let (ni, nj) = (size[i] as f64, size[j] as f64);
         let height = if squared { d.max(0.0).sqrt() } else { d };
         merges.push(Merge {
-            left: node_of[i].expect("active"),
-            right: node_of[j].expect("active"),
+            left: node_of[i].expect("active"), // lint: allow(L1): slot i passed the is_none guard in the scan above
+            right: node_of[j].expect("active"), // lint: allow(L1): slot j passed the is_none guard in the scan above
             height,
             size: size[i] + size[j],
         });

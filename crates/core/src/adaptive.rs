@@ -95,7 +95,7 @@ impl AdaptiveProfiler {
             profiles,
             clusters,
         });
-        self.history.last().expect("just pushed")
+        self.history.last().expect("just pushed") // lint: allow(L1): an EpochRecord was pushed on the line above
     }
 
     /// The most recent epoch, if any reassessment has run.

@@ -35,13 +35,23 @@
 //! assert_eq!(table.coefficient(GlucoseState::Normal, GlucoseState::Normal), 0.0);
 //! ```
 
+/// Periodic cohort reassessment: re-profiling and re-clustering over epochs.
 pub mod adaptive;
+/// The crate-wide [`LgoError`](error::LgoError) type and conversions.
 pub mod error;
+/// The end-to-end five-step defense pipeline.
 pub mod pipeline;
+/// Per-patient risk profiling via greedy evasion attacks.
 pub mod profile;
+/// Figure-6 quadrant analysis (benign/malicious × normal/abnormal).
 pub mod quadrant;
+/// Risk quantification `Z_t` (Equation 1).
 pub mod risk;
+/// Selective training strategies and detector evaluation (Table II).
 pub mod selective;
+/// The severity coefficient table (Table I).
 pub mod severity;
+/// Glucose state discretization (hypo/normal/hyper).
 pub mod state;
+/// Vulnerability clustering of risk profiles (dendrogram cut).
 pub mod vuln;

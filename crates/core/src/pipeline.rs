@@ -168,6 +168,7 @@ pub fn benign_windows(series: &MultiSeries, seq_len: usize, stride: usize) -> Ve
 pub fn run_pipeline(config: &PipelineConfig) -> PipelineReport {
     match try_run_pipeline(config) {
         Ok(r) => r,
+        // lint: allow(L1): documented panicking wrapper; try_run_pipeline is the checked path
         Err(e) => panic!("run_pipeline: {e}"),
     }
 }

@@ -126,6 +126,7 @@ impl PatientAttackProfile {
 pub fn attack_cases(series: &MultiSeries, seq_len: usize, stride: usize) -> Vec<CgmCase> {
     match try_attack_cases(series, seq_len, stride) {
         Ok(cases) => cases,
+        // lint: allow(L1): documented panicking wrapper; try_attack_cases is the checked path
         Err(e) => panic!("attack_cases: {e}"),
     }
 }
@@ -159,7 +160,7 @@ pub fn try_attack_cases(
                 cases.push(CgmCase {
                     index: end,
                     window,
-                    fasting: fasting[end] == 1.0,
+                    fasting: fasting[end] == 1.0, // lint: allow(L4): fasting is a 0/1 flag channel stored exactly
                 });
             }
         }
@@ -187,6 +188,7 @@ pub fn profile_patient(
 ) -> PatientAttackProfile {
     match try_profile_patient(forecaster, patient, series, config) {
         Ok(p) => p,
+        // lint: allow(L1): documented panicking wrapper; try_profile_patient is the checked path
         Err(e) => panic!("profile_patient: {e}"),
     }
 }

@@ -203,6 +203,7 @@ impl StrategyEvaluation {
 
     fn stats(&self, f: impl Fn(&PatientMetrics) -> f64) -> BoxStats {
         let vals: Vec<f64> = self.per_patient.iter().map(|(_, m)| f(m)).collect();
+        // lint: allow(L1): documented # Panics contract — the *_stats accessors require at least one evaluated patient
         BoxStats::from_values(&vals).expect("evaluated at least one patient")
     }
 
@@ -236,6 +237,7 @@ pub fn training_rosters(
 ) -> Vec<Vec<PatientId>> {
     match try_training_rosters(strategy, cohort, less_vulnerable, more_vulnerable) {
         Ok(r) => r,
+        // lint: allow(L1): documented panicking wrapper; try_training_rosters is the checked path
         Err(e) => panic!("training_rosters: {e}"),
     }
 }
@@ -294,6 +296,7 @@ pub fn train_detector(
 ) -> Box<dyn AnomalyDetector> {
     match try_train_detector(kind, benign, malicious, configs) {
         Ok(d) => d,
+        // lint: allow(L1): documented panicking wrapper; try_train_detector is the checked path
         Err(e) => panic!("train_detector: {e}"),
     }
 }
@@ -365,6 +368,7 @@ pub fn train_detector_with_fallback(
             Err(e) => last = Some(e),
         }
     }
+    // lint: allow(L1): fallback_chain() always returns at least one candidate, so `last` was set
     Err(match last.expect("fallback chain is never empty") {
         LgoError::Detect(e) => LgoError::DetectorChainExhausted { last: e },
         other => other,
@@ -408,6 +412,7 @@ pub fn evaluate_strategy(
     match try_evaluate_strategy(strategy, kind, cohort, less_vulnerable, more_vulnerable, configs)
     {
         Ok(e) => e,
+        // lint: allow(L1): documented panicking wrapper; try_evaluate_strategy is the checked path
         Err(e) => panic!("evaluate_strategy: {e}"),
     }
 }

@@ -131,7 +131,10 @@ impl SeverityTable {
                     .map(move |a| (b, a, self.coefficient(b, a)))
             })
             .collect();
-        rows.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite coefficients"));
+        // total_cmp keeps the ranking deterministic even if a coefficient is
+        // NaN (it sorts below every real in descending order) instead of
+        // panicking mid-report.
+        rows.sort_by(|x, y| y.2.total_cmp(&x.2));
         rows
     }
 }

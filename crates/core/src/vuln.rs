@@ -97,6 +97,7 @@ pub fn cluster_vulnerability(
 ) -> VulnerabilityClusters {
     match try_cluster_vulnerability(profiles, linkage) {
         Ok(c) => c,
+        // lint: allow(L1): documented panicking wrapper; try_cluster_vulnerability is the checked path
         Err(e) => panic!("cluster_vulnerability: {e}"),
     }
 }
@@ -231,6 +232,7 @@ pub fn cluster_cohort(
 ) -> CohortClusters {
     match try_cluster_cohort(profiles, linkage) {
         Ok(c) => c,
+        // lint: allow(L1): documented panicking wrapper; try_cluster_cohort is the checked path
         Err(e) => panic!("cluster_cohort: {e}"),
     }
 }

@@ -89,14 +89,12 @@ impl KdTree {
                     }
                     hi - lo
                 };
-                spread(a).partial_cmp(&spread(b)).expect("no NaN")
+                spread(a).total_cmp(&spread(b))
             })
             .unwrap_or(depth % dim.max(1));
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            self.points[a][axis]
-                .partial_cmp(&self.points[b][axis])
-                .expect("no NaN")
+            self.points[a][axis].total_cmp(&self.points[b][axis])
         });
         let value = self.points[idx[mid]][axis];
         let (left_idx, right_idx) = idx.split_at_mut(mid);
@@ -150,7 +148,7 @@ impl KdTree {
         // Max-heap by distance (keep the k best).
         let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
         self.search(root, query, k, &mut heap);
-        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
         heap.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
     }
 
@@ -165,10 +163,10 @@ impl KdTree {
                         .sum();
                     if heap.len() < k {
                         heap.push((d2, i));
-                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+                        heap.sort_by(|a, b| b.0.total_cmp(&a.0));
                     } else if d2 < heap[0].0 {
                         heap[0] = (d2, i);
-                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+                        heap.sort_by(|a, b| b.0.total_cmp(&a.0));
                     }
                 }
             }

@@ -79,6 +79,7 @@ impl KnnDetector {
     pub fn fit(benign: &[Window], malicious: &[Window], config: &KnnConfig) -> Self {
         match Self::try_fit(benign, malicious, config) {
             Ok(d) => d,
+            // lint: allow(L1): documented panicking wrapper; try_fit is the checked path
             Err(e) => panic!("KnnDetector: {e}"),
         }
     }
@@ -136,7 +137,7 @@ impl KnnDetector {
         // units); queries are scaled with the same training statistics.
         let mut scaler = MinMaxScaler::new();
         scaler.try_fit(&points)?;
-        let points = scaler.transform(&points).expect("fit on these points");
+        let points = scaler.transform(&points)?;
         let use_tree = match config.algorithm {
             KnnAlgorithm::Brute => false,
             KnnAlgorithm::KdTree => {
@@ -214,6 +215,7 @@ impl AnomalyDetector for KnnDetector {
         let query = self
             .scaler
             .transform_row(&flatten(window))
+            // lint: allow(L1): AnomalyDetector::score is infallible by trait contract; a width mismatch is a caller bug, and the pipeline isolates detector panics per patient
             .expect("query width matches training width");
         self.malicious_fraction(&query) - 0.5
     }

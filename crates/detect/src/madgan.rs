@@ -103,6 +103,7 @@ impl MadGan {
     pub fn fit(windows: &[Window], config: &MadGanConfig) -> Self {
         match Self::try_fit(windows, config) {
             Ok(gan) => gan,
+            // lint: allow(L1): documented panicking wrapper; try_fit is the checked path
             Err(e) => panic!("MadGan: {e}"),
         }
     }
@@ -158,8 +159,8 @@ impl MadGan {
         scaler.try_fit(&all_rows)?;
         let scaled: Vec<Window> = windows
             .iter()
-            .map(|w| scaler.transform(w).expect("fit on these rows"))
-            .collect();
+            .map(|w| scaler.transform(w))
+            .collect::<Result<_, _>>()?;
 
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut generator = LstmSeq2Seq::new(
@@ -223,6 +224,7 @@ impl MadGan {
             .map(|w| gan.dr_score(w))
             .collect();
         gan.threshold = lgo_series::stats::quantile(&train_scores, config.threshold_quantile)
+            // lint: allow(L1): windows is nonempty (checked at entry) and stride >= 1, so at least one score exists
             .expect("nonempty scores");
         Ok(gan)
     }
@@ -250,22 +252,36 @@ impl MadGan {
     ///
     /// # Panics
     ///
-    /// Panics if the window length differs from the configured `seq_len`.
+    /// Panics if the window length or width differs from the training
+    /// windows'. Use [`try_dr_score`](Self::try_dr_score) to handle
+    /// malformed windows gracefully.
     pub fn dr_score(&self, window: &Window) -> f64 {
-        assert_eq!(
-            window.len(),
-            self.config.seq_len,
-            "dr_score: window length {} != seq_len {}",
-            window.len(),
-            self.config.seq_len
-        );
-        let x = self
-            .scaler
-            .transform(window)
-            .expect("dr_score: bad window width");
+        match self.try_dr_score(window) {
+            Ok(score) => score,
+            // lint: allow(L1): documented panicking wrapper; try_dr_score is the checked path
+            Err(e) => panic!("dr_score: {e}"),
+        }
+    }
+
+    /// Fallible [`dr_score`](Self::dr_score).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::WindowLength`] when the window length differs
+    /// from the configured `seq_len`, and [`DetectError::Scaler`] when its
+    /// width differs from the training windows'.
+    pub fn try_dr_score(&self, window: &Window) -> Result<f64, DetectError> {
+        if window.len() != self.config.seq_len {
+            return Err(DetectError::WindowLength {
+                index: 0,
+                got: window.len(),
+                expected: self.config.seq_len,
+            });
+        }
+        let x = self.scaler.transform(window)?;
         let d = self.discriminator.probability(&x);
         let residual = self.reconstruction_residual(&x);
-        self.config.lambda * residual + (1.0 - self.config.lambda) * (1.0 - d)
+        Ok(self.config.lambda * residual + (1.0 - self.config.lambda) * (1.0 - d))
     }
 
     /// Best-effort reconstruction residual via latent-space gradient
@@ -409,10 +425,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window length")]
+    #[should_panic(expected = "has length 5 (expected 12)")]
     fn wrong_window_length_rejected() {
         let gan = MadGan::fit(&training_set(), &quick_cfg());
         let _ = gan.dr_score(&vec![vec![0.5; 4]; 5]);
+    }
+
+    #[test]
+    fn try_dr_score_reports_malformed_windows() {
+        let gan = MadGan::fit(&training_set(), &quick_cfg());
+        let err = gan.try_dr_score(&vec![vec![0.5; 4]; 5]).unwrap_err();
+        assert!(matches!(
+            err,
+            DetectError::WindowLength {
+                got: 5,
+                expected: 12,
+                ..
+            }
+        ));
+        // A well-formed window agrees with the panicking path.
+        let w = smooth_window(0.7);
+        assert_eq!(gan.try_dr_score(&w).unwrap(), gan.dr_score(&w));
     }
 
     #[test]

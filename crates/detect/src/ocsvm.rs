@@ -159,6 +159,7 @@ impl OneClassSvm {
     pub fn fit(windows: &[Window], config: &OcSvmConfig) -> Self {
         match Self::try_fit(windows, config) {
             Ok(svm) => svm,
+            // lint: allow(L1): documented panicking wrapper; try_fit is the checked path
             Err(e) => panic!("OneClassSvm: {e}"),
         }
     }
@@ -203,7 +204,7 @@ impl OneClassSvm {
         // meaningless on raw mixed-unit channels.
         let mut scaler = StandardScaler::new();
         scaler.try_fit(&points)?;
-        let points = scaler.transform(&points).expect("fit on these points");
+        let points = scaler.transform(&points)?;
         let kernel = match config.kernel {
             KernelSpec::Fixed(k) => k,
             KernelSpec::SigmoidAuto { coef0 } => Kernel::Sigmoid {
@@ -333,22 +334,43 @@ impl OneClassSvm {
             let decisions: Vec<f64> = windows
                 .iter()
                 .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
-                .map(|w| svm.decision_function(w))
-                .collect();
-            svm.threshold =
-                lgo_series::stats::quantile(&decisions, q).expect("nonempty training set");
+                .map(|w| svm.try_decision_function(w))
+                .collect::<Result<_, _>>()?;
+            svm.threshold = lgo_series::stats::quantile(&decisions, q)
+                // lint: allow(L1): at least one finite window exists (NoFiniteWindows otherwise), so decisions is nonempty
+                .expect("nonempty training set");
         }
         Ok(svm)
     }
 
     /// Decision function `f(x) = Σ αᵢ K(xᵢ, x) − ρ` on the standardized
     /// input; lower values are more anomalous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened window width differs from the training
+    /// windows'. Use [`try_decision_function`](Self::try_decision_function)
+    /// to handle malformed windows gracefully.
     pub fn decision_function(&self, window: &Window) -> f64 {
+        match self.try_decision_function(window) {
+            Ok(f) => f,
+            // lint: allow(L1): documented panicking wrapper; try_decision_function is the checked path
+            Err(e) => panic!("decision_function: {e}"),
+        }
+    }
+
+    /// Fallible [`decision_function`](Self::decision_function).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Scaler`] when the flattened window width
+    /// differs from the training windows'.
+    pub fn try_decision_function(&self, window: &Window) -> Result<f64, DetectError> {
         let x = self
             .scaler
-            .transform(&[flatten(window)])
-            .expect("query width matches training width")
+            .transform(&[flatten(window)])?
             .pop()
+            // lint: allow(L1): StandardScaler::transform returns exactly one row per input row
             .expect("one row in, one row out");
         let s: f64 = self
             .support
@@ -356,7 +378,7 @@ impl OneClassSvm {
             .zip(&self.alphas)
             .map(|(sv, &a)| a * self.kernel.eval(sv, &x))
             .sum();
-        s - self.rho
+        Ok(s - self.rho)
     }
 
     /// The calibrated anomaly cutoff on the decision function (0 when the

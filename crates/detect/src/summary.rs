@@ -68,7 +68,14 @@ pub fn cgm_summary_mode(window: &Window, mode: SummaryMode) -> Vec<f64> {
     let n = cgm.len();
     let last = cgm[n - 1];
     let recent = &cgm[n.saturating_sub(3)..];
-    let max_recent = recent.iter().cloned().fold(f64::MIN, f64::max);
+    // IEEE `f64::max` ignores NaN operands, which would silently drop a
+    // corrupted reading from the summary; total_cmp ranks NaN above every
+    // real, so corruption surfaces in the feature instead of vanishing.
+    let max_recent = recent
+        .iter()
+        .copied()
+        .max_by(|a, b| a.total_cmp(b))
+        .unwrap_or(f64::MIN);
     match mode {
         SummaryMode::Value => vec![last, max_recent],
         SummaryMode::Context => {

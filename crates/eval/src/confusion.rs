@@ -75,7 +75,7 @@ impl ConfusionMatrix {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
+        if p + r == 0.0 { // lint: allow(L4): p and r are nonnegative ratios; the sum is exactly 0.0 only when both are
             0.0
         } else {
             2.0 * p * r / (p + r)

@@ -58,6 +58,13 @@ pub enum ForecastError {
         /// The absent channel name.
         name: String,
     },
+    /// A prediction window's length differs from the configured `seq_len`.
+    WindowLength {
+        /// Supplied window length.
+        got: usize,
+        /// Configured `seq_len`.
+        expected: usize,
+    },
     /// Every supervised sample contained a non-finite value — the data is
     /// too degraded (e.g. a fully dropped-out CGM trace) to train on.
     NoUsableSamples,
@@ -82,6 +89,9 @@ impl fmt::Display for ForecastError {
             ),
             ForecastError::MissingChannel { name } => {
                 write!(f, "series lacks required channel `{name}`")
+            }
+            ForecastError::WindowLength { got, expected } => {
+                write!(f, "window length {got} != seq_len {expected}")
             }
             ForecastError::NoUsableSamples => {
                 write!(f, "no finite supervised samples — data too degraded")
@@ -197,14 +207,52 @@ pub fn feature_window_sized(
 
 /// Builds raw (unscaled) supervised samples from a series: feature windows
 /// paired with the CGM value `horizon` steps past the window end.
+///
+/// # Panics
+///
+/// Panics if the series lacks one of the [`FEATURES`] channels. Use
+/// [`try_supervised_samples`] to handle incomplete series gracefully.
 pub fn supervised_samples(
     series: &MultiSeries,
     seq_len: usize,
     horizon: usize,
 ) -> Vec<ForecastSample> {
+    match try_supervised_samples(series, seq_len, horizon) {
+        Ok(samples) => samples,
+        // lint: allow(L1): documented panicking wrapper; try_supervised_samples is the checked path
+        Err(e) => panic!("supervised_samples: {e}"),
+    }
+}
+
+/// Fallible [`supervised_samples`].
+///
+/// # Errors
+///
+/// Returns [`ForecastError::MissingChannel`] when the series lacks one of
+/// the [`FEATURES`] channels.
+pub fn try_supervised_samples(
+    series: &MultiSeries,
+    seq_len: usize,
+    horizon: usize,
+) -> Result<Vec<ForecastSample>, ForecastError> {
+    for name in FEATURES {
+        if series.channel_index(name).is_none() {
+            return Err(ForecastError::MissingChannel {
+                name: name.to_string(),
+            });
+        }
+    }
     let features = series.select(&FEATURES);
-    let target = series.channel("cgm").expect("series lacks cgm channel");
-    lgo_series::window::forecast_samples(features.rows(), &target, seq_len, horizon)
+    let target = series
+        .channel("cgm")
+        // lint: allow(L1): presence of every FEATURES channel (incl. cgm) was just checked
+        .expect("cgm channel present");
+    Ok(lgo_series::window::forecast_samples(
+        features.rows(),
+        &target,
+        seq_len,
+        horizon,
+    ))
 }
 
 impl GlucoseForecaster {
@@ -258,6 +306,7 @@ impl GlucoseForecaster {
     fn train_on(series_set: &[&MultiSeries], config: &ForecastConfig) -> Self {
         match Self::try_train_on(series_set, config) {
             Ok(model) => model,
+            // lint: allow(L1): documented panicking wrapper; the try_train_* entry points are the checked path
             Err(e) => panic!("train: {e}"),
         }
     }
@@ -271,14 +320,7 @@ impl GlucoseForecaster {
         }
         let mut raw_samples = Vec::new();
         for s in series_set {
-            for name in FEATURES {
-                if s.channel_index(name).is_none() {
-                    return Err(ForecastError::MissingChannel {
-                        name: name.to_string(),
-                    });
-                }
-            }
-            let samples = supervised_samples(s, config.seq_len, config.horizon);
+            let samples = try_supervised_samples(s, config.seq_len, config.horizon)?;
             if samples.is_empty() {
                 return Err(ForecastError::SeriesTooShort {
                     len: s.len(),
@@ -313,12 +355,10 @@ impl GlucoseForecaster {
         let scaled: Vec<(Vec<Vec<f64>>, f64)> = raw_samples
             .iter()
             .map(|s| {
-                let hist = feature_scaler
-                    .transform(&s.history)
-                    .expect("scaler fit on these rows");
-                (hist, target_scaler.value(0, s.target))
+                let hist = feature_scaler.transform(&s.history)?;
+                Ok((hist, target_scaler.value(0, s.target)))
             })
-            .collect();
+            .collect::<Result<_, ScalerError>>()?;
 
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut model = BiLstmRegressor::new(FEATURES.len(), config.hidden, &mut rng);
@@ -352,21 +392,33 @@ impl GlucoseForecaster {
     /// # Panics
     ///
     /// Panics if the window length differs from the configured `seq_len` or
-    /// rows have the wrong width.
+    /// rows have the wrong width. Use [`try_predict`](Self::try_predict) to
+    /// handle malformed windows gracefully.
     pub fn predict(&self, window: &[Vec<f64>]) -> f64 {
-        assert_eq!(
-            window.len(),
-            self.config.seq_len,
-            "predict: window length {} != seq_len {}",
-            window.len(),
-            self.config.seq_len
-        );
-        let scaled = self
-            .feature_scaler
-            .transform(window)
-            .expect("predict: bad feature width");
+        match self.try_predict(window) {
+            Ok(y) => y,
+            // lint: allow(L1): documented panicking wrapper; try_predict is the checked path
+            Err(e) => panic!("predict: {e}"),
+        }
+    }
+
+    /// Fallible [`predict`](Self::predict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::WindowLength`] when the window length
+    /// differs from the configured `seq_len`, and [`ForecastError::Scaler`]
+    /// when rows have the wrong width.
+    pub fn try_predict(&self, window: &[Vec<f64>]) -> Result<f64, ForecastError> {
+        if window.len() != self.config.seq_len {
+            return Err(ForecastError::WindowLength {
+                got: window.len(),
+                expected: self.config.seq_len,
+            });
+        }
+        let scaled = self.feature_scaler.transform(window)?;
         let y = self.model.predict(&scaled);
-        self.target_scaler.inverse_value(0, y)
+        Ok(self.target_scaler.inverse_value(0, y))
     }
 
     /// Predicts over every complete window of a series, returning

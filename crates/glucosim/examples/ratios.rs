@@ -1,14 +1,19 @@
 use lgo_glucosim::{profiles, Simulator};
 
-fn main() {
+fn main() -> Result<(), String> {
     for p in profiles() {
         let id = p.id;
         let s = Simulator::new(p).run_days(14);
-        let cgm = s.channel("cgm").unwrap();
-        let fasting = s.channel("fasting").unwrap();
+        let cgm = s
+            .channel("cgm")
+            .ok_or_else(|| format!("{id}: series lacks cgm channel"))?;
+        let fasting = s
+            .channel("fasting")
+            .ok_or_else(|| format!("{id}: series lacks fasting channel"))?;
         let (mut normal, mut abnormal) = (0.0f64, 0.0f64);
         let mut hypo = 0.0f64;
         for (g, f) in cgm.iter().zip(&fasting) {
+            // lint: allow(L4): fasting is a 0/1 flag channel stored exactly
             let hyper = if *f == 1.0 { 125.0 } else { 180.0 };
             if *g < 70.0 { abnormal += 1.0; hypo += 1.0; }
             else if *g > hyper { abnormal += 1.0; }
@@ -17,4 +22,5 @@ fn main() {
         println!("{id}: ratio {:.2}  (hypo frac {:.3}, abnormal frac {:.3})",
                  normal / abnormal.max(1.0), hypo / cgm.len() as f64, abnormal / cgm.len() as f64);
     }
+    Ok(())
 }

@@ -40,6 +40,7 @@ pub fn to_csv<W: Write>(series: &MultiSeries, mut writer: W) -> io::Result<()> {
             }
             first = false;
             // Trim trailing zeros without scientific notation surprises.
+            // lint: allow(L4): fract() == 0.0 is the exact integrality test, not a tolerance check
             if v.fract() == 0.0 && v.abs() < 1e15 {
                 write!(writer, "{}", *v as i64)?;
             } else {

@@ -214,8 +214,10 @@ mod tests {
     #[test]
     fn gut_compartments_conserve_mass_without_absorption() {
         // With gut_rate -> tiny, carbs stay in the gut compartments.
-        let mut p = OdeParams::default();
-        p.gut_rate = 1e-9;
+        let p = OdeParams {
+            gut_rate: 1e-9,
+            ..Default::default()
+        };
         let mut s = PhysioState::at_rest(&p);
         run(&mut s, &p, 10, |t| if t < 10 { 5.0 } else { 0.0 }, |_| 0.0);
         assert!((s.gut1 - 50.0).abs() < 0.01, "gut1 = {}", s.gut1);

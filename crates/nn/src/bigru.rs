@@ -93,10 +93,10 @@ impl BiGruRegressor {
         let dcat = self.head.backward(&[loss.gradient(pred, target)]);
         let h = self.fwd.hidden_size();
         let mut dh_f = vec![vec![0.0; h]; window.len()];
-        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec();
+        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec(); // lint: allow(L1): dh_f has window.len() > 0 entries (asserted at entry)
         self.fwd.backward_seq(&trace_f, &dh_f);
         let mut dh_b = vec![vec![0.0; h]; window.len()];
-        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec();
+        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec(); // lint: allow(L1): dh_b has window.len() > 0 entries (asserted at entry)
         self.bwd.backward_seq(&trace_b, &dh_b);
         l
     }

@@ -107,11 +107,11 @@ impl BiLstmRegressor {
 
         let h = self.fwd.hidden_size();
         let mut dh_f = vec![vec![0.0; h]; window.len()];
-        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec();
+        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec(); // lint: allow(L1): dh_f has window.len() > 0 entries (asserted at entry)
         self.fwd.backward_seq(&trace_f, &dh_f);
 
         let mut dh_b = vec![vec![0.0; h]; window.len()];
-        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec();
+        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec(); // lint: allow(L1): dh_b has window.len() > 0 entries (asserted at entry)
         self.bwd.backward_seq(&trace_b, &dh_b);
         l
     }
@@ -136,6 +136,7 @@ impl BiLstmRegressor {
     ) -> Vec<f64> {
         match self.try_fit(samples, epochs, batch_size, lr) {
             Ok(history) => history,
+            // lint: allow(L1): documented panicking wrapper; try_fit is the checked path
             Err(e) => panic!("fit: {e}"),
         }
     }
@@ -353,7 +354,7 @@ mod tests {
         let mut checks: Vec<(usize, usize, f64)> = Vec::new();
         m.visit_params(&mut |p, g| {
             // first entry of every parameter matrix
-            if p.len() > 0 {
+            if !p.is_empty() {
                 checks.push((idx, 0, g.as_slice()[0]));
             }
             idx += 1;
@@ -416,6 +417,11 @@ mod tests {
     }
 
     #[test]
+    // The two divergence tests below intentionally push NaN through the
+    // forward pass to exercise graceful recovery; under strict-numerics the
+    // sanitizers abort at the first non-finite value by design, so the
+    // recovery path cannot be reached (see lgo_tensor::sanitize).
+    #[cfg(not(all(feature = "strict-numerics", debug_assertions)))]
     fn try_fit_recovers_from_poisoned_initialization() {
         // Poison every parameter with NaN: the first epoch must produce a
         // non-finite loss, and recovery must re-initialize and converge.
@@ -431,6 +437,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(all(feature = "strict-numerics", debug_assertions)))]
     fn try_fit_reports_unrecoverable_divergence() {
         // A NaN target makes every retry diverge; the budget must bound the
         // attempts and the model must come back finite (rolled back).

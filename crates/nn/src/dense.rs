@@ -173,6 +173,7 @@ impl Dense {
         let (x, pre, post) = self
             .cache
             .as_ref()
+            // lint: allow(L1): documented precondition — backward without a cached forward is a caller bug
             .expect("Dense::backward called before forward");
         assert_eq!(dy.len(), post.len(), "Dense::backward: bad dy length");
         let dz: Vec<f64> = dy

@@ -99,6 +99,7 @@ impl LstmDiscriminator {
     pub fn backward(&mut self, trace: &DiscriminatorTrace, dprob: f64) -> Vec<Vec<f64>> {
         let dh_last = self.head.backward_from(&trace.head, &[dprob]);
         let mut dhs = vec![vec![0.0; self.cell.hidden_size()]; trace.lstm.len()];
+        // lint: allow(L1): a DiscriminatorTrace always holds the rows forward ran over, one per input row
         *dhs.last_mut().expect("nonempty trace") = dh_last;
         self.cell.backward_seq(&trace.lstm, &dhs)
     }

@@ -66,6 +66,7 @@ impl GruTrace {
     ///
     /// Panics if the trace is empty.
     pub fn last_hidden(&self) -> &[f64] {
+        // lint: allow(L1): documented # Panics contract on an empty trace
         &self.steps.last().expect("GruTrace::last_hidden on empty trace").h
     }
 
@@ -166,6 +167,8 @@ impl GruCell {
         for j in 0..h {
             h_out[j] = (1.0 - z[j]) * n[j] + z[j] * state.h[j];
         }
+        lgo_tensor::sanitize::check_finite(&n, "GruCell candidate gate");
+        lgo_tensor::sanitize::check_finite(&h_out, "GruCell hidden state");
         StepCache {
             x: x.to_vec(),
             h_prev: state.h.clone(),
@@ -290,6 +293,14 @@ mod tests {
 
     fn loss(cell: &GruCell, xs: &[Vec<f64>]) -> f64 {
         cell.forward_seq(xs).hiddens().iter().flatten().sum()
+    }
+
+    #[cfg(all(feature = "strict-numerics", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "strict-numerics")]
+    fn strict_numerics_catches_nan_input() {
+        let c = cell(2, 3);
+        let _ = c.forward_seq(&[vec![0.1, f64::NAN]]);
     }
 
     #[test]

@@ -23,6 +23,8 @@ impl Loss {
     /// For [`Loss::Bce`] the prediction is clamped away from 0/1 to keep the
     /// logarithms finite.
     pub fn value(self, pred: f64, target: f64) -> f64 {
+        lgo_tensor::sanitize::check_finite_scalar(pred, "Loss::value pred");
+        lgo_tensor::sanitize::check_finite_scalar(target, "Loss::value target");
         match self {
             Loss::Mse => (pred - target) * (pred - target),
             Loss::Bce => {
@@ -34,6 +36,8 @@ impl Loss {
 
     /// Gradient of the loss with respect to the prediction.
     pub fn gradient(self, pred: f64, target: f64) -> f64 {
+        lgo_tensor::sanitize::check_finite_scalar(pred, "Loss::gradient pred");
+        lgo_tensor::sanitize::check_finite_scalar(target, "Loss::gradient target");
         match self {
             Loss::Mse => 2.0 * (pred - target),
             Loss::Bce => {
@@ -108,5 +112,19 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mean_value_checks_lengths() {
         let _ = Loss::Mse.mean_value(&[1.0], &[]);
+    }
+
+    #[cfg(all(feature = "strict-numerics", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "strict-numerics: non-finite value in Loss::value pred")]
+    fn strict_numerics_catches_nan_prediction() {
+        let _ = Loss::Mse.value(f64::NAN, 1.0);
+    }
+
+    #[cfg(all(feature = "strict-numerics", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "strict-numerics: non-finite value in Loss::gradient target")]
+    fn strict_numerics_catches_nan_target() {
+        let _ = Loss::Bce.gradient(0.5, f64::NAN);
     }
 }

@@ -75,6 +75,7 @@ impl LstmTrace {
         &self
             .steps
             .last()
+            // lint: allow(L1): documented # Panics contract on an empty trace
             .expect("LstmTrace::last_hidden on empty trace")
             .h
     }
@@ -182,6 +183,9 @@ impl LstmCell {
             tanh_c[j] = c[j].tanh();
             h_out[j] = o[j] * tanh_c[j];
         }
+        lgo_tensor::sanitize::check_finite(&z, "LstmCell gate pre-activations");
+        lgo_tensor::sanitize::check_finite(&c, "LstmCell cell state");
+        lgo_tensor::sanitize::check_finite(&h_out, "LstmCell hidden state");
         StepCache {
             x: x.to_vec(),
             h_prev: state.h.clone(),
@@ -318,6 +322,14 @@ mod tests {
             .iter()
             .flatten()
             .sum()
+    }
+
+    #[cfg(all(feature = "strict-numerics", debug_assertions))]
+    #[test]
+    #[should_panic(expected = "strict-numerics")]
+    fn strict_numerics_catches_nan_input() {
+        let c = cell(2, 3);
+        let _ = c.forward_seq(&[vec![0.1, f64::NAN]]);
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn output_size(&self) -> usize {
+        // lint: allow(L1): the constructor always builds at least one layer
         self.layers.last().expect("nonempty").output_size()
     }
 

@@ -173,6 +173,7 @@ impl MultiSeries {
             .iter()
             .map(|c| {
                 self.channel_index(c.as_ref())
+                    // lint: allow(L1): documented precondition; callers pass static channel lists
                     .unwrap_or_else(|| panic!("select: unknown channel {:?}", c.as_ref()))
             })
             .collect();

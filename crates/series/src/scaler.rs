@@ -93,6 +93,7 @@ impl MinMaxScaler {
     /// Use [`try_fit`](Self::try_fit) to handle degraded data gracefully.
     pub fn fit(&mut self, data: &[Vec<f64>]) {
         if let Err(e) = self.try_fit(data) {
+            // lint: allow(L1): documented panicking wrapper; try_fit is the checked path
             panic!("MinMaxScaler::fit: {e}");
         }
     }
@@ -270,6 +271,7 @@ impl StandardScaler {
     /// [`try_fit`](Self::try_fit) to handle degraded data gracefully.
     pub fn fit(&mut self, data: &[Vec<f64>]) {
         if let Err(e) = self.try_fit(data) {
+            // lint: allow(L1): documented panicking wrapper; try_fit is the checked path
             panic!("StandardScaler::fit: {e}");
         }
     }

@@ -4,11 +4,13 @@
 /// Linear-interpolation quantile (the same `linear` method NumPy defaults
 /// to). `q` must be in `[0, 1]`.
 ///
-/// Returns `None` for an empty slice.
+/// Returns `None` for an empty slice. NaN values sort last under IEEE 754
+/// `totalOrder`, so a poisoned input degrades deterministically instead of
+/// panicking mid-pipeline.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 ///
 /// # Examples
 ///
@@ -22,7 +24,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -155,7 +157,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
         va += (x - ma) * (x - ma);
         vb += (y - mb) * (y - mb);
     }
-    if va == 0.0 || vb == 0.0 {
+    if va == 0.0 || vb == 0.0 { // lint: allow(L4): zero variance is the exact degenerate case, not a rounding artifact
         return None;
     }
     Some(cov / (va.sqrt() * vb.sqrt()))

@@ -24,6 +24,7 @@
 
 mod error;
 mod matrix;
+pub mod sanitize;
 pub mod vector;
 
 pub use error::ShapeError;

@@ -225,6 +225,7 @@ impl Matrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         self.try_matmul(rhs)
+            // lint: allow(L1): documented panicking wrapper; try_matmul is the checked path
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -237,13 +238,15 @@ impl Matrix {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
+        crate::sanitize::check_finite(&self.data, "matmul lhs");
+        crate::sanitize::check_finite(&rhs.data, "matmul rhs");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner accesses sequential in both
         // operands, which matters for the LSTM-sized matrices used here.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+                if a == 0.0 { // lint: allow(L4): exact-zero sparsity skip — only the literal 0.0 contributes nothing
                     continue;
                 }
                 let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
@@ -263,6 +266,7 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         self.try_zip(rhs, "add", |a, b| a + b)
+            // lint: allow(L1): documented panicking wrapper; try_add is the checked path
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -282,7 +286,17 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         self.try_zip(rhs, "sub", |a, b| a - b)
+            // lint: allow(L1): documented panicking wrapper; try_sub is the checked path
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn try_sub(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        self.try_zip(rhs, "sub", |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product.
@@ -292,7 +306,17 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         self.try_zip(rhs, "hadamard", |a, b| a * b)
+            // lint: allow(L1): documented panicking wrapper; try_hadamard is the checked path
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn try_hadamard(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        self.try_zip(rhs, "hadamard", |a, b| a * b)
     }
 
     fn try_zip(
@@ -304,6 +328,8 @@ impl Matrix {
         if self.shape() != rhs.shape() {
             return Err(ShapeError::new(op, self.shape(), rhs.shape()));
         }
+        crate::sanitize::check_finite(&self.data, op);
+        crate::sanitize::check_finite(&rhs.data, op);
         let data = self
             .data
             .iter()
@@ -351,6 +377,8 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        crate::sanitize::check_finite(&rhs.data, "add_scaled rhs");
+        crate::sanitize::check_finite_scalar(k, "add_scaled k");
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b * k;
         }
@@ -391,6 +419,8 @@ impl Matrix {
             x.len(),
             self.cols
         );
+        crate::sanitize::check_finite(&self.data, "matvec matrix");
+        crate::sanitize::check_finite(x, "matvec vector");
         let mut out = vec![0.0; self.rows];
         for (r, o) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -413,9 +443,11 @@ impl Matrix {
             x.len(),
             self.rows
         );
+        crate::sanitize::check_finite(&self.data, "matvec_transpose matrix");
+        crate::sanitize::check_finite(x, "matvec_transpose vector");
         let mut out = vec![0.0; self.cols];
         for (r, &xr) in x.iter().enumerate() {
-            if xr == 0.0 {
+            if xr == 0.0 { // lint: allow(L4): exact-zero sparsity skip — only the literal 0.0 contributes nothing
                 continue;
             }
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -435,8 +467,11 @@ impl Matrix {
     pub fn add_outer(&mut self, a: &[f64], b: &[f64], k: f64) {
         assert_eq!(a.len(), self.rows, "add_outer: a length {} vs {} rows", a.len(), self.rows);
         assert_eq!(b.len(), self.cols, "add_outer: b length {} vs {} cols", b.len(), self.cols);
+        crate::sanitize::check_finite(a, "add_outer a");
+        crate::sanitize::check_finite(b, "add_outer b");
+        crate::sanitize::check_finite_scalar(k, "add_outer k");
         for (r, &ar) in a.iter().enumerate() {
-            if ar == 0.0 {
+            if ar == 0.0 { // lint: allow(L4): exact-zero sparsity skip — only the literal 0.0 contributes nothing
                 continue;
             }
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
@@ -778,5 +813,47 @@ mod tests {
     fn row_and_col_vectors() {
         assert_eq!(Matrix::row_vector(&[1.0, 2.0]).shape(), (1, 2));
         assert_eq!(Matrix::col_vector(&[1.0, 2.0]).shape(), (2, 1));
+    }
+
+    #[cfg(all(feature = "strict-numerics", debug_assertions))]
+    mod strict_numerics {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "strict-numerics: non-finite value in matmul lhs")]
+        fn matmul_rejects_nan_operand() {
+            let mut a = Matrix::ones(2, 2);
+            a[(0, 1)] = f64::NAN;
+            let _ = a.matmul(&Matrix::identity(2));
+        }
+
+        #[test]
+        #[should_panic(expected = "strict-numerics: non-finite value in add")]
+        fn add_rejects_infinite_operand() {
+            let mut a = Matrix::ones(2, 2);
+            a[(1, 0)] = f64::INFINITY;
+            let _ = a.add(&Matrix::ones(2, 2));
+        }
+
+        #[test]
+        #[should_panic(expected = "strict-numerics: non-finite value in matvec vector")]
+        fn matvec_rejects_nan_vector() {
+            let _ = Matrix::ones(2, 2).matvec(&[1.0, f64::NAN]);
+        }
+
+        #[test]
+        #[should_panic(expected = "strict-numerics: non-finite value in add_outer")]
+        fn add_outer_rejects_nan_gradient() {
+            let mut m = Matrix::zeros(2, 2);
+            m.add_outer(&[1.0, f64::NAN], &[1.0, 1.0], 1.0);
+        }
+
+        #[test]
+        fn clean_operands_pass_all_checked_ops() {
+            let a = Matrix::ones(2, 2);
+            assert_eq!(a.matmul(&Matrix::identity(2)), a);
+            assert_eq!(a.add(&Matrix::zeros(2, 2)), a);
+            assert_eq!(a.matvec(&[1.0, 1.0]), vec![2.0, 2.0]);
+        }
     }
 }

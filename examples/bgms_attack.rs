@@ -58,8 +58,8 @@ fn main() {
 
     // Show exactly what the adversary changed.
     println!("\nCGM channel before/after (last 6 of 12 samples):");
-    for t in 6..12 {
-        let before = window[t][0];
+    for (t, sample) in window.iter().enumerate().take(12).skip(6) {
+        let before = sample[0];
         let after = outcome.result.best_input[t][0];
         let marker = if (before - after).abs() > 1e-9 { "  <-- manipulated" } else { "" };
         println!("  t-{:<2} {:>6.1} -> {:>6.1}{marker}", 11 - t, before, after);

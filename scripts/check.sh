@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full local gate: build, test, lint. Run from the repository root.
+# Full local gate: build, test, lint, static analysis. Run from the
+# repository root.
 #
-#   ./scripts/check.sh           # everything
-#   SKIP_CLIPPY=1 ./scripts/check.sh   # build + tests only
+#   ./scripts/check.sh                 # everything
+#   SKIP_CLIPPY=1 ./scripts/check.sh   # skip the clippy pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,8 +14,15 @@ echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
 if [ -z "${SKIP_CLIPPY:-}" ]; then
-    echo "==> cargo clippy --workspace -- -D warnings"
-    cargo clippy --workspace -- -D warnings
+    echo "==> cargo clippy (all targets, vendored deps excluded) -- -D warnings"
+    cargo clippy --workspace --exclude rand --exclude proptest --exclude criterion \
+        --all-targets -- -D warnings
 fi
+
+echo "==> lgo-analyze --workspace"
+cargo run -q -p lgo-analyze -- --workspace
+
+echo "==> cargo test (strict-numerics sanitizers)"
+cargo test -q -p lgo-tensor -p lgo-nn --features strict-numerics
 
 echo "==> all checks passed"
