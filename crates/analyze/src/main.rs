@@ -21,6 +21,9 @@ L2  no partial_cmp / raw </> comparator closures on floats; use f64::total_cmp
 L3  a pub fn that can panic must return Result or have a try_ twin
 L4  no ==/!= against float literals; compare with an epsilon
 L5  every pub item in lgo-core carries a doc comment
+L6  no bare .unwrap()/.expect() on lock()/read()/write()/join() results
+    outside lgo-runtime internals; recover from poisoning or allow with
+    `/ lint: allow(L6): <why>`
 A0  lint directives must be well-formed and carry a justification
 A1  lint directives must suppress at least one finding";
 

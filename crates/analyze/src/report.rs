@@ -7,7 +7,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line of the offending token.
     pub line: usize,
-    /// Rule ID: `L1`..`L5` for lint rules, `A0`/`A1` for allowlist hygiene.
+    /// Rule ID: `L1`..`L6` for lint rules, `A0`/`A1` for allowlist hygiene.
     pub rule: &'static str,
     /// Human-readable description with the offending construct named.
     pub message: String,

@@ -7,6 +7,7 @@
 //! | L3 | error-layer crates | `pub fn` that can panic without a `try_` twin or `Result` return |
 //! | L4 | whole workspace (non-test) | `==` / `!=` against a float literal |
 //! | L5 | `lgo-core` | `pub` item without a doc comment |
+//! | L6 | whole workspace (non-test) except `lgo-runtime` internals | bare `.unwrap()`/`.expect()` on `lock()`/`read()`/`write()`/`join()` results |
 //!
 //! Rules operate on the token stream from [`crate::lexer`]; test code
 //! (`#[cfg(test)]` items, `#[test]` fns) is masked out first. Findings can
@@ -27,6 +28,7 @@ pub struct FileScope {
     pub l3: bool,
     pub l4: bool,
     pub l5: bool,
+    pub l6: bool,
 }
 
 /// The defense-stack library crates where a stray panic corrupts risk
@@ -38,7 +40,7 @@ pub const LIB_CRATES: &[&str] = &[
 impl FileScope {
     /// Every rule enabled.
     pub fn all() -> Self {
-        FileScope { l1: true, l2: true, l3: true, l4: true, l5: true }
+        FileScope { l1: true, l2: true, l3: true, l4: true, l5: true, l6: true }
     }
 
     /// Scope for a workspace-relative path (`crates/core/src/risk.rs`).
@@ -64,6 +66,10 @@ impl FileScope {
             l3: lib_crate && in_lib_src && !is_test_file,
             l4: !is_test_file,
             l5: krate == "core" && in_lib_src && !is_test_file,
+            // The runtime's pool internals recover from poisoning by
+            // design; everywhere else a poisoned-lock panic would bypass
+            // the error layer.
+            l6: krate != "runtime" && !is_test_file,
         })
     }
 }
@@ -315,7 +321,7 @@ const COMPARATOR_FNS: &[&str] = &[
     "binary_search_by",
 ];
 
-/// Single pass emitting the site-local rules L1, L2 and L4.
+/// Single pass emitting the site-local rules L1, L2, L4 and L6.
 fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: &mut Vec<Finding>) {
     let n = ctx.n();
     for (i, &masked) in test_mask.iter().enumerate() {
@@ -368,6 +374,33 @@ fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: 
                             ),
                         });
                     }
+                }
+            }
+        }
+        // L6: panicking on synchronization results. A poisoned Mutex or a
+        // panicked worker thread surfaces as an Err, and a bare unwrap
+        // turns one task's failure into a process abort; recover with
+        // `PoisonError::into_inner` or route through the error layer.
+        if scope.l6 {
+            if let Some(name) = ctx.panic_site(i) {
+                let method = ctx.text_at(i as isize - 4);
+                if (name == ".unwrap()" || name == ".expect()")
+                    && ctx.text_at(i as isize - 2) == ")"
+                    && ctx.text_at(i as isize - 3) == "("
+                    && matches!(method, "lock" | "read" | "write" | "join")
+                    && ctx.text_at(i as isize - 5) == "."
+                {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: "L6",
+                        message: format!(
+                            "bare `{name}` on a `.{method}()` result panics on lock \
+                             poisoning / thread panic; recover (e.g. \
+                             `PoisonError::into_inner`) or justify with \
+                             `// lint: allow(L6): <why>`"
+                        ),
+                    });
                 }
             }
         }

@@ -1,0 +1,42 @@
+//! L6 fixture: bare panics on synchronization-primitive results.
+//!
+//! A poisoned `Mutex`/`RwLock` or a panicked worker thread surfaces as an
+//! `Err`, and a bare `.unwrap()` turns one task's failure into a process
+//! abort. Scope: L6 only.
+
+use std::sync::{Mutex, RwLock};
+use std::thread::JoinHandle;
+
+pub fn locked_count(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap() //~ L6
+}
+
+pub fn read_value(l: &RwLock<f64>) -> f64 {
+    *l.read().expect("lock poisoned") //~ L6
+}
+
+pub fn bump(l: &RwLock<f64>) {
+    *l.write().unwrap() += 1.0; //~ L6
+}
+
+pub fn join_worker(handle: JoinHandle<u32>) -> u32 {
+    handle.join().unwrap() //~ L6
+}
+
+pub fn recovered(m: &Mutex<u32>) -> u32 {
+    // Poison recovery instead of a panic: the guard is still usable.
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn excused(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // lint: allow(L6): fixture demonstrates the escape hatch
+}
+
+pub fn unrelated_unwrap(xs: &[u32]) -> u32 {
+    // Plain Option unwrap is L1 territory, out of scope for this fixture.
+    *xs.first().unwrap()
+}
+
+pub fn not_code() -> &'static str {
+    "mentioning .lock().unwrap() inside a string is fine"
+}

@@ -8,8 +8,8 @@
 
 use lgo_analyze::{analyze_source, FileScope};
 
-fn scope(l1: bool, l2: bool, l3: bool, l4: bool, l5: bool) -> FileScope {
-    FileScope { l1, l2, l3, l4, l5 }
+fn scope(l1: bool, l2: bool, l3: bool, l4: bool, l5: bool, l6: bool) -> FileScope {
+    FileScope { l1, l2, l3, l4, l5, l6 }
 }
 
 /// `(line, rule)` pairs declared by `//~` markers in the fixture text.
@@ -44,29 +44,34 @@ fn check_fixture(name: &str, scope: FileScope) {
 
 #[test]
 fn l1_panic_sites() {
-    check_fixture("l1_sites.rs", scope(true, false, false, false, false));
+    check_fixture("l1_sites.rs", scope(true, false, false, false, false, false));
 }
 
 #[test]
 fn l2_float_ordering() {
-    check_fixture("l2_float_order.rs", scope(false, true, false, false, false));
+    check_fixture("l2_float_order.rs", scope(false, true, false, false, false, false));
 }
 
 #[test]
 fn l3_try_twins() {
     // L1 + L3 together, as in the real lib-crate scope, so that allow(L1)
     // directives are consumed exactly like they are in the workspace.
-    check_fixture("l3_twins.rs", scope(true, false, true, false, false));
+    check_fixture("l3_twins.rs", scope(true, false, true, false, false, false));
 }
 
 #[test]
 fn l4_float_literal_equality() {
-    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false));
+    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false, false));
 }
 
 #[test]
 fn l5_missing_docs() {
-    check_fixture("l5_docs.rs", scope(false, false, false, false, true));
+    check_fixture("l5_docs.rs", scope(false, false, false, false, true, false));
+}
+
+#[test]
+fn l6_lock_results() {
+    check_fixture("l6_locks.rs", scope(false, false, false, false, false, true));
 }
 
 #[test]
@@ -95,7 +100,12 @@ fn workspace_path_scoping() {
     let bench_bin = FileScope::for_path("crates/bench/src/bin/exp_fig4.rs").unwrap();
     assert!(!bench_bin.l1 && bench_bin.l2 && bench_bin.l4 && !bench_bin.l5);
     let test_file = FileScope::for_path("crates/detect/tests/integration.rs").unwrap();
-    assert!(!test_file.l1 && !test_file.l2 && !test_file.l4);
+    assert!(!test_file.l1 && !test_file.l2 && !test_file.l4 && !test_file.l6);
+    // lgo-runtime owns the synchronization internals, so L6 is off there
+    // but on everywhere else outside test trees.
+    let runtime = FileScope::for_path("crates/runtime/src/pool.rs").unwrap();
+    assert!(!runtime.l6);
+    assert!(core.l6);
 }
 
 /// The whole point of the crate: the workspace itself stays lint-clean.

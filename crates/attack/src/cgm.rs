@@ -363,11 +363,13 @@ pub fn run_campaign<E: Explorer<Window>>(
     explorer: &E,
     cfg: &CgmAttackConfig,
 ) -> CampaignReport {
+    // Each case's search is independent and internally seeded, so the
+    // per-window fan-out over the lgo-runtime pool returns outcomes in
+    // case order, bit-identical to the serial loop it replaces.
     CampaignReport {
-        outcomes: cases
-            .iter()
-            .map(|c| attack_window(model, c, explorer, cfg))
-            .collect(),
+        outcomes: lgo_runtime::par_map(cases, |c| {
+            attack_window(model, c, explorer, cfg)
+        }),
     }
 }
 

@@ -60,7 +60,11 @@ use std::fmt;
 
 /// A model under attack: maps an input to the scalar the adversary cares
 /// about (here: the predicted blood glucose in mg/dL).
-pub trait TargetModel<I> {
+///
+/// `Sync` is required so campaigns can query one trained model from many
+/// lgo-runtime worker threads; inference is read-only, so implementations
+/// get this for free unless they smuggle in interior mutability.
+pub trait TargetModel<I>: Sync {
     /// Queries the model once.
     fn predict(&self, input: &I) -> f64;
 }
@@ -84,7 +88,7 @@ impl<F> FnModel<F> {
     }
 }
 
-impl<I, F: Fn(&I) -> f64> TargetModel<I> for FnModel<F> {
+impl<I, F: Fn(&I) -> f64 + Sync> TargetModel<I> for FnModel<F> {
     fn predict(&self, input: &I) -> f64 {
         (self.0)(input)
     }
@@ -188,7 +192,12 @@ impl<I> fmt::Display for AttackResult<I> {
 }
 
 /// A search strategy over the transformation graph.
-pub trait Explorer<I: Clone> {
+///
+/// `Sync` is required so one explorer can drive many per-window searches
+/// from lgo-runtime worker threads; explorers are stateless between
+/// `explore` calls (per-window RNGs are re-seeded internally), so
+/// implementations get this for free.
+pub trait Explorer<I: Clone>: Sync {
     /// Searches from `input` for an adversarial example.
     ///
     /// Every candidate consumes one model query; implementations must stop

@@ -100,27 +100,30 @@ fn main() -> Result<(), LgoError> {
     // Steps 0–3 once, on clean data: personalized forecasters, minimal
     // (stealthy) attack campaigns, benign/malicious window extraction.
     eprintln!("profiling {} patients on clean data ...", datasets.len());
-    let mut cohort: Vec<PatientData> = Vec::with_capacity(datasets.len());
-    for d in &datasets {
-        let forecaster = GlucoseForecaster::try_train_personalized(&d.train, &fc)?;
-        let test_minimal = try_profile_patient(&forecaster, d.profile.id, &d.test, &minimal)?;
-        let train_minimal = try_profile_patient(
-            &forecaster,
-            d.profile.id,
-            &d.train,
-            &ProfilerConfig {
-                stride: config.train_attack_stride,
-                ..minimal.clone()
-            },
-        )?;
-        cohort.push(PatientData {
-            patient: d.profile.id,
-            train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
-            train_malicious: train_minimal.manipulated_windows(),
-            test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
-            test_malicious: test_minimal.manipulated_windows(),
-        });
-    }
+    let cohort: Vec<PatientData> =
+        lgo_runtime::try_par_map(&datasets, |d| -> Result<PatientData, LgoError> {
+            let forecaster = GlucoseForecaster::try_train_personalized(&d.train, &fc)?;
+            let test_minimal =
+                try_profile_patient(&forecaster, d.profile.id, &d.test, &minimal)?;
+            let train_minimal = try_profile_patient(
+                &forecaster,
+                d.profile.id,
+                &d.train,
+                &ProfilerConfig {
+                    stride: config.train_attack_stride,
+                    ..minimal.clone()
+                },
+            )?;
+            Ok(PatientData {
+                patient: d.profile.id,
+                train_benign: benign_windows(&d.train, seq_len, config.detector_stride),
+                train_malicious: train_minimal.manipulated_windows(),
+                test_benign: benign_windows(&d.test, seq_len, config.detector_stride),
+                test_malicious: test_minimal.manipulated_windows(),
+            })
+        })?
+        .into_iter()
+        .collect::<Result<_, _>>()?;
     let malicious: Vec<Window> = cohort
         .iter()
         .flat_map(|d| d.train_malicious.iter().cloned())
@@ -167,24 +170,30 @@ fn main() -> Result<(), LgoError> {
         .collect();
     let baseline = evaluate_pool(&clean_benign);
 
-    let mut sweep_rows = Vec::new();
-    for (fi, (name, mk_fault)) in fault_models.iter().enumerate() {
-        for &rate in &rates {
-            eprintln!("fault {name} at rate {rate} ...");
-            let injector =
-                FaultInjector::new(0xFA17 + fi as u64).with_fault(mk_fault(rate));
-            let benign: Vec<Window> = datasets
-                .iter()
-                .map(|d| injector.apply_dataset(d))
-                .flat_map(|d| benign_windows(&d.train, seq_len, config.detector_stride))
-                .collect();
-            let cells = evaluate_pool(&benign);
-            sweep_rows.push(format!(
-                "    {{\"fault\": \"{name}\", \"rate\": {rate}, \"detectors\": {{{}}}}}",
-                cells.join(", ")
-            ));
-        }
-    }
+    // Every (fault model × rate) cell is independent — its injector is
+    // seeded from the fault-model index — so the sweep fans out across the
+    // lgo-runtime pool; rows keep grid order.
+    let grid: Vec<(usize, &str, FaultTemplate, f64)> = fault_models
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, &(name, mk_fault))| {
+            rates.iter().map(move |&rate| (fi, name, mk_fault, rate))
+        })
+        .collect();
+    eprintln!("sweeping {} fault × rate cells ...", grid.len());
+    let sweep_rows = lgo_runtime::par_map(&grid, |&(fi, name, mk_fault, rate)| {
+        let injector = FaultInjector::new(0xFA17 + fi as u64).with_fault(mk_fault(rate));
+        let benign: Vec<Window> = datasets
+            .iter()
+            .map(|d| injector.apply_dataset(d))
+            .flat_map(|d| benign_windows(&d.train, seq_len, config.detector_stride))
+            .collect();
+        let cells = evaluate_pool(&benign);
+        format!(
+            "    {{\"fault\": \"{name}\", \"rate\": {rate}, \"detectors\": {{{}}}}}",
+            cells.join(", ")
+        )
+    });
 
     println!(
         "{{\n  \"scale\": \"{}\",\n  \"baseline\": {{{}}},\n  \"sweep\": [\n{}\n  ]\n}}",

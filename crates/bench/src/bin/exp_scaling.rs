@@ -1,0 +1,90 @@
+//! Runtime scaling curve — pipeline wall-clock vs `LGO_THREADS`.
+//!
+//! Runs the full five-step pipeline at thread counts 1, 2, 4 and 8,
+//! measures wall-clock time per run, and verifies the determinism
+//! contract: the canonical export of every multi-threaded run must be
+//! **byte-identical** to the single-threaded one. Results (including the
+//! machine's actual core count — speedup is bounded by physical cores, so
+//! a reader must be able to judge the curve against the hardware that
+//! produced it) are written to `BENCH_scaling.json`.
+//!
+//! ```text
+//! LGO_SCALE=fast cargo run -p lgo-bench --release --bin exp_scaling
+//! ```
+
+use std::time::Instant;
+
+use lgo_core::error::LgoError;
+use lgo_core::export::canonical_json;
+use lgo_core::pipeline::try_run_pipeline;
+
+use lgo_bench::{pipeline_config, Scale};
+
+fn main() -> Result<(), LgoError> {
+    let scale = Scale::from_env();
+    // Progress goes to stderr; stdout carries the JSON document, which is
+    // also written to BENCH_scaling.json.
+    eprintln!(
+        "Scaling — pipeline wall-clock vs thread count (scale: {})",
+        scale.name()
+    );
+    let config = pipeline_config(scale);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    eprintln!("machine reports {cores} available core(s)");
+
+    // Warm-up: first run pays one-off costs (pool spawn, page faults)
+    // that would otherwise be charged to whichever thread count runs
+    // first.
+    lgo_runtime::set_threads(Some(1));
+    let _ = try_run_pipeline(&config)?;
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut times = Vec::with_capacity(thread_counts.len());
+    let mut reference: Option<String> = None;
+    let mut all_identical = true;
+    for &t in &thread_counts {
+        lgo_runtime::set_threads(Some(t));
+        let start = Instant::now();
+        let report = try_run_pipeline(&config)?;
+        let secs = start.elapsed().as_secs_f64();
+        let export = canonical_json(&report);
+        let identical = match &reference {
+            None => {
+                reference = Some(export);
+                true
+            }
+            Some(r) => r == &export,
+        };
+        all_identical &= identical;
+        eprintln!(
+            "threads {t}: {secs:.3} s, export identical to serial: {identical}"
+        );
+        times.push((t, secs, identical));
+    }
+    lgo_runtime::set_threads(None);
+
+    let base = times[0].1;
+    let rows: Vec<String> = times
+        .iter()
+        .map(|&(t, secs, identical)| {
+            format!(
+                "    {{\"threads\": {t}, \"seconds\": {secs:.4}, \"speedup\": {:.3}, \"identical_output\": {identical}}}",
+                base / secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"available_cores\": {cores},\n  \"deterministic\": {all_identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        scale.name(),
+        rows.join(",\n")
+    );
+    print!("{json}");
+    std::fs::write("BENCH_scaling.json", &json)
+        .unwrap_or_else(|e| eprintln!("could not write BENCH_scaling.json: {e}"));
+
+    assert!(
+        all_identical,
+        "determinism violation: multi-threaded export differs from serial"
+    );
+    Ok(())
+}

@@ -258,12 +258,17 @@ pub fn run_origin_experiment(scale: Scale, origin: lgo_attack::cgm::OriginState)
         )
     };
 
+    // Per-patient forecaster training and campaigns are independent and
+    // internally seeded, so they fan out across the lgo-runtime pool;
+    // profiles come back in cohort order.
+    let profiles = lgo_runtime::par_map(&cohort, |d| {
+        let model = GlucoseForecaster::train_personalized(&d.train, &fc);
+        profile_patient(&model, d.profile.id, &d.test, &pc)
+    });
     let mut items = Vec::new();
     let mut rates = Vec::new();
-    for d in &cohort {
-        let model = GlucoseForecaster::train_personalized(&d.train, &fc);
-        let prof = profile_patient(&model, d.profile.id, &d.test, &pc);
-        if let Some(r) = rate_for(&prof) {
+    for (d, prof) in cohort.iter().zip(&profiles) {
+        if let Some(r) = rate_for(prof) {
             items.push((format!("Patient {}", d.profile.id), r * 100.0));
             rates.push(r);
         } else {
@@ -275,10 +280,12 @@ pub fn run_origin_experiment(scale: Scale, origin: lgo_attack::cgm::OriginState)
     // patient's test data; the paper reports one aggregate bar.
     let all_train: Vec<&lgo_series::MultiSeries> = cohort.iter().map(|d| &d.train).collect();
     let aggregate = GlucoseForecaster::train_aggregate(&all_train, &fc);
+    let agg_profiles = lgo_runtime::par_map(&cohort, |d| {
+        profile_patient(&aggregate, d.profile.id, &d.test, &pc)
+    });
     let mut agg_hits = 0usize;
     let mut agg_total = 0usize;
-    for d in &cohort {
-        let prof = profile_patient(&aggregate, d.profile.id, &d.test, &pc);
+    for prof in &agg_profiles {
         for o in &prof.campaign.outcomes {
             if origin_matches(o) {
                 agg_total += 1;

@@ -59,19 +59,23 @@ pub fn dtw(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
 
 /// Pairwise DTW distance matrix over a set of series.
 ///
+/// The O(n²) upper triangle is fanned out across the lgo-runtime pool
+/// (one task per unordered pair); each entry is a pure function of its
+/// pair, so the matrix is bit-identical at any thread count.
+///
 /// # Panics
 ///
 /// Panics if `series` is empty or any series is empty.
 pub fn dtw_distance_matrix(series: &[Vec<f64>], band: Option<usize>) -> Vec<Vec<f64>> {
     assert!(!series.is_empty(), "dtw_distance_matrix: no series");
     let n = series.len();
+    let upper =
+        lgo_runtime::par_index_pairs(n, |i, j| dtw(&series[i], &series[j], band));
     let mut d = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in i + 1..n {
-            let dist = dtw(&series[i], &series[j], band);
-            d[i][j] = dist;
-            d[j][i] = dist;
-        }
+    for (k, v) in upper.into_iter().enumerate() {
+        let (i, j) = lgo_runtime::pair_from_linear(k, n);
+        d[i][j] = v;
+        d[j][i] = v;
     }
     d
 }
@@ -140,5 +144,19 @@ mod tests {
     #[should_panic(expected = "empty series")]
     fn empty_series_rejected() {
         let _ = dtw(&[], &[1.0], None);
+    }
+
+    #[test]
+    fn matrix_identical_across_thread_counts() {
+        let series: Vec<Vec<f64>> = (0..9)
+            .map(|s| (0..24).map(|t| ((s * 7 + t) as f64 * 0.31).sin()).collect())
+            .collect();
+        lgo_runtime::set_threads(Some(1));
+        let serial = dtw_distance_matrix(&series, Some(3));
+        for t in [2, 8] {
+            lgo_runtime::set_threads(Some(t));
+            assert_eq!(dtw_distance_matrix(&series, Some(3)), serial);
+        }
+        lgo_runtime::set_threads(None);
     }
 }

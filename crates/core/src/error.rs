@@ -16,6 +16,7 @@ use lgo_cluster::ClusterError;
 use lgo_detect::DetectError;
 use lgo_forecast::ForecastError;
 use lgo_nn::TrainError;
+use lgo_runtime::RuntimeError;
 use lgo_series::ScalerError;
 
 /// Unified error for the fallible (`try_`) pipeline surface.
@@ -68,6 +69,8 @@ pub enum LgoError {
     Scaler(ScalerError),
     /// Neural-network training failed.
     Training(TrainError),
+    /// A parallel runtime primitive failed (a worker task panicked).
+    Runtime(RuntimeError),
 }
 
 impl fmt::Display for LgoError {
@@ -95,6 +98,7 @@ impl fmt::Display for LgoError {
             LgoError::Cluster(e) => write!(f, "cluster: {e}"),
             LgoError::Scaler(e) => write!(f, "scaler: {e}"),
             LgoError::Training(e) => write!(f, "training: {e}"),
+            LgoError::Runtime(e) => write!(f, "runtime: {e}"),
         }
     }
 }
@@ -107,6 +111,7 @@ impl Error for LgoError {
             LgoError::Cluster(e) => Some(e),
             LgoError::Scaler(e) => Some(e),
             LgoError::Training(e) => Some(e),
+            LgoError::Runtime(e) => Some(e),
             _ => None,
         }
     }
@@ -139,6 +144,12 @@ impl From<ScalerError> for LgoError {
 impl From<TrainError> for LgoError {
     fn from(e: TrainError) -> Self {
         LgoError::Training(e)
+    }
+}
+
+impl From<RuntimeError> for LgoError {
+    fn from(e: RuntimeError) -> Self {
+        LgoError::Runtime(e)
     }
 }
 
@@ -177,5 +188,12 @@ mod tests {
         assert!(e.to_string().starts_with("scaler:"));
         let e: LgoError = TrainError::NoSamples.into();
         assert!(e.to_string().starts_with("training:"));
+        let e: LgoError = RuntimeError::TaskPanicked {
+            index: 3,
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(e.to_string(), "runtime: parallel task 3 panicked: boom");
+        assert!(e.source().is_some());
     }
 }

@@ -1,0 +1,143 @@
+//! Canonical full-precision export of a pipeline run.
+//!
+//! The determinism contract of the parallel runtime (DESIGN.md §12) is
+//! enforced by comparing whole runs **byte for byte**: the same
+//! configuration must yield the same export at `LGO_THREADS=1`, `=2` and
+//! `=8`. That only works if the serialization itself is canonical, so this
+//! module renders every float with `{:?}` (the shortest representation
+//! that round-trips the exact bits — `0.1` and `0.30000000000000004` stay
+//! distinguishable) and emits fields in a fixed order with no timestamps
+//! or other run-varying metadata.
+
+use std::fmt::Write as _;
+
+use crate::pipeline::PipelineReport;
+
+/// Renders a pipeline report as canonical JSON: fixed key order,
+/// full-precision (`{:?}`) floats, no whitespace variation, nothing
+/// run-varying. Two reports serialize identically **iff** their risk
+/// profiles, cluster assignments, evaluation metrics and skip records are
+/// bit-identical.
+pub fn canonical_json(report: &PipelineReport) -> String {
+    let mut out = String::from("{\n");
+
+    // Risk profiles (steps 1–3), in cohort order.
+    out.push_str("  \"profiles\": [\n");
+    for (i, p) in report.profiles.iter().enumerate() {
+        let values = join_floats(&p.risk_profile.values);
+        let success = p
+            .campaign
+            .success_rate()
+            .map_or_else(|| "null".into(), |r| format!("{r:?}"));
+        let _ = write!(
+            out,
+            "    {{\"patient\": \"{}\", \"success_rate\": {success}, \"queries\": {}, \"risk\": [{values}]}}",
+            p.patient,
+            p.campaign.total_queries(),
+        );
+        out.push_str(if i + 1 < report.profiles.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Cluster assignments (step 4).
+    let _ = write!(
+        out,
+        "  \"less_vulnerable\": [{}],\n  \"more_vulnerable\": [{}],\n",
+        join_ids(&report.clusters.less_vulnerable),
+        join_ids(&report.clusters.more_vulnerable),
+    );
+
+    // Strategy evaluations (step 5), in grid order.
+    out.push_str("  \"evaluations\": [\n");
+    for (i, e) in report.evaluations.iter().enumerate() {
+        let per_patient: Vec<String> = e
+            .per_patient
+            .iter()
+            .map(|(id, m)| {
+                format!(
+                    "{{\"patient\": \"{id}\", \"recall\": {:?}, \"precision\": {:?}, \"f1\": {:?}, \"fnr\": {:?}, \"fpr\": {:?}}}",
+                    m.recall, m.precision, m.f1, m.fnr, m.fpr
+                )
+            })
+            .collect();
+        let trained: Vec<String> = e
+            .detectors_trained
+            .iter()
+            .map(|k| format!("\"{}\"", k.name()))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"strategy\": \"{}\", \"detector\": \"{}\", \"runs\": {}, \"mean_training_windows\": {:?}, \"trained\": [{}], \"per_patient\": [{}]}}",
+            e.strategy.name(),
+            e.detector.name(),
+            e.runs,
+            e.mean_training_windows,
+            trained.join(", "),
+            per_patient.join(", "),
+        );
+        out.push_str(if i + 1 < report.evaluations.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Degradation bookkeeping.
+    let skipped: Vec<String> = report
+        .skipped
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"patient\": \"{}\", \"stage\": \"{}\", \"reason\": \"{}\"}}",
+                s.patient,
+                s.stage,
+                s.reason.replace('\\', "\\\\").replace('"', "\\\""),
+            )
+        })
+        .collect();
+    let _ = write!(out, "  \"skipped\": [{}]\n}}\n", skipped.join(", "));
+    out
+}
+
+/// Full-precision comma-joined float list.
+fn join_floats(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Comma-joined quoted patient-id list.
+fn join_ids(ids: &[lgo_glucosim::PatientId]) -> String {
+    ids.iter()
+        .map(|id| format!("\"{id}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{try_run_pipeline, PipelineConfig};
+
+    #[test]
+    fn export_is_reproducible_and_full_precision() {
+        let config = PipelineConfig::fast();
+        let a = canonical_json(&try_run_pipeline(&config).expect("clean run"));
+        let b = canonical_json(&try_run_pipeline(&config).expect("clean run"));
+        assert_eq!(a, b, "same config must export identically");
+        // Shortest-round-trip floats: no fixed-precision truncation like
+        // `0.33` for 1/3 anywhere in the document.
+        assert!(a.contains("\"risk\": ["));
+        assert!(a.contains("\"evaluations\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn float_rendering_round_trips() {
+        let v = [0.1, 1.0 / 3.0, 123.456_789_012_345_67];
+        let rendered = join_floats(&v);
+        for (orig, s) in v.iter().zip(rendered.split(", ")) {
+            let back: f64 = s.parse().expect("parses back");
+            assert_eq!(back.to_bits(), orig.to_bits(), "{s} round-trips");
+        }
+    }
+}

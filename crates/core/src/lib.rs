@@ -39,6 +39,8 @@
 pub mod adaptive;
 /// The crate-wide [`LgoError`](error::LgoError) type and conversions.
 pub mod error;
+/// Canonical full-precision JSON export (determinism byte-comparisons).
+pub mod export;
 /// The end-to-end five-step defense pipeline.
 pub mod pipeline;
 /// Per-patient risk profiling via greedy evasion attacks.

@@ -211,11 +211,16 @@ pub fn try_run_pipeline_on(
         });
     }
 
+    // Steps 0–3 fan out per patient: training, campaigns and windowing are
+    // seeded per patient, so the parallel run is bit-identical to the
+    // serial loop it replaces. The fold below walks results in dataset
+    // order, preserving the skip/keep bookkeeping exactly.
+    let outcomes = lgo_runtime::try_par_map(&datasets, |d| profile_one_patient(config, d))?;
     let mut profiles = Vec::with_capacity(datasets.len());
     let mut cohort = Vec::with_capacity(datasets.len());
     let mut skipped = Vec::new();
-    for d in &datasets {
-        match profile_one_patient(config, d) {
+    for (d, outcome) in datasets.iter().zip(outcomes) {
+        match outcome {
             Ok((profile, data)) => {
                 profiles.push(profile);
                 cohort.push(data);
@@ -236,20 +241,25 @@ pub fn try_run_pipeline_on(
     // Step 4.
     let clusters = try_cluster_cohort(&profiles, config.linkage)?;
 
-    // Step 5.
-    let mut evaluations = Vec::new();
-    for &kind in &config.detector_kinds {
-        for &strategy in &config.strategies {
-            evaluations.push(try_evaluate_strategy(
-                strategy,
-                kind,
-                &cohort,
-                &clusters.less_vulnerable,
-                &clusters.more_vulnerable,
-                &config.detectors,
-            )?);
-        }
-    }
+    // Step 5: the (detector × strategy) grid cells are independent, so fan
+    // them out too; cells keep grid order in `evaluations`.
+    let grid: Vec<(DetectorKind, TrainingStrategy)> = config
+        .detector_kinds
+        .iter()
+        .flat_map(|&kind| config.strategies.iter().map(move |&s| (kind, s)))
+        .collect();
+    let evaluations = lgo_runtime::try_par_map(&grid, |&(kind, strategy)| {
+        try_evaluate_strategy(
+            strategy,
+            kind,
+            &cohort,
+            &clusters.less_vulnerable,
+            &clusters.more_vulnerable,
+            &config.detectors,
+        )
+    })?
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
 
     Ok(PipelineReport {
         profiles,

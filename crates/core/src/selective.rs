@@ -376,25 +376,28 @@ pub fn train_detector_with_fallback(
 }
 
 /// Evaluates a trained detector on one patient's test windows.
+///
+/// Windows are scored in batches on the lgo-runtime pool; the confusion
+/// counts are integers, so their accumulation is order-independent and the
+/// matrix is identical at any thread count.
 pub fn evaluate_on_patient(
     detector: &dyn AnomalyDetector,
     data: &PatientData,
 ) -> ConfusionMatrix {
+    const BATCH: usize = 32;
+    let flagged =
+        |windows: &[Window]| -> usize {
+            lgo_runtime::par_chunks(windows, BATCH, |chunk| {
+                chunk.iter().filter(|w| detector.is_anomalous(w)).count()
+            })
+            .into_iter()
+            .sum()
+        };
     let mut cm = ConfusionMatrix::default();
-    for w in &data.test_benign {
-        if detector.is_anomalous(w) {
-            cm.fp += 1;
-        } else {
-            cm.tn += 1;
-        }
-    }
-    for w in &data.test_malicious {
-        if detector.is_anomalous(w) {
-            cm.tp += 1;
-        } else {
-            cm.fn_ += 1;
-        }
-    }
+    cm.fp = flagged(&data.test_benign);
+    cm.tn = data.test_benign.len() - cm.fp;
+    cm.tp = flagged(&data.test_malicious);
+    cm.fn_ = data.test_malicious.len() - cm.tp;
     cm
 }
 
@@ -438,27 +441,49 @@ pub fn try_evaluate_strategy(
 ) -> Result<StrategyEvaluation, LgoError> {
     let ids: Vec<PatientId> = cohort.iter().map(|d| d.patient).collect();
     let rosters = try_training_rosters(strategy, &ids, less_vulnerable, more_vulnerable)?;
+
+    // Each run trains its own detector from a fixed roster, so runs fan out
+    // across the lgo-runtime pool; only Random Samples has more than one.
+    struct RunOutcome {
+        training_windows: usize,
+        trained: DetectorKind,
+        confusion: Vec<ConfusionMatrix>,
+    }
+    let run_outcomes =
+        lgo_runtime::try_par_map(&rosters, |roster| -> Result<RunOutcome, LgoError> {
+            let mut benign = Vec::new();
+            let mut malicious = Vec::new();
+            for d in cohort.iter().filter(|d| roster.contains(&d.patient)) {
+                benign.extend(d.train_benign.iter().cloned());
+                malicious.extend(d.train_malicious.iter().cloned());
+            }
+            let (detector, trained) =
+                train_detector_with_fallback(kind, &benign, &malicious, configs)?;
+            Ok(RunOutcome {
+                training_windows: benign.len(),
+                trained,
+                confusion: cohort
+                    .iter()
+                    .map(|d| evaluate_on_patient(detector.as_ref(), d))
+                    .collect(),
+            })
+        })?;
+
+    // Fold in roster order: the metric sums accumulate in exactly the
+    // order the serial loop used, keeping the averages bit-identical.
     let mut sums: Vec<PatientMetrics> = vec![PatientMetrics::default(); cohort.len()];
     let mut total_windows = 0usize;
     let mut detectors_trained = Vec::with_capacity(rosters.len());
-    for roster in &rosters {
-        let mut benign = Vec::new();
-        let mut malicious = Vec::new();
-        for d in cohort.iter().filter(|d| roster.contains(&d.patient)) {
-            benign.extend(d.train_benign.iter().cloned());
-            malicious.extend(d.train_malicious.iter().cloned());
-        }
-        total_windows += benign.len();
-        let (detector, trained) =
-            train_detector_with_fallback(kind, &benign, &malicious, configs)?;
-        detectors_trained.push(trained);
-        for (i, d) in cohort.iter().enumerate() {
-            let cm = evaluate_on_patient(detector.as_ref(), d);
-            sums[i].recall += cm.recall();
-            sums[i].precision += cm.precision();
-            sums[i].f1 += cm.f1();
-            sums[i].fnr += cm.false_negative_rate();
-            sums[i].fpr += cm.false_positive_rate();
+    for outcome in run_outcomes {
+        let outcome = outcome?;
+        total_windows += outcome.training_windows;
+        detectors_trained.push(outcome.trained);
+        for (s, cm) in sums.iter_mut().zip(&outcome.confusion) {
+            s.recall += cm.recall();
+            s.precision += cm.precision();
+            s.f1 += cm.f1();
+            s.fnr += cm.false_negative_rate();
+            s.fpr += cm.false_positive_rate();
         }
     }
     let runs = rosters.len();

@@ -6,7 +6,11 @@ pub type Window = Vec<Vec<f64>>;
 /// Implementations are trained by their own `fit` constructors (supervised
 /// for kNN, one-class for the SVM and MAD-GAN); this trait covers inference
 /// only, which is what the risk-profiling framework composes over.
-pub trait AnomalyDetector {
+///
+/// `Send + Sync` is required so trained detectors can score windows from
+/// lgo-runtime worker threads; inference is read-only, so implementations
+/// get this for free unless they smuggle in interior mutability.
+pub trait AnomalyDetector: Send + Sync {
     /// Short detector name ("knn", "ocsvm", "madgan").
     fn name(&self) -> &str;
 

@@ -219,11 +219,19 @@ impl OneClassSvm {
         let l = points.len();
         let upper = 1.0 / (config.nu * l as f64);
 
-        // Kernel matrix (l <= max_samples keeps this affordable).
+        // Kernel matrix (l <= max_samples keeps this affordable). The rows
+        // of the upper triangle are independent, so fan them out across the
+        // lgo-runtime pool; each entry is a pure function of its pair, so
+        // the matrix is identical at any thread count.
+        let rows = lgo_runtime::par_map_indexed(l, |i| {
+            (i..l)
+                .map(|j| kernel.eval(&points[i], &points[j]))
+                .collect::<Vec<f64>>()
+        });
         let mut q = vec![vec![0.0; l]; l];
-        for i in 0..l {
-            for j in i..l {
-                let v = kernel.eval(&points[i], &points[j]);
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, v) in row.into_iter().enumerate() {
+                let j = i + off;
                 q[i][j] = v;
                 q[j][i] = v;
             }

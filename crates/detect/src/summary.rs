@@ -93,11 +93,27 @@ pub fn summarize_all(windows: &[Window]) -> Vec<Window> {
 }
 
 /// [`summarize_all`] with an explicit [`SummaryMode`].
+///
+/// Each window is summarized independently on the lgo-runtime pool (in
+/// batches, since a single summary is too cheap to be its own task);
+/// output order matches input order.
 pub fn summarize_all_mode(windows: &[Window], mode: SummaryMode) -> Vec<Window> {
-    windows
-        .iter()
-        .map(|w| vec![cgm_summary_mode(w, mode)])
-        .collect()
+    const BATCH: usize = 64;
+    if windows.len() <= BATCH {
+        return windows
+            .iter()
+            .map(|w| vec![cgm_summary_mode(w, mode)])
+            .collect();
+    }
+    lgo_runtime::par_chunks(windows, BATCH, |chunk| {
+        chunk
+            .iter()
+            .map(|w| vec![cgm_summary_mode(w, mode)])
+            .collect::<Vec<Window>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Adapter giving a window-based detector per-sample semantics: queries are

@@ -62,10 +62,13 @@ pub fn generate_cohort() -> Vec<PatientDataset> {
 ///
 /// Panics if either day count is zero.
 pub fn generate_cohort_sized(train_days: usize, test_days: usize) -> Vec<PatientDataset> {
-    profiles()
-        .into_iter()
-        .map(|p| PatientDataset::generate(p, train_days, test_days))
-        .collect()
+    // Each patient's simulation is seeded from their own profile, so the
+    // per-patient fan-out over the lgo-runtime pool is bit-identical to
+    // the serial loop it replaces.
+    let profiles = profiles();
+    lgo_runtime::par_map(&profiles, |p| {
+        PatientDataset::generate(p.clone(), train_days, test_days)
+    })
 }
 
 #[cfg(test)]

@@ -12,8 +12,13 @@
 //!   pair used by the MAD-GAN anomaly detector,
 //! - [`Sgd`] and [`Adam`] optimizers with global-norm gradient clipping.
 //!
-//! Everything is `f64`, single-threaded and deterministic given a seeded RNG,
-//! so every experiment in the workspace reproduces bit-for-bit.
+//! Everything is `f64` and deterministic given a seeded RNG, so every
+//! experiment in the workspace reproduces bit-for-bit. Training itself
+//! runs on the calling thread: parallelism lives one layer up, where
+//! `lgo-runtime` fans out *independent* models (one forecaster or
+//! detector per task, each with its own split seed) rather than sharing
+//! one optimizer across threads, which would make float accumulation
+//! order — and therefore results — scheduling-dependent.
 //!
 //! # Examples
 //!

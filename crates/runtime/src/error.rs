@@ -1,0 +1,57 @@
+//! The runtime's error type: worker-task panics surfaced as values.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure inside a parallel primitive.
+///
+/// Panics raised by worker tasks are caught at the pool boundary and
+/// reported through this type instead of aborting the pool (or the
+/// process), so callers can compose parallel stages with the workspace's
+/// graceful-degradation layer (`LgoError::Runtime` in `lgo-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A task panicked. When several tasks of one batch panic, the one with
+    /// the lowest input index is reported, so the surfaced error does not
+    /// depend on scheduling order.
+    TaskPanicked {
+        /// The input index of the panicking task.
+        index: usize,
+        /// The panic payload's message (or a placeholder for non-string
+        /// payloads).
+        message: String,
+    },
+    /// `par_chunks` was called with a chunk size of zero.
+    ZeroChunkSize,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TaskPanicked { index, message } => {
+                write!(f, "parallel task {index} panicked: {message}")
+            }
+            RuntimeError::ZeroChunkSize => write!(f, "chunk size must be positive"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_index_and_message() {
+        let e = RuntimeError::TaskPanicked {
+            index: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "parallel task 7 panicked: boom");
+        assert_eq!(
+            RuntimeError::ZeroChunkSize.to_string(),
+            "chunk size must be positive"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! The work-stealing thread pool.
+//!
+//! One process-global pool of parked worker threads executes *batches*: a
+//! batch is `n` tasks identified by their input index `0..n`, a shared task
+//! body, and a set of per-participant deques holding the not-yet-claimed
+//! indices. Indices are dealt into the deques in contiguous blocks (the
+//! same blocks a serial loop would walk, preserving cache locality); each
+//! participant pops work from the *front* of its own deque and, when that
+//! runs dry, steals from the *back* of the other deques — the classic
+//! work-first stealing discipline, here with mutex-protected deques rather
+//! than lock-free Chase–Lev arrays (the tasks this workspace schedules are
+//! coarse, so deque contention is negligible; see DESIGN.md §12).
+//!
+//! Determinism does **not** depend on the schedule: tasks communicate only
+//! through their input index (results land in index-addressed slots, seeds
+//! derive from the index via [`crate::split_seed`]), so any interleaving
+//! produces bit-identical output. The scheduler is free to be fast; the
+//! *contract* is what keeps runs reproducible.
+//!
+//! Three situations bypass the pool and run the batch inline on the calling
+//! thread, in index order: an effective thread count of one (the zero
+//! overhead serial path), a call from inside a worker task (nested
+//! parallelism must not deadlock the single in-flight batch slot), and a
+//! second top-level caller while a batch is already in flight. All three
+//! produce the same results as the pooled path, by the index contract.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::error::RuntimeError;
+
+/// Hard cap on pool size; beyond this, extra threads only add scheduling
+/// noise for the cohort-scale batches the workspace runs.
+const MAX_POOL_THREADS: usize = 64;
+
+/// The pool is sized to honour at least this many effective threads even on
+/// narrower machines, so determinism tests can exercise real multi-threaded
+/// schedules (`LGO_THREADS=8`) anywhere.
+const MIN_POOL_RESERVE: usize = 8;
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread; parallel
+    /// primitives called while it is set run inline (nested parallelism).
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Explicit thread-count override (0 = unset); see [`set_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Erased pointer to a batch's task body. Only dereferenced between batch
+/// installation and completion; the installer does not return until every
+/// task has finished, which keeps the referent alive for every dereference.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and the pointer itself is only used while the batch installer blocks in
+// `run_batch`, so no use can outlive the referent.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// One in-flight batch of tasks.
+#[derive(Clone)]
+struct Batch {
+    /// Monotone batch identifier; workers use it to recognise fresh work.
+    epoch: u64,
+    /// One index deque per participant (slot 0 belongs to the caller).
+    queues: Arc<Vec<Mutex<VecDeque<usize>>>>,
+    /// The shared task body.
+    task: TaskRef,
+    /// Tasks not yet completed; the caller returns when this reaches zero.
+    remaining: Arc<AtomicUsize>,
+    /// Panics caught so far, as `(index, message)`.
+    panics: Arc<Mutex<Vec<(usize, String)>>>,
+    /// How many pool workers participate (queues.len() - 1).
+    workers: usize,
+}
+
+struct PoolState {
+    batch: Option<Batch>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals workers that a new batch (or shutdown) is available.
+    work: Condvar,
+    /// Signals the batch installer that the last task finished.
+    done: Condvar,
+}
+
+impl Shared {
+    /// Locks the pool state. A worker can only panic while executing a
+    /// task, and task panics are caught before they can poison this mutex,
+    /// so recovering the guard from a poison error is sound.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The work-stealing pool: a set of parked worker threads plus the
+/// one-batch-at-a-time scheduling state.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads - 1` workers (the caller of each batch
+    /// is the remaining participant).
+    fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                batch: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..threads.saturating_sub(1))
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lgo-runtime-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("lgo-runtime: spawning pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Largest effective thread count this pool can serve.
+    fn capacity(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `n` tasks across `threads` participants (the calling thread
+    /// plus `threads - 1` pool workers). Returns when every task has
+    /// completed; task panics are collected, not propagated.
+    fn run_batch(
+        &self,
+        n: usize,
+        threads: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), RuntimeError> {
+        let threads = threads.min(self.capacity()).min(n).max(1);
+        if threads <= 1 {
+            return run_inline(n, task);
+        }
+
+        // Deal indices into per-participant deques in contiguous blocks.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+            .map(|p| {
+                let lo = p * n / threads;
+                let hi = (p + 1) * n / threads;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        let batch = {
+            let mut st = self.shared.lock_state();
+            if st.batch.is_some() {
+                // Another top-level batch is in flight; do not queue behind
+                // it (the owner might itself be waiting on us in a test
+                // harness) — degrade to the inline path.
+                drop(st);
+                return run_inline(n, task);
+            }
+            st.epoch += 1;
+            // SAFETY: lifetime erasure only — this function blocks until
+            // `remaining` hits zero, after which no participant touches the
+            // task pointer again, so the borrow outlives every dereference.
+            let task: TaskRef = unsafe {
+                TaskRef(std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(task as *const _))
+            };
+            let batch = Batch {
+                epoch: st.epoch,
+                queues: Arc::new(queues),
+                task,
+                remaining: Arc::new(AtomicUsize::new(n)),
+                panics: Arc::new(Mutex::new(Vec::new())),
+                workers: threads - 1,
+            };
+            st.batch = Some(batch.clone());
+            self.shared.work.notify_all();
+            batch
+        };
+
+        // The caller is participant 0.
+        drain(&self.shared, &batch, 0);
+
+        // Wait for stragglers still draining stolen work.
+        {
+            let mut st = self.shared.lock_state();
+            while batch.remaining.load(Ordering::Acquire) > 0 {
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if st.batch.as_ref().is_some_and(|b| b.epoch == batch.epoch) {
+                st.batch = None;
+            }
+        }
+
+        first_panic(&batch)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock_state();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Reports the lowest-index panic of a batch, if any — independent of the
+/// order in which panics were *caught*.
+fn first_panic(batch: &Batch) -> Result<(), RuntimeError> {
+    let mut panics = batch
+        .panics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if panics.is_empty() {
+        return Ok(());
+    }
+    panics.sort();
+    let (index, message) = panics[0].clone();
+    Err(RuntimeError::TaskPanicked { index, message })
+}
+
+/// The parked-worker loop: wait for a fresh epoch, participate if assigned,
+/// repeat until shutdown.
+fn worker_loop(shared: &Shared, id: usize) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    let mut seen = 0u64;
+    loop {
+        let batch = {
+            let mut st = shared.lock_state();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(b) = st.batch.as_ref() {
+                    if b.epoch > seen {
+                        seen = b.epoch;
+                        break b.clone();
+                    }
+                }
+                st = shared
+                    .work
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if id < batch.workers {
+            // Worker `id` owns queue `id + 1`; queue 0 is the caller's.
+            drain(shared, &batch, id + 1);
+        }
+    }
+}
+
+/// Executes tasks until no queue has work left: pop the front of the home
+/// deque, then steal from the back of the others.
+fn drain(shared: &Shared, batch: &Batch, home: usize) {
+    let queues = &*batch.queues;
+    loop {
+        let mut idx = queues[home]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front();
+        if idx.is_none() {
+            for off in 1..queues.len() {
+                let victim = (home + off) % queues.len();
+                idx = queues[victim]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_back();
+                if idx.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(idx) = idx else { return };
+        // SAFETY: see `TaskRef` — the batch installer is still blocked in
+        // `run_batch`, keeping the referent alive.
+        let task = unsafe { &*batch.task.0 };
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(idx)))
+        {
+            batch
+                .panics
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((idx, panic_message(payload)));
+        }
+        if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task: wake the installer. Taking the state lock orders
+            // this notify after the installer's check-then-wait, so the
+            // wakeup cannot be lost.
+            let _guard = shared.lock_state();
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The serial path: runs tasks in index order on the calling thread, with
+/// the same panic-capture semantics as the pooled path (so the surfaced
+/// error does not depend on the thread count).
+fn run_inline(n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<(), RuntimeError> {
+    for i in 0..n {
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
+            return Err(RuntimeError::TaskPanicked {
+                index: i,
+                message: panic_message(payload),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The process-global pool, created on first multi-threaded batch.
+fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let size = threads()
+            .max(hardware_threads())
+            .clamp(MIN_POOL_RESERVE, MAX_POOL_THREADS);
+        Pool::new(size)
+    })
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The thread count requested by the `LGO_THREADS` environment variable
+/// (read once); unset, zero or unparsable values fall back to the
+/// machine's available parallelism.
+fn env_threads() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        std::env::var("LGO_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+    .unwrap_or_else(hardware_threads)
+}
+
+/// The effective thread count parallel primitives will use: the
+/// [`set_threads`] override if present, else `LGO_THREADS`, else the
+/// machine's available parallelism. Always at least 1.
+#[must_use]
+pub fn threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the effective thread count for subsequent parallel calls
+/// (`None` restores the `LGO_THREADS` / hardware default). Intended for
+/// tests and scaling benchmarks; the override is process-global.
+///
+/// By the runtime's determinism contract, changing the thread count never
+/// changes any primitive's results — only its schedule.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Whether the current thread is a pool worker (nested parallel calls run
+/// inline).
+pub(crate) fn on_worker_thread() -> bool {
+    IS_POOL_WORKER.with(Cell::get)
+}
+
+/// Runs `n` index-tasks with the effective thread count: inline when the
+/// batch is trivial, serial, or nested; across the pool otherwise.
+pub(crate) fn execute(n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<(), RuntimeError> {
+    if n == 0 {
+        return Ok(());
+    }
+    let threads = threads().min(n);
+    if threads <= 1 || on_worker_thread() {
+        return run_inline(n, task);
+    }
+    global().run_batch(n, threads, task)
+}

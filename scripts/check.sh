@@ -10,8 +10,15 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test (workspace)"
-cargo test -q --workspace
+# The tier-1 suite runs twice: serial (LGO_THREADS=1 pins every lgo-runtime
+# fan-out to the inline path) and parallel (LGO_THREADS=4 exercises real
+# worker threads). Both must pass identically — parallelism is a pure
+# performance knob, never a behavior change.
+echo "==> cargo test (workspace, LGO_THREADS=1)"
+LGO_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (workspace, LGO_THREADS=4)"
+LGO_THREADS=4 cargo test -q --workspace
 
 if [ -z "${SKIP_CLIPPY:-}" ]; then
     echo "==> cargo clippy (all targets, vendored deps excluded) -- -D warnings"
@@ -23,6 +30,10 @@ echo "==> lgo-analyze --workspace"
 cargo run -q -p lgo-analyze -- --workspace
 
 echo "==> cargo test (strict-numerics sanitizers)"
-cargo test -q -p lgo-tensor -p lgo-nn --features strict-numerics
+cargo test -q -p lgo-tensor -p lgo-nn -p lgo-runtime -p lgo-core \
+    --features strict-numerics
+
+echo "==> exp_scaling (fast scale): thread-count speedup + determinism gate"
+LGO_SCALE=fast cargo run -q -p lgo-bench --release --bin exp_scaling > /dev/null
 
 echo "==> all checks passed"

@@ -39,5 +39,6 @@ pub use lgo_eval as eval;
 pub use lgo_forecast as forecast;
 pub use lgo_glucosim as glucosim;
 pub use lgo_nn as nn;
+pub use lgo_runtime as runtime;
 pub use lgo_series as series;
 pub use lgo_tensor as tensor;
