@@ -24,6 +24,9 @@ L5  every pub item in lgo-core carries a doc comment
 L6  no bare .unwrap()/.expect() on lock()/read()/write()/join() results
     outside lgo-runtime internals; recover from poisoning or allow with
     `/ lint: allow(L6): <why>`
+L7  no bare println!/eprintln!/print!/eprint! in non-test library code (any
+    crate except lgo-bench and lgo-analyze); record through lgo-trace or
+    allow with `// lint: allow(L7): <why>`
 A0  lint directives must be well-formed and carry a justification
 A1  lint directives must suppress at least one finding";
 

@@ -8,6 +8,7 @@
 //! | L4 | whole workspace (non-test) | `==` / `!=` against a float literal |
 //! | L5 | `lgo-core` | `pub` item without a doc comment |
 //! | L6 | whole workspace (non-test) except `lgo-runtime` internals | bare `.unwrap()`/`.expect()` on `lock()`/`read()`/`write()`/`join()` results |
+//! | L7 | non-test library code of every crate except `lgo-bench` / `lgo-analyze` | bare `println!` / `eprintln!` — report through lgo-trace or return data |
 //!
 //! Rules operate on the token stream from [`crate::lexer`]; test code
 //! (`#[cfg(test)]` items, `#[test]` fns) is masked out first. Findings can
@@ -29,6 +30,7 @@ pub struct FileScope {
     pub l4: bool,
     pub l5: bool,
     pub l6: bool,
+    pub l7: bool,
 }
 
 /// The defense-stack library crates where a stray panic corrupts risk
@@ -40,7 +42,7 @@ pub const LIB_CRATES: &[&str] = &[
 impl FileScope {
     /// Every rule enabled.
     pub fn all() -> Self {
-        FileScope { l1: true, l2: true, l3: true, l4: true, l5: true, l6: true }
+        FileScope { l1: true, l2: true, l3: true, l4: true, l5: true, l6: true, l7: true }
     }
 
     /// Scope for a workspace-relative path (`crates/core/src/risk.rs`).
@@ -70,6 +72,10 @@ impl FileScope {
             // design; everywhere else a poisoned-lock panic would bypass
             // the error layer.
             l6: krate != "runtime" && !is_test_file,
+            // Library code reports through lgo-trace or returns data; stdout
+            // belongs to the experiment binaries (and lgo-bench / lgo-analyze
+            // are presentation layers by design).
+            l7: in_lib_src && !is_test_file && !matches!(krate, "bench" | "analyze"),
         })
     }
 }
@@ -321,7 +327,7 @@ const COMPARATOR_FNS: &[&str] = &[
     "binary_search_by",
 ];
 
-/// Single pass emitting the site-local rules L1, L2, L4 and L6.
+/// Single pass emitting the site-local rules L1, L2, L4, L6 and L7.
 fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: &mut Vec<Finding>) {
     let n = ctx.n();
     for (i, &masked) in test_mask.iter().enumerate() {
@@ -403,6 +409,28 @@ fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: 
                     });
                 }
             }
+        }
+        // L7: stdout/stderr noise in library code. Defense-crate libraries
+        // run inside parallel pipelines; prints interleave across workers
+        // and bypass the structured trace layer. (`::println!` from a macro
+        // path is not a bare call site and is left alone, like `::panic!`
+        // in L1.)
+        if scope.l7
+            && t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && ctx.text_at(i as isize + 1) == "!"
+            && ctx.text_at(i as isize - 1) != "::"
+        {
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "L7",
+                message: format!(
+                    "bare `{}!` in library code; record through lgo-trace (or justify \
+                     with `// lint: allow(L7): <why>`)",
+                    t.text
+                ),
+            });
         }
         // L4: float literal equality.
         if scope.l4 && t.kind == TokenKind::Op && (t.text == "==" || t.text == "!=") {

@@ -1,0 +1,36 @@
+//! L7 fixture: stdout/stderr noise in library code.
+//!
+//! Defense-crate libraries run inside parallel pipelines; bare prints
+//! interleave across workers and bypass the structured trace layer.
+//! Scope: L7 only.
+
+pub fn chatty_fit(n: usize) {
+    println!("fitting on {n} windows"); //~ L7
+    eprintln!("warning: small training set"); //~ L7
+}
+
+pub fn partial_line(progress: f64) {
+    print!("\rprogress: {progress:.0}%"); //~ L7
+    eprint!("."); //~ L7
+}
+
+pub fn excused_diagnostic(e: &str) {
+    eprintln!("detector degraded: {e}"); // lint: allow(L7): operator-facing fault diagnostic, required by the degradation contract
+}
+
+pub fn qualified_macro_path() {
+    // A `::println!` path is not a bare call site (mirrors `::panic!` in L1).
+    std::println!("expansion-internal");
+}
+
+pub fn not_code() -> &'static str {
+    "a string mentioning println! is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_masked() {
+        println!("test output is fine");
+    }
+}

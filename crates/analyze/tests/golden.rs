@@ -8,8 +8,8 @@
 
 use lgo_analyze::{analyze_source, FileScope};
 
-fn scope(l1: bool, l2: bool, l3: bool, l4: bool, l5: bool, l6: bool) -> FileScope {
-    FileScope { l1, l2, l3, l4, l5, l6 }
+fn scope(l1: bool, l2: bool, l3: bool, l4: bool, l5: bool, l6: bool, l7: bool) -> FileScope {
+    FileScope { l1, l2, l3, l4, l5, l6, l7 }
 }
 
 /// `(line, rule)` pairs declared by `//~` markers in the fixture text.
@@ -44,34 +44,39 @@ fn check_fixture(name: &str, scope: FileScope) {
 
 #[test]
 fn l1_panic_sites() {
-    check_fixture("l1_sites.rs", scope(true, false, false, false, false, false));
+    check_fixture("l1_sites.rs", scope(true, false, false, false, false, false, false));
 }
 
 #[test]
 fn l2_float_ordering() {
-    check_fixture("l2_float_order.rs", scope(false, true, false, false, false, false));
+    check_fixture("l2_float_order.rs", scope(false, true, false, false, false, false, false));
 }
 
 #[test]
 fn l3_try_twins() {
     // L1 + L3 together, as in the real lib-crate scope, so that allow(L1)
     // directives are consumed exactly like they are in the workspace.
-    check_fixture("l3_twins.rs", scope(true, false, true, false, false, false));
+    check_fixture("l3_twins.rs", scope(true, false, true, false, false, false, false));
 }
 
 #[test]
 fn l4_float_literal_equality() {
-    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false, false));
+    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false, false, false));
 }
 
 #[test]
 fn l5_missing_docs() {
-    check_fixture("l5_docs.rs", scope(false, false, false, false, true, false));
+    check_fixture("l5_docs.rs", scope(false, false, false, false, true, false, false));
 }
 
 #[test]
 fn l6_lock_results() {
-    check_fixture("l6_locks.rs", scope(false, false, false, false, false, true));
+    check_fixture("l6_locks.rs", scope(false, false, false, false, false, true, false));
+}
+
+#[test]
+fn l7_library_prints() {
+    check_fixture("l7_prints.rs", scope(false, false, false, false, false, false, true));
 }
 
 #[test]
@@ -106,6 +111,15 @@ fn workspace_path_scoping() {
     let runtime = FileScope::for_path("crates/runtime/src/pool.rs").unwrap();
     assert!(!runtime.l6);
     assert!(core.l6);
+    // L7 covers library sources everywhere except the two presentation
+    // crates; binaries, tests and benches stay free to print.
+    assert!(core.l7 && runtime.l7);
+    assert!(FileScope::for_path("crates/trace/src/lib.rs").unwrap().l7);
+    assert!(!bench_bin.l7);
+    assert!(!test_file.l7);
+    assert!(!FileScope::for_path("crates/bench/src/lib.rs").unwrap().l7);
+    assert!(!FileScope::for_path("crates/analyze/src/rules.rs").unwrap().l7);
+    assert!(!FileScope::for_path("crates/trace/src/bin/trace_schema.rs").unwrap().l7);
 }
 
 /// The whole point of the crate: the workspace itself stays lint-clean.

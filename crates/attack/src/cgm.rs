@@ -363,14 +363,28 @@ pub fn run_campaign<E: Explorer<Window>>(
     explorer: &E,
     cfg: &CgmAttackConfig,
 ) -> CampaignReport {
+    let _span = lgo_trace::span("attack/campaign");
     // Each case's search is independent and internally seeded, so the
     // per-window fan-out over the lgo-runtime pool returns outcomes in
     // case order, bit-identical to the serial loop it replaces.
-    CampaignReport {
+    let report = CampaignReport {
         outcomes: lgo_runtime::par_map(cases, |c| {
             attack_window(model, c, explorer, cfg)
         }),
+    };
+    if lgo_trace::enabled() {
+        // Aggregated after the fan-out (serially, in case order) so the
+        // counters are pure functions of the outcomes, not the schedule.
+        lgo_trace::counter("attack/campaigns", 1);
+        lgo_trace::counter("attack/windows", report.outcomes.len() as u64);
+        for o in &report.outcomes {
+            if o.result.achieved {
+                lgo_trace::counter("attack/successes", 1);
+            }
+            lgo_trace::record("attack/queries_per_window", o.result.queries as u64);
+        }
     }
+    report
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 
 use lgo_attack::cgm::{run_campaign, CgmAttackConfig};
 use lgo_attack::{GreedyExplorer, TargetModel};
-use lgo_bench::{banner, forecast_config, Scale};
+use lgo_bench::{banner, forecast_config, percent_or_na, Scale};
 use lgo_core::profile::attack_cases;
 use lgo_eval::render::table;
 use lgo_forecast::{supervised_samples, GlucoseForecaster};
@@ -104,13 +104,13 @@ fn main() {
         vec![
             "BiLSTM (paper)".into(),
             format!("{lstm_rmse:.1}"),
-            format!("{:.1}%", lstm_report.success_rate().unwrap_or(0.0) * 100.0),
+            percent_or_na(lstm_report.success_rate()),
             format!("{}", lstm.clone().param_count()),
         ],
         vec![
             "BiGRU".into(),
             format!("{gru_rmse:.1}"),
-            format!("{:.1}%", gru_report.success_rate().unwrap_or(0.0) * 100.0),
+            percent_or_na(gru_report.success_rate()),
             format!("{}", gru_params.param_count()),
         ],
     ];

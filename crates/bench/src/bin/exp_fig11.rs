@@ -5,7 +5,7 @@
 //! 10.9 % (OneClassSVM) over indiscriminate training — the recall gain
 //! outweighs any precision loss.
 
-use lgo_bench::{banner, print_strategy_metric, run_strategy_grid, Scale};
+use lgo_bench::{banner, print_strategy_metric, run_strategy_grid, write_trace, Scale};
 use lgo_core::selective::TrainingStrategy;
 
 fn main() {
@@ -31,4 +31,5 @@ fn main() {
             change * 100.0
         );
     }
+    write_trace("exp_fig11");
 }

@@ -6,7 +6,7 @@
 //! +16.8 % for OneClassSVM; MAD-GAN keeps recall 1 at 75 % less training
 //! data).
 
-use lgo_bench::{banner, print_strategy_metric, run_strategy_grid, Scale};
+use lgo_bench::{banner, print_strategy_metric, run_strategy_grid, write_trace, Scale};
 use lgo_core::selective::TrainingStrategy;
 
 fn main() {
@@ -32,4 +32,5 @@ fn main() {
             increase * 100.0
         );
     }
+    write_trace("exp_fig7");
 }

@@ -5,7 +5,7 @@
 //! (recall/precision trade-off) while OneClassSVM *gains* 7.5 %; MAD-GAN's
 //! precision is strategy-insensitive.
 
-use lgo_bench::{banner, print_strategy_metric, run_strategy_grid, Scale};
+use lgo_bench::{banner, print_strategy_metric, run_strategy_grid, write_trace, Scale};
 use lgo_core::selective::TrainingStrategy;
 
 fn main() {
@@ -31,4 +31,5 @@ fn main() {
             change * 100.0
         );
     }
+    write_trace("exp_fig8");
 }

@@ -18,7 +18,7 @@ use lgo_core::error::LgoError;
 use lgo_core::export::canonical_json;
 use lgo_core::pipeline::try_run_pipeline;
 
-use lgo_bench::{pipeline_config, Scale};
+use lgo_bench::{pipeline_config, write_trace, Scale};
 
 fn main() -> Result<(), LgoError> {
     let scale = Scale::from_env();
@@ -86,5 +86,6 @@ fn main() -> Result<(), LgoError> {
         all_identical,
         "determinism violation: multi-threaded export differs from serial"
     );
+    write_trace("exp_scaling");
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! the resulting less/more-vulnerable membership per subset, next to the
 //! paper's reference clusters (less vulnerable: A_5, B_1, B_2).
 
-use lgo_bench::{banner, pipeline_config, Scale};
+use lgo_bench::{banner, percent_or_na, pipeline_config, write_trace, Scale};
 use lgo_core::pipeline::run_pipeline;
 use lgo_core::selective::{DetectorKind, TrainingStrategy};
 use lgo_eval::render::table;
@@ -26,7 +26,7 @@ fn main() {
         .map(|p| {
             vec![
                 p.patient.to_string(),
-                format!("{:.1}%", p.success_rate().unwrap_or(0.0) * 100.0),
+                percent_or_na(p.success_rate()),
                 format!("{:.0}", p.risk_profile.mean()),
                 format!("{:.2}", p.risk_profile.active_fraction()),
                 if report.clusters.is_less_vulnerable(p.patient) {
@@ -56,4 +56,5 @@ fn main() {
     println!("\npaper (Table II):");
     println!("  less vulnerable: A_5, B_1, B_2");
     println!("  more vulnerable: A_0, A_1, A_2, A_3, A_4, B_0, B_3, B_4, B_5");
+    write_trace("exp_table2");
 }

@@ -313,6 +313,30 @@ pub fn run_origin_experiment(scale: Scale, origin: lgo_attack::cgm::OriginState)
     );
 }
 
+/// Renders an optional success rate as a percentage, or `n/a` when the
+/// campaign attacked no windows ([`success_rate`] returns `None`). The old
+/// `unwrap_or(0.0)` rendering misreported an empty campaign as a fully
+/// resisted one; the JSON exports already emit `null` for this case.
+///
+/// [`success_rate`]: lgo_attack::cgm::CampaignReport::success_rate
+pub fn percent_or_na(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "n/a".into(),
+    }
+}
+
+/// Writes the trace collected so far to `results/trace_<bench>.json` and
+/// prints the path — a no-op unless the workspace is built with
+/// `--features trace` and `LGO_TRACE=json` is set (see lgo-trace).
+pub fn write_trace(bench: &str) {
+    match lgo_trace::write_report(bench) {
+        Ok(Some(path)) => println!("\ntrace report: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace report: write failed: {e}"),
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn banner(experiment: &str, paper_ref: &str, scale: Scale) {
     println!("================================================================");

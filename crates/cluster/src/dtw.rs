@@ -69,6 +69,8 @@ pub fn dtw(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
 pub fn dtw_distance_matrix(series: &[Vec<f64>], band: Option<usize>) -> Vec<Vec<f64>> {
     assert!(!series.is_empty(), "dtw_distance_matrix: no series");
     let n = series.len();
+    let _span = lgo_trace::span("cluster/dtw_matrix");
+    lgo_trace::counter("cluster/dtw_pairs", (n * (n - 1) / 2) as u64);
     let upper =
         lgo_runtime::par_index_pairs(n, |i, j| dtw(&series[i], &series[j], band));
     let mut d = vec![vec![0.0; n]; n];

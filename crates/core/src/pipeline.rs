@@ -183,7 +183,10 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineReport {
 /// selected or survive isolation, and propagates clustering / evaluation
 /// errors that affect the whole cohort.
 pub fn try_run_pipeline(config: &PipelineConfig) -> Result<PipelineReport, LgoError> {
-    let all = generate_cohort_sized(config.train_days, config.test_days);
+    let all = {
+        let _span = lgo_trace::span("pipeline/simulate");
+        generate_cohort_sized(config.train_days, config.test_days)
+    };
     let datasets: Vec<PatientDataset> = match &config.patients {
         Some(ids) => all
             .into_iter()
@@ -238,8 +241,15 @@ pub fn try_run_pipeline_on(
         });
     }
 
+    lgo_trace::counter("pipeline/patients", profiles.len() as u64);
+    lgo_trace::counter("pipeline/patients_skipped", skipped.len() as u64);
+
     // Step 4.
-    let clusters = try_cluster_cohort(&profiles, config.linkage)?;
+    let clusters = {
+        let _stage = lgo_trace::span("stage/cluster");
+        lgo_trace::counter("stage/cluster", 1);
+        try_cluster_cohort(&profiles, config.linkage)?
+    };
 
     // Step 5: the (detector × strategy) grid cells are independent, so fan
     // them out too; cells keep grid order in `evaluations`.
@@ -277,6 +287,11 @@ fn profile_one_patient(
     config: &PipelineConfig,
     d: &PatientDataset,
 ) -> Result<(PatientAttackProfile, PatientData), (&'static str, LgoError)> {
+    // Stage 3 in the paper's numbering: everything that builds one
+    // patient's profile (the campaign and risk spans nest inside on the
+    // same thread).
+    let _stage = lgo_trace::span("stage/profile");
+    lgo_trace::counter("stage/profile", 1);
     let seq_len = config.forecast.seq_len;
     // Step 0: the deployed target model (personalized, like the paper's
     // per-patient attack study).

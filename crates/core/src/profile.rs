@@ -218,7 +218,16 @@ pub fn try_profile_patient(
     } else {
         GreedyExplorer::new(config.explorer_steps)
     };
-    let campaign = run_campaign(&model, &cases, &explorer, &config.attack);
+    let campaign = {
+        // Stage 1 of the paper's pipeline: attack simulation.
+        let _stage = lgo_trace::span("stage/attack");
+        lgo_trace::counter("stage/attack", 1);
+        run_campaign(&model, &cases, &explorer, &config.attack)
+    };
+    // Stage 2: risk quantification (Equation 1 per attacked window).
+    let _stage = lgo_trace::span("stage/risk");
+    lgo_trace::counter("stage/risk", 1);
+    lgo_trace::counter("risk/windows", campaign.outcomes.len() as u64);
     let values: Vec<f64> = campaign
         .outcomes
         .iter()

@@ -385,6 +385,11 @@ pub fn evaluate_on_patient(
     data: &PatientData,
 ) -> ConfusionMatrix {
     const BATCH: usize = 32;
+    let _span = lgo_trace::span("selective/score");
+    lgo_trace::counter(
+        "selective/windows_scored",
+        (data.test_benign.len() + data.test_malicious.len()) as u64,
+    );
     let flagged =
         |windows: &[Window]| -> usize {
             lgo_runtime::par_chunks(windows, BATCH, |chunk| {
@@ -439,8 +444,13 @@ pub fn try_evaluate_strategy(
     more_vulnerable: &[PatientId],
     configs: &DetectorConfigs,
 ) -> Result<StrategyEvaluation, LgoError> {
+    // Stage 5 of the paper's pipeline: selective training + evaluation of
+    // one (strategy × detector) grid cell.
+    let _stage = lgo_trace::span("stage/train");
+    lgo_trace::counter("stage/train", 1);
     let ids: Vec<PatientId> = cohort.iter().map(|d| d.patient).collect();
     let rosters = try_training_rosters(strategy, &ids, less_vulnerable, more_vulnerable)?;
+    lgo_trace::counter("selective/runs", rosters.len() as u64);
 
     // Each run trains its own detector from a fixed roster, so runs fan out
     // across the lgo-runtime pool; only Random Samples has more than one.
@@ -457,8 +467,15 @@ pub fn try_evaluate_strategy(
                 benign.extend(d.train_benign.iter().cloned());
                 malicious.extend(d.train_malicious.iter().cloned());
             }
-            let (detector, trained) =
-                train_detector_with_fallback(kind, &benign, &malicious, configs)?;
+            let (detector, trained) = {
+                let _fit = lgo_trace::span("selective/fit");
+                train_detector_with_fallback(kind, &benign, &malicious, configs)?
+            };
+            lgo_trace::counter("selective/fits", 1);
+            lgo_trace::counter("selective/training_windows", benign.len() as u64);
+            if trained != kind {
+                lgo_trace::counter("selective/fallbacks", 1);
+            }
             Ok(RunOutcome {
                 training_windows: benign.len(),
                 trained,

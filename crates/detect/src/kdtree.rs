@@ -213,7 +213,7 @@ mod tests {
                 )
             })
             .collect();
-        d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        d.sort_by(|a, b| a.1.total_cmp(&b.1));
         d.truncate(k);
         d
     }

@@ -100,6 +100,7 @@ impl KnnDetector {
         malicious: &[Window],
         config: &KnnConfig,
     ) -> Result<Self, DetectError> {
+        let _span = lgo_trace::span("detect/knn/fit");
         if config.k == 0 {
             return Err(DetectError::InvalidK);
         }
@@ -149,6 +150,8 @@ impl KnnDetector {
             KnnAlgorithm::Auto => (config.p - 2.0).abs() < f64::EPSILON,
         };
         let tree = use_tree.then(|| KdTree::build(points.clone(), config.leaf_size));
+        lgo_trace::counter("detect/knn/fits", 1);
+        lgo_trace::counter("detect/knn/fit_points", points.len() as u64);
         Ok(Self {
             points,
             labels,
@@ -159,15 +162,7 @@ impl KnnDetector {
     }
 
     fn stride_cap(class: &[Window], cap: Option<usize>) -> Vec<Window> {
-        match cap {
-            Some(cap) if cap > 0 && class.len() > cap => {
-                let stride = class.len() as f64 / cap as f64;
-                (0..cap)
-                    .map(|i| class[(i as f64 * stride) as usize].clone())
-                    .collect()
-            }
-            _ => class.to_vec(),
-        }
+        crate::subsample::subsample_cap(class.to_vec(), cap.unwrap_or(0))
     }
 
     /// Number of stored training points.
@@ -212,6 +207,7 @@ impl AnomalyDetector for KnnDetector {
     /// Score = malicious-vote fraction − 0.5, so the sign matches the
     /// majority decision.
     fn score(&self, window: &Window) -> f64 {
+        lgo_trace::counter("detect/knn/scores", 1);
         let query = self
             .scaler
             .transform_row(&flatten(window))

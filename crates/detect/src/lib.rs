@@ -38,6 +38,7 @@ mod kdtree;
 mod knn;
 mod madgan;
 mod ocsvm;
+mod subsample;
 pub mod summary;
 
 pub use detector::AnomalyDetector;
@@ -47,4 +48,5 @@ pub use knn::{KnnAlgorithm, KnnConfig, KnnDetector};
 pub use madgan::{MadGan, MadGanConfig};
 pub use detector::{flag_all, Window};
 pub use ocsvm::{Kernel, KernelSpec, OcSvmConfig, OneClassSvm};
+pub use subsample::{subsample_cap, subsample_indices};
 pub use summary::{cgm_summary, cgm_summary_mode, summarize_all, summarize_all_mode, CgmSummaryDetector, SummaryMode};

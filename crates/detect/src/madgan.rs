@@ -118,6 +118,7 @@ impl MadGan {
     /// [`DetectError::WindowLength`] / [`DetectError::RaggedWindow`] on
     /// malformed windows.
     pub fn try_fit(windows: &[Window], config: &MadGanConfig) -> Result<Self, DetectError> {
+        let _span = lgo_trace::span("detect/madgan/fit");
         if windows.is_empty() {
             return Err(DetectError::NoTrainingWindows);
         }
@@ -129,17 +130,10 @@ impl MadGan {
         if finite.is_empty() {
             return Err(DetectError::NoFiniteWindows);
         }
-        let capped: Vec<Window>;
-        let windows: &[Window] = match config.max_windows {
-            Some(cap) if cap > 0 && finite.len() > cap => {
-                let stride = finite.len() as f64 / cap as f64;
-                capped = (0..cap)
-                    .map(|i| finite[(i as f64 * stride) as usize].clone())
-                    .collect();
-                &capped
-            }
-            _ => &finite,
-        };
+        let windows: Vec<Window> =
+            crate::subsample::subsample_cap(finite, config.max_windows.unwrap_or(0));
+        lgo_trace::counter("detect/madgan/fits", 1);
+        lgo_trace::counter("detect/madgan/fit_windows", windows.len() as u64);
         let n_signals = windows[0][0].len();
         for (i, w) in windows.iter().enumerate() {
             if w.len() != config.seq_len {
@@ -328,6 +322,7 @@ impl AnomalyDetector for MadGan {
 
     /// Score = DR-Score − calibrated threshold.
     fn score(&self, window: &Window) -> f64 {
+        lgo_trace::counter("detect/madgan/scores", 1);
         self.dr_score(window) - self.threshold
     }
 }

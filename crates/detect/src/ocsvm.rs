@@ -174,6 +174,7 @@ impl OneClassSvm {
     /// [`DetectError::NoFiniteWindows`] when every window is corrupt, and
     /// [`DetectError::InconsistentShapes`] on mismatched window shapes.
     pub fn try_fit(windows: &[Window], config: &OcSvmConfig) -> Result<Self, DetectError> {
+        let _span = lgo_trace::span("detect/ocsvm/fit");
         if windows.is_empty() {
             return Err(DetectError::NoTrainingWindows);
         }
@@ -189,13 +190,10 @@ impl OneClassSvm {
             return Err(DetectError::NoFiniteWindows);
         }
         if let Some(cap) = config.max_samples {
-            if cap > 0 && points.len() > cap {
-                let stride = points.len() as f64 / cap as f64;
-                points = (0..cap)
-                    .map(|i| points[(i as f64 * stride) as usize].clone())
-                    .collect();
-            }
+            points = crate::subsample::subsample_cap(points, cap);
         }
+        lgo_trace::counter("detect/ocsvm/fits", 1);
+        lgo_trace::counter("detect/ocsvm/fit_points", points.len() as u64);
         let width = points[0].len();
         if !points.iter().all(|p| p.len() == width) {
             return Err(DetectError::InconsistentShapes);
@@ -291,6 +289,7 @@ impl OneClassSvm {
             }
             iterations += 1;
         }
+        lgo_trace::record("detect/ocsvm/smo_iterations", iterations as u64);
 
         // ρ: average gradient over free support vectors, or the midpoint of
         // the boundary gradients when none are free.
@@ -419,6 +418,7 @@ impl AnomalyDetector for OneClassSvm {
     /// Score = calibrated threshold − decision function, so anomalies are
     /// positive.
     fn score(&self, window: &Window) -> f64 {
+        lgo_trace::counter("detect/ocsvm/scores", 1);
         self.threshold - self.decision_function(window)
     }
 }

@@ -1,0 +1,220 @@
+//! Regression tests for the shared training-set subsampling helper.
+//!
+//! The three detectors used to cap their training sets with a float stride
+//! (`items[(i as f64 * stride) as usize]`), which always dropped the tail
+//! of the window list and, with unlucky rounding, could select duplicate
+//! indices. These tests pin the exact-integer replacement's contract and
+//! check the detectors behave no worse than the old selection.
+
+use lgo_detect::{
+    subsample_cap, subsample_indices, AnomalyDetector, KnnConfig, KnnDetector, Kernel,
+    KernelSpec, MadGan, MadGanConfig, OcSvmConfig, OneClassSvm,
+};
+
+type Window = Vec<Vec<f64>>;
+
+/// The old copy-pasted selection, reproduced verbatim for comparison.
+fn float_stride_indices(len: usize, cap: usize) -> Vec<usize> {
+    let stride = len as f64 / cap as f64;
+    (0..cap).map(|i| (i as f64 * stride) as usize).collect()
+}
+
+#[test]
+fn indices_have_exact_length_no_duplicates_and_are_monotone() {
+    for len in [2usize, 3, 7, 10, 64, 100, 150, 500, 1000, 4096] {
+        for cap in [1usize, 2, 3, 7, 10, 64, 99, 100] {
+            let idx = subsample_indices(len, cap);
+            assert_eq!(idx.len(), len.min(cap), "len {len} cap {cap}");
+            assert!(
+                idx.windows(2).all(|w| w[0] < w[1]),
+                "duplicate or non-monotone index at len {len} cap {cap}: {idx:?}"
+            );
+            assert!(idx.iter().all(|&i| i < len), "len {len} cap {cap}");
+        }
+    }
+}
+
+#[test]
+fn first_and_last_items_are_retained() {
+    for len in [2usize, 5, 10, 151, 1000] {
+        for cap in [2usize, 3, 10, 150] {
+            let idx = subsample_indices(len, cap);
+            assert_eq!(idx[0], 0, "len {len} cap {cap}");
+            assert_eq!(*idx.last().expect("nonempty"), len - 1, "len {len} cap {cap}");
+        }
+    }
+}
+
+#[test]
+fn old_float_stride_dropped_the_tail() {
+    // Every one of these (len, cap) pairs shows the old selection never
+    // reaching the final item, while the replacement always does.
+    for (len, cap) in [(200usize, 10usize), (1500, 1500 / 2 + 1), (2000, 1999), (97, 13)] {
+        if len <= cap {
+            continue;
+        }
+        let old = float_stride_indices(len, cap);
+        let new = subsample_indices(len, cap);
+        assert!(
+            *old.last().expect("nonempty") < len - 1,
+            "old selection unexpectedly reached the tail at len {len} cap {cap}"
+        );
+        assert_eq!(*new.last().expect("nonempty"), len - 1);
+        assert_ne!(old, new, "fit set should change at len {len} cap {cap}");
+    }
+}
+
+fn constant_window(value: f64, seq_len: usize, signals: usize) -> Window {
+    vec![vec![value; signals]; seq_len]
+}
+
+/// Benign windows drift from 0.0 upward; malicious windows sit in a far
+/// cluster that also drifts. The drift makes the *tail* of each class the
+/// best match for tail-like test windows, which is exactly what the old
+/// selection discarded.
+fn drifting_class(base: f64, step: f64, n: usize) -> Vec<Window> {
+    (0..n)
+        .map(|i| constant_window(base + i as f64 * step, 4, 1))
+        .collect()
+}
+
+#[test]
+fn knn_capped_fit_set_changes_and_recall_does_not_regress() {
+    let benign = drifting_class(0.0, 0.01, 120);
+    let malicious = drifting_class(5.0, 0.02, 120);
+    let cap = 30;
+
+    // Detector-level: the cap is honoured exactly (old float stride also
+    // kept `cap` points, but a different set — shown at the index level).
+    let capped_cfg = KnnConfig {
+        max_samples_per_class: Some(cap),
+        ..KnnConfig::default()
+    };
+    let capped = KnnDetector::fit(&benign, &malicious, &capped_cfg);
+    assert_eq!(capped.len(), 2 * cap);
+    assert_ne!(
+        float_stride_indices(benign.len(), cap),
+        subsample_indices(benign.len(), cap),
+    );
+
+    // Recall comparison: train one detector on the old selection and one on
+    // the new, then score held-out malicious windows drawn near the tail of
+    // the malicious drift (the region the old selection never kept).
+    let pick = |class: &[Window], idx: &[usize]| -> Vec<Window> {
+        idx.iter().map(|&i| class[i].clone()).collect()
+    };
+    let uncapped = KnnConfig::default();
+    let old = KnnDetector::fit(
+        &pick(&benign, &float_stride_indices(benign.len(), cap)),
+        &pick(&malicious, &float_stride_indices(malicious.len(), cap)),
+        &uncapped,
+    );
+    let new = KnnDetector::fit(
+        &pick(&benign, &subsample_indices(benign.len(), cap)),
+        &pick(&malicious, &subsample_indices(malicious.len(), cap)),
+        &uncapped,
+    );
+    let test_malicious: Vec<Window> = (0..20)
+        .map(|i| constant_window(7.0 + i as f64 * 0.02, 4, 1))
+        .collect();
+    let recall = |d: &KnnDetector| {
+        test_malicious.iter().filter(|w| d.is_anomalous(w)).count() as f64
+            / test_malicious.len() as f64
+    };
+    let (old_recall, new_recall) = (recall(&old), recall(&new));
+    assert!(
+        new_recall >= old_recall,
+        "recall regressed: old {old_recall} new {new_recall}"
+    );
+    assert!(new_recall > 0.9, "new recall too low: {new_recall}");
+}
+
+#[test]
+fn ocsvm_capped_fit_set_changes_and_recall_does_not_regress() {
+    // Benign: a 2-D ring (same shape as the unit tests); malicious: points
+    // far outside it.
+    let ring = |n: usize| -> Vec<Window> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * std::f64::consts::TAU / n as f64;
+                vec![vec![t.cos(), t.sin()]]
+            })
+            .collect()
+    };
+    let benign = ring(160);
+    let cap = 48;
+    let rbf = OcSvmConfig {
+        nu: 0.2,
+        kernel: KernelSpec::Fixed(Kernel::Rbf { gamma: 2.0 }),
+        calibration_quantile: None,
+        max_samples: None,
+        ..OcSvmConfig::default()
+    };
+
+    // Detector-level: the configured cap flows through the shared helper.
+    let capped_cfg = OcSvmConfig {
+        max_samples: Some(cap),
+        ..rbf.clone()
+    };
+    let capped = OneClassSvm::fit(&benign, &capped_cfg);
+    assert!(capped.support_vector_count() <= cap);
+
+    let pick = |idx: &[usize]| -> Vec<Window> { idx.iter().map(|&i| benign[i].clone()).collect() };
+    let old = OneClassSvm::fit(&pick(&float_stride_indices(benign.len(), cap)), &rbf);
+    let new = OneClassSvm::fit(&pick(&subsample_indices(benign.len(), cap)), &rbf);
+    let outliers: Vec<Window> = (0..16)
+        .map(|i| {
+            let t = i as f64 * std::f64::consts::TAU / 16.0;
+            vec![vec![4.0 * t.cos(), 4.0 * t.sin()]]
+        })
+        .collect();
+    let recall = |d: &OneClassSvm| {
+        outliers.iter().filter(|w| d.is_anomalous(w)).count() as f64 / outliers.len() as f64
+    };
+    let (old_recall, new_recall) = (recall(&old), recall(&new));
+    assert!(
+        new_recall >= old_recall,
+        "recall regressed: old {old_recall} new {new_recall}"
+    );
+    assert!(new_recall > 0.9, "new recall too low: {new_recall}");
+}
+
+#[test]
+fn madgan_fit_honours_the_shared_cap() {
+    let benign: Vec<Window> = (0..60)
+        .map(|i| {
+            (0..4)
+                .map(|t| vec![((i + t) as f64 * 0.2).sin(), ((i + t) as f64 * 0.2).cos()])
+                .collect()
+        })
+        .collect();
+    let cfg = MadGanConfig {
+        epochs: 2,
+        seq_len: 4,
+        latent_dim: 2,
+        hidden: 4,
+        batch_size: 8,
+        inversion_steps: 4,
+        max_windows: Some(30),
+        ..MadGanConfig::default()
+    };
+    // The cap now flows through subsample_cap: the fit succeeds on a capped
+    // set that, unlike the old float stride, includes the final window.
+    let gan = MadGan::fit(&benign, &cfg);
+    let obvious: Window = vec![vec![50.0, -50.0]; 4];
+    assert!(gan.score(&obvious).is_finite());
+}
+
+#[test]
+fn subsample_cap_preserves_order_and_identity_below_cap() {
+    let items: Vec<usize> = (0..50).collect();
+    let kept = subsample_cap(items.clone(), 50);
+    assert_eq!(kept, items);
+    let kept = subsample_cap(items.clone(), 0);
+    assert_eq!(kept, items);
+    let kept = subsample_cap(items, 12);
+    assert_eq!(kept.len(), 12);
+    assert_eq!(kept[0], 0);
+    assert_eq!(*kept.last().expect("nonempty"), 49);
+    assert!(kept.windows(2).all(|w| w[0] < w[1]));
+}

@@ -192,6 +192,7 @@ impl Pool {
             self.shared.work.notify_all();
             batch
         };
+        lgo_trace::sched("runtime/pool_batches", 1);
 
         // The caller is participant 0.
         drain(&self.shared, &batch, 0);
@@ -261,10 +262,12 @@ fn worker_loop(shared: &Shared, id: usize) {
                         break b.clone();
                     }
                 }
+                lgo_trace::sched("runtime/parks", 1);
                 st = shared
                     .work
                     .wait(st)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
+                lgo_trace::sched("runtime/unparks", 1);
             }
         };
         if id < batch.workers {
@@ -278,6 +281,13 @@ fn worker_loop(shared: &Shared, id: usize) {
 /// deque, then steal from the back of the others.
 fn drain(shared: &Shared, batch: &Batch, home: usize) {
     let queues = &*batch.queues;
+    // Scheduling stats are accumulated locally and flushed once per drain
+    // so the trace registry is not touched in the claim loop; they land in
+    // the report's masked `timing.sched` section (the schedule is
+    // legitimately thread-count- and race-dependent).
+    let busy_start = lgo_trace::enabled().then(std::time::Instant::now);
+    let mut executed = 0u64;
+    let mut stolen = 0u64;
     loop {
         let mut idx = queues[home]
             .lock()
@@ -291,11 +301,13 @@ fn drain(shared: &Shared, batch: &Batch, home: usize) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .pop_back();
                 if idx.is_some() {
+                    stolen += 1;
                     break;
                 }
             }
         }
-        let Some(idx) = idx else { return };
+        let Some(idx) = idx else { break };
+        executed += 1;
         // SAFETY: see `TaskRef` — the batch installer is still blocked in
         // `run_batch`, keeping the referent alive.
         let task = unsafe { &*batch.task.0 };
@@ -315,6 +327,12 @@ fn drain(shared: &Shared, batch: &Batch, home: usize) {
             shared.done.notify_all();
         }
     }
+    if let Some(start) = busy_start {
+        let busy_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        lgo_trace::sched(&format!("runtime/participant{home:02}/tasks"), executed);
+        lgo_trace::sched(&format!("runtime/participant{home:02}/busy_ns"), busy_ns);
+        lgo_trace::sched("runtime/steals", stolen);
+    }
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -332,6 +350,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// the same panic-capture semantics as the pooled path (so the surfaced
 /// error does not depend on the thread count).
 fn run_inline(n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<(), RuntimeError> {
+    lgo_trace::sched("runtime/inline_tasks", n as u64);
     for i in 0..n {
         if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
             return Err(RuntimeError::TaskPanicked {
@@ -407,6 +426,11 @@ pub(crate) fn execute(n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<(), Run
     if n == 0 {
         return Ok(());
     }
+    // Batch/task totals are schedule-independent (every batch dispatches
+    // the same `n` at any thread count), so they live in the deterministic
+    // counter section; *where* tasks ran is sched data.
+    lgo_trace::counter("runtime/batches", 1);
+    lgo_trace::counter("runtime/tasks", n as u64);
     let threads = threads().min(n);
     if threads <= 1 || on_worker_thread() {
         return run_inline(n, task);

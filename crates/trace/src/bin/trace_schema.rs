@@ -1,0 +1,32 @@
+//! Validates trace report files against the lgo-trace schema.
+//!
+//! ```text
+//! cargo run -p lgo-trace --bin trace_schema -- results/trace_exp_scaling.json
+//! ```
+//!
+//! Exits non-zero if any file fails to parse or violates the schema;
+//! `scripts/check.sh` uses this as its trace-emission gate.
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_schema <trace.json> [<trace.json> ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| lgo_trace::schema::validate_trace(&src));
+        match outcome {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The per-run trace report and its canonical JSON rendering.
+//!
+//! Rendering follows the same rules as `lgo-core::export::canonical_json`:
+//! a fixed key order, hand-written serialization (no dependency), and a
+//! hard split between deterministic content and run-varying timing. Entry
+//! maps are emitted in sorted key order (they come out of `BTreeMap`s), so
+//! two reports with the same content render byte-identically.
+
+use crate::HIST_BUCKETS;
+
+/// Aggregate of one log2-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (0 when `count == 0`).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `buckets[b]` counts values of bit length `b`; the last bucket
+    /// absorbs everything wider.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// Wall-clock aggregate of one span path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closures (saturating).
+    pub total_ns: u64,
+    /// Shortest single closure (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Longest single closure.
+    pub max_ns: u64,
+}
+
+/// Everything one run collected, split into deterministic content
+/// (`counters`, `histograms`) and schedule/wall-clock data (`spans`,
+/// `sched`); see the crate docs for the contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReport {
+    /// Deterministic named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Deterministic histograms, sorted by name.
+    pub histograms: Vec<(String, HistSummary)>,
+    /// Wall-clock span aggregates keyed by nesting path, sorted.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Schedule-dependent counters (steals, parks, busy time), sorted.
+    pub sched: Vec<(String, u64)>,
+}
+
+impl TraceReport {
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Whether any span key contains `needle` (span keys are nesting paths,
+    /// so a stage reached through different call chains still matches).
+    pub fn has_span(&self, needle: &str) -> bool {
+        self.spans.iter().any(|(k, _)| k.contains(needle))
+    }
+
+    /// True when nothing at all was collected.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.sched.is_empty()
+    }
+
+    /// Renders only the deterministic section — byte-identical at any
+    /// `LGO_THREADS` for the same workload.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        render_u64_map(&mut out, "counters", &self.counters, 1, true);
+        render_hist_map(&mut out, "histograms", &self.histograms, 1, false);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the full report: the deterministic section plus the masked
+    /// `timing` section, under a fixed key order
+    /// (`bench`, `counters`, `histograms`, `timing`).
+    pub fn to_json(&self, bench: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(bench)));
+        render_u64_map(&mut out, "counters", &self.counters, 1, true);
+        render_hist_map(&mut out, "histograms", &self.histograms, 1, true);
+        out.push_str("  \"timing\": {\n");
+        render_span_map(&mut out, "spans", &self.spans, 2, true);
+        render_u64_map(&mut out, "sched", &self.sched, 2, false);
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// JSON string literal with the escapes the grammar requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_u64_map(
+    out: &mut String,
+    key: &str,
+    entries: &[(String, u64)],
+    level: usize,
+    trailing_comma: bool,
+) {
+    indent(out, level);
+    out.push_str(&format!("\"{key}\": {{"));
+    for (i, (name, value)) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        indent(out, level + 1);
+        out.push_str(&format!("{}: {value}", json_string(name)));
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+        indent(out, level);
+    }
+    out.push('}');
+    out.push_str(if trailing_comma { ",\n" } else { "\n" });
+}
+
+fn render_hist_map(
+    out: &mut String,
+    key: &str,
+    entries: &[(String, HistSummary)],
+    level: usize,
+    trailing_comma: bool,
+) {
+    indent(out, level);
+    out.push_str(&format!("\"{key}\": {{"));
+    for (i, (name, h)) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        indent(out, level + 1);
+        let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+            json_string(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            buckets.join(", ")
+        ));
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+        indent(out, level);
+    }
+    out.push('}');
+    out.push_str(if trailing_comma { ",\n" } else { "\n" });
+}
+
+fn render_span_map(
+    out: &mut String,
+    key: &str,
+    entries: &[(String, SpanStats)],
+    level: usize,
+    trailing_comma: bool,
+) {
+    indent(out, level);
+    out.push_str(&format!("\"{key}\": {{"));
+    for (i, (name, s)) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        indent(out, level + 1);
+        out.push_str(&format!(
+            "{}: {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            json_string(name),
+            s.count,
+            s.total_ns,
+            s.min_ns,
+            s.max_ns
+        ));
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+        indent(out, level);
+    }
+    out.push('}');
+    out.push_str(if trailing_comma { ",\n" } else { "\n" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceReport {
+        TraceReport {
+            counters: vec![("stage/attack".into(), 4), ("stage/risk".into(), 4)],
+            histograms: vec![(
+                "attack/queries_per_window".into(),
+                HistSummary { count: 2, sum: 10, min: 3, max: 7, buckets: {
+                    let mut b = [0; HIST_BUCKETS];
+                    b[2] = 1;
+                    b[3] = 1;
+                    b
+                } },
+            )],
+            spans: vec![(
+                "pipeline/profile".into(),
+                SpanStats { count: 4, total_ns: 4000, min_ns: 800, max_ns: 1400 },
+            )],
+            sched: vec![("runtime/steals".into(), 3)],
+        }
+    }
+
+    #[test]
+    fn full_render_has_fixed_key_order() {
+        let json = sample().to_json("unit");
+        let bench = json.find("\"bench\"").expect("bench key");
+        let counters = json.find("\"counters\"").expect("counters key");
+        let hists = json.find("\"histograms\"").expect("histograms key");
+        let timing = json.find("\"timing\"").expect("timing key");
+        assert!(bench < counters && counters < hists && hists < timing);
+        assert!(json.contains("\"stage/attack\": 4"));
+        assert!(json.contains("\"runtime/steals\": 3"));
+    }
+
+    #[test]
+    fn deterministic_render_masks_timing() {
+        let det = sample().deterministic_json();
+        assert!(det.contains("\"counters\""));
+        assert!(det.contains("\"histograms\""));
+        assert!(!det.contains("\"timing\""));
+        assert!(!det.contains("total_ns"));
+        assert!(!det.contains("runtime/steals"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_maps() {
+        let json = TraceReport::default().to_json("empty");
+        assert!(json.contains("\"counters\": {},"));
+        assert!(json.contains("\"spans\": {},"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let r = sample();
+        assert_eq!(r.counter("stage/attack"), Some(4));
+        assert_eq!(r.counter("missing"), None);
+        assert!(r.has_span("profile"));
+        assert!(!r.has_span("cluster"));
+        assert!(!r.is_empty());
+        assert!(TraceReport::default().is_empty());
+    }
+}

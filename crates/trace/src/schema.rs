@@ -1,0 +1,400 @@
+//! Schema validation for emitted trace reports.
+//!
+//! `scripts/check.sh` runs every `results/trace_<bench>.json` through
+//! [`validate_trace`] (via the `trace_schema` binary) so a drifting
+//! renderer fails CI instead of silently producing an unreadable report.
+//! The validator carries its own minimal recursive-descent JSON parser —
+//! the workspace is dependency-free by policy, and the subset of JSON the
+//! report uses (objects, arrays, strings, unsigned integers) keeps the
+//! parser small.
+
+use crate::HIST_BUCKETS;
+
+/// A parsed JSON value. Object keys keep their source order so the
+/// validator can check the canonical key ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; trace reports only ever emit unsigned integers.
+    Num(f64),
+    /// String literal, unescaped.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, keys in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Parses a JSON document, rejecting trailing garbage.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {}, found `{}`",
+            c as char,
+            *pos,
+            b.get(*pos).map_or("end of input".to_string(), |x| (*x as char).to_string())
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(entries));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        entries.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        let ch = char::from_u32(cp).ok_or("surrogate \\u escape")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("unknown escape `\\{}`", esc as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or(format!("invalid number at byte {start}"))
+}
+
+/// Validates a serialized [`crate::TraceReport`] against the report schema:
+/// exact key sets in canonical order, unsigned-integer counters, internally
+/// consistent histogram and span aggregates. Returns a human-readable
+/// description of the first violation found.
+pub fn validate_trace(src: &str) -> Result<(), String> {
+    let root = parse(src)?;
+    let Json::Obj(entries) = &root else {
+        return Err(format!("root must be an object, found {}", root.type_name()));
+    };
+    let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+    if keys != ["bench", "counters", "histograms", "timing"] {
+        return Err(format!(
+            "root keys must be [bench, counters, histograms, timing] in order, found {keys:?}"
+        ));
+    }
+    if !matches!(entries[0].1, Json::Str(_)) {
+        return Err("`bench` must be a string".to_string());
+    }
+    validate_u64_map(&entries[1].1, "counters")?;
+    validate_hist_map(&entries[2].1)?;
+    let Json::Obj(timing) = &entries[3].1 else {
+        return Err("`timing` must be an object".to_string());
+    };
+    let tkeys: Vec<&str> = timing.iter().map(|(k, _)| k.as_str()).collect();
+    if tkeys != ["spans", "sched"] {
+        return Err(format!("timing keys must be [spans, sched] in order, found {tkeys:?}"));
+    }
+    validate_span_map(&timing[0].1)?;
+    validate_u64_map(&timing[1].1, "timing.sched")?;
+    Ok(())
+}
+
+/// Extracts a non-negative integer or explains why the value is not one.
+fn as_u64(v: &Json, what: &str) -> Result<u64, String> {
+    match v {
+        // lint: allow(L4): fract() == 0.0 is the exact integrality test, not a tolerance check
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn validate_u64_map(v: &Json, what: &str) -> Result<(), String> {
+    let Json::Obj(entries) = v else {
+        return Err(format!("`{what}` must be an object"));
+    };
+    for (k, v) in entries {
+        as_u64(v, &format!("{what}[{k:?}]"))?;
+    }
+    Ok(())
+}
+
+fn validate_hist_map(v: &Json) -> Result<(), String> {
+    let Json::Obj(entries) = v else {
+        return Err("`histograms` must be an object".to_string());
+    };
+    for (name, h) in entries {
+        let Json::Obj(fields) = h else {
+            return Err(format!("histogram {name:?} must be an object"));
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        if keys != ["count", "sum", "min", "max", "buckets"] {
+            return Err(format!(
+                "histogram {name:?} keys must be [count, sum, min, max, buckets], found {keys:?}"
+            ));
+        }
+        let count = as_u64(&fields[0].1, &format!("histogram {name:?} count"))?;
+        let _sum = as_u64(&fields[1].1, &format!("histogram {name:?} sum"))?;
+        let min = as_u64(&fields[2].1, &format!("histogram {name:?} min"))?;
+        let max = as_u64(&fields[3].1, &format!("histogram {name:?} max"))?;
+        let Json::Arr(buckets) = &fields[4].1 else {
+            return Err(format!("histogram {name:?} buckets must be an array"));
+        };
+        if buckets.len() != HIST_BUCKETS {
+            return Err(format!(
+                "histogram {name:?} must have {HIST_BUCKETS} buckets, found {}",
+                buckets.len()
+            ));
+        }
+        let mut bucket_total = 0u64;
+        for (i, b) in buckets.iter().enumerate() {
+            bucket_total += as_u64(b, &format!("histogram {name:?} bucket {i}"))?;
+        }
+        if bucket_total != count {
+            return Err(format!(
+                "histogram {name:?} buckets sum to {bucket_total} but count is {count}"
+            ));
+        }
+        if count > 0 && min > max {
+            return Err(format!("histogram {name:?} has min {min} > max {max}"));
+        }
+    }
+    Ok(())
+}
+
+fn validate_span_map(v: &Json) -> Result<(), String> {
+    let Json::Obj(entries) = v else {
+        return Err("`timing.spans` must be an object".to_string());
+    };
+    for (name, s) in entries {
+        let Json::Obj(fields) = s else {
+            return Err(format!("span {name:?} must be an object"));
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        if keys != ["count", "total_ns", "min_ns", "max_ns"] {
+            return Err(format!(
+                "span {name:?} keys must be [count, total_ns, min_ns, max_ns], found {keys:?}"
+            ));
+        }
+        let count = as_u64(&fields[0].1, &format!("span {name:?} count"))?;
+        let total = as_u64(&fields[1].1, &format!("span {name:?} total_ns"))?;
+        let min = as_u64(&fields[2].1, &format!("span {name:?} min_ns"))?;
+        let max = as_u64(&fields[3].1, &format!("span {name:?} max_ns"))?;
+        if count == 0 {
+            return Err(format!("span {name:?} has count 0; empty spans must be omitted"));
+        }
+        if min > max || max > total {
+            return Err(format!(
+                "span {name:?} aggregates are inconsistent (min {min}, max {max}, total {total})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{HistSummary, SpanStats, TraceReport};
+
+    fn sample() -> TraceReport {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[3] = 2;
+        TraceReport {
+            counters: vec![("stage/cluster".into(), 1)],
+            histograms: vec![(
+                "h".into(),
+                HistSummary { count: 2, sum: 11, min: 4, max: 7, buckets },
+            )],
+            spans: vec![(
+                "pipeline/cluster".into(),
+                SpanStats { count: 1, total_ns: 900, min_ns: 900, max_ns: 900 },
+            )],
+            sched: vec![("runtime/steals".into(), 0)],
+        }
+    }
+
+    #[test]
+    fn rendered_report_validates() {
+        validate_trace(&sample().to_json("unit")).expect("valid");
+        validate_trace(&TraceReport::default().to_json("empty")).expect("valid empty");
+    }
+
+    #[test]
+    fn parser_round_trips_values() {
+        let v = parse("{\"a\": [1, 2.5, \"x\\n\", null, true]}").expect("parse");
+        let Json::Obj(o) = v else { panic!("object") };
+        let Json::Arr(a) = &o[0].1 else { panic!("array") };
+        assert_eq!(a[0], Json::Num(1.0));
+        assert_eq!(a[1], Json::Num(2.5));
+        assert_eq!(a[2], Json::Str("x\n".into()));
+        assert_eq!(a[3], Json::Null);
+        assert_eq!(a[4], Json::Bool(true));
+    }
+
+    #[test]
+    fn rejects_wrong_key_order() {
+        let bad = "{\"counters\": {}, \"bench\": \"x\", \"histograms\": {}, \"timing\": {\"spans\": {}, \"sched\": {}}}";
+        assert!(validate_trace(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_histogram() {
+        let mut r = sample();
+        r.histograms[0].1.count = 5; // buckets still sum to 2
+        assert!(validate_trace(&r.to_json("unit")).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_span() {
+        let mut r = sample();
+        r.spans[0].1.max_ns = 2_000; // max > total
+        assert!(validate_trace(&r.to_json("unit")).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_and_fractional_counters() {
+        let neg = "{\"bench\": \"x\", \"counters\": {\"c\": -1}, \"histograms\": {}, \"timing\": {\"spans\": {}, \"sched\": {}}}";
+        assert!(validate_trace(neg).is_err());
+        let frac = "{\"bench\": \"x\", \"counters\": {\"c\": 1.5}, \"histograms\": {}, \"timing\": {\"spans\": {}, \"sched\": {}}}";
+        assert!(validate_trace(frac).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} {}").is_err());
+    }
+}

@@ -36,4 +36,16 @@ cargo test -q -p lgo-tensor -p lgo-nn -p lgo-runtime -p lgo-core \
 echo "==> exp_scaling (fast scale): thread-count speedup + determinism gate"
 LGO_SCALE=fast cargo run -q -p lgo-bench --release --bin exp_scaling > /dev/null
 
+# Trace tier: the observability layer must pass the same tier-1 suite with
+# instrumentation compiled in, and a traced pipeline run must emit a report
+# that validates against the lgo-trace schema.
+echo "==> cargo test (workspace, --features trace)"
+cargo test -q --workspace --features trace
+
+echo "==> exp_scaling (fast scale, traced): LGO_TRACE=json report emission"
+rm -f results/trace_exp_scaling.json
+LGO_SCALE=fast LGO_TRACE=json \
+    cargo run -q -p lgo-bench --release --features trace --bin exp_scaling > /dev/null
+cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_exp_scaling.json
+
 echo "==> all checks passed"

@@ -19,6 +19,8 @@
 //! - [`eval`] — confusion matrices, precision/recall/F1, box-plot stats.
 //! - [`core`] — the paper's contribution: the five-step risk-profiling
 //!   framework and selective-training strategies.
+//! - [`trace`] — zero-cost structured observability (spans, counters,
+//!   histograms) behind the `trace` cargo feature.
 //!
 //! # Examples
 //!
@@ -42,3 +44,4 @@ pub use lgo_nn as nn;
 pub use lgo_runtime as runtime;
 pub use lgo_series as series;
 pub use lgo_tensor as tensor;
+pub use lgo_trace as trace;
