@@ -22,7 +22,7 @@
 use crate::lexer::{Token, TokenKind};
 
 /// Rules a directive may name.
-pub const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7"];
+pub const KNOWN_RULES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"];
 
 /// One parsed `// lint: allow(...)` directive.
 #[derive(Debug, Clone)]

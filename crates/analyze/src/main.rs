@@ -27,6 +27,10 @@ L6  no bare .unwrap()/.expect() on lock()/read()/write()/join() results
 L7  no bare println!/eprintln!/print!/eprint! in non-test library code (any
     crate except lgo-bench and lgo-analyze); record through lgo-trace or
     allow with `// lint: allow(L7): <why>`
+L8  no bare thread::sleep in non-test library code (any crate except
+    lgo-runtime and lgo-serve); sleep-based waits hide stalls and break
+    determinism — wait on a Condvar / deadline or allow with
+    `// lint: allow(L8): <why>`
 A0  lint directives must be well-formed and carry a justification
 A1  lint directives must suppress at least one finding";
 

@@ -9,6 +9,7 @@
 //! | L5 | `lgo-core` | `pub` item without a doc comment |
 //! | L6 | whole workspace (non-test) except `lgo-runtime` internals | bare `.unwrap()`/`.expect()` on `lock()`/`read()`/`write()`/`join()` results |
 //! | L7 | non-test library code of every crate except `lgo-bench` / `lgo-analyze` | bare `println!` / `eprintln!` — report through lgo-trace or return data |
+//! | L8 | non-test library code of every crate except `lgo-runtime` / `lgo-serve` | `std::thread::sleep` — sleep-based waits hide stalls and break determinism |
 //!
 //! Rules operate on the token stream from [`crate::lexer`]; test code
 //! (`#[cfg(test)]` items, `#[test]` fns) is masked out first. Findings can
@@ -31,6 +32,7 @@ pub struct FileScope {
     pub l5: bool,
     pub l6: bool,
     pub l7: bool,
+    pub l8: bool,
 }
 
 /// The defense-stack library crates where a stray panic corrupts risk
@@ -42,7 +44,16 @@ pub const LIB_CRATES: &[&str] = &[
 impl FileScope {
     /// Every rule enabled.
     pub fn all() -> Self {
-        FileScope { l1: true, l2: true, l3: true, l4: true, l5: true, l6: true, l7: true }
+        FileScope {
+            l1: true,
+            l2: true,
+            l3: true,
+            l4: true,
+            l5: true,
+            l6: true,
+            l7: true,
+            l8: true,
+        }
     }
 
     /// Scope for a workspace-relative path (`crates/core/src/risk.rs`).
@@ -76,6 +87,11 @@ impl FileScope {
             // belongs to the experiment binaries (and lgo-bench / lgo-analyze
             // are presentation layers by design).
             l7: in_lib_src && !is_test_file && !matches!(krate, "bench" | "analyze"),
+            // Sleep-based waiting belongs to the scheduling layers: the
+            // runtime's pool and the serving stack's watchdog/backoff own
+            // their timing; everywhere else a sleep hides a missing
+            // condition variable and perturbs determinism.
+            l8: in_lib_src && !is_test_file && !matches!(krate, "runtime" | "serve"),
         })
     }
 }
@@ -327,7 +343,7 @@ const COMPARATOR_FNS: &[&str] = &[
     "binary_search_by",
 ];
 
-/// Single pass emitting the site-local rules L1, L2, L4, L6 and L7.
+/// Single pass emitting the site-local rules L1, L2, L4, L6, L7 and L8.
 fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: &mut Vec<Finding>) {
     let n = ctx.n();
     for (i, &masked) in test_mask.iter().enumerate() {
@@ -431,6 +447,31 @@ fn site_rules(file: &str, ctx: &Ctx, test_mask: &[bool], scope: FileScope, out: 
                     t.text
                 ),
             });
+        }
+        // L8: sleep-based waits in library code. A sleep is either a
+        // disguised synchronization primitive (use a Condvar or the
+        // runtime's watchdog machinery) or a tuning hack that stalls
+        // differently on every machine; both hide real stalls from the
+        // deadline/trace layers. Covers `thread::sleep(...)` (qualified)
+        // and a bare imported `sleep(...)` call; `.sleep()` methods and
+        // `fn sleep` definitions are not thread sleeps.
+        if scope.l8 && t.kind == TokenKind::Ident && t.text == "sleep"
+            && ctx.text_at(i as isize + 1) == "("
+        {
+            let prev = ctx.text_at(i as isize - 1);
+            let qualified = prev == "::" && ctx.text_at(i as isize - 2) == "thread";
+            let bare = !matches!(prev, "::" | "." | "fn");
+            if qualified || bare {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "L8",
+                    message: "`thread::sleep` in library code hides stalls and breaks \
+                              determinism; wait on a Condvar / deadline instead (or \
+                              justify with `// lint: allow(L8): <why>`)"
+                        .to_string(),
+                });
+            }
         }
         // L4: float literal equality.
         if scope.l4 && t.kind == TokenKind::Op && (t.text == "==" || t.text == "!=") {

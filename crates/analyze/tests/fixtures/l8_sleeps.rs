@@ -1,0 +1,54 @@
+//! L8 fixture: sleep-based waits in library code.
+//!
+//! A `thread::sleep` in a library is either a disguised synchronization
+//! primitive or a machine-dependent tuning hack; both hide stalls from the
+//! serving stack's deadline/trace layers and break determinism. The rule
+//! covers qualified `thread::sleep(..)` paths and bare imported `sleep(..)`
+//! calls; methods named `.sleep()` and `fn sleep` definitions are different
+//! animals. Scope: L8 only.
+
+use std::thread::sleep;
+use std::time::Duration;
+
+pub fn polling_wait(ready: &std::sync::atomic::AtomicBool) {
+    while !ready.load(std::sync::atomic::Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5)); //~ L8
+    }
+}
+
+pub fn qualified_tail_path() {
+    thread::sleep(Duration::from_millis(1)); //~ L8
+}
+
+pub fn imported_bare_call() {
+    sleep(Duration::from_micros(50)); //~ L8
+}
+
+pub fn excused_backoff(attempt: u32) {
+    std::thread::sleep(Duration::from_millis(1 << attempt)); // lint: allow(L8): bounded retry backoff, capped by the caller's deadline
+}
+
+pub struct Radio;
+
+impl Radio {
+    /// A domain method that happens to be called `sleep` is not a wait.
+    pub fn sleep(&self) {}
+}
+
+pub fn method_named_sleep(radio: &Radio) {
+    radio.sleep();
+}
+
+pub fn mentions_only() -> &'static str {
+    "a string mentioning thread::sleep( is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn sleeps_in_tests_are_masked() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

@@ -8,8 +8,18 @@
 
 use lgo_analyze::{analyze_source, FileScope};
 
-fn scope(l1: bool, l2: bool, l3: bool, l4: bool, l5: bool, l6: bool, l7: bool) -> FileScope {
-    FileScope { l1, l2, l3, l4, l5, l6, l7 }
+#[allow(clippy::too_many_arguments)]
+fn scope(
+    l1: bool,
+    l2: bool,
+    l3: bool,
+    l4: bool,
+    l5: bool,
+    l6: bool,
+    l7: bool,
+    l8: bool,
+) -> FileScope {
+    FileScope { l1, l2, l3, l4, l5, l6, l7, l8 }
 }
 
 /// `(line, rule)` pairs declared by `//~` markers in the fixture text.
@@ -44,39 +54,44 @@ fn check_fixture(name: &str, scope: FileScope) {
 
 #[test]
 fn l1_panic_sites() {
-    check_fixture("l1_sites.rs", scope(true, false, false, false, false, false, false));
+    check_fixture("l1_sites.rs", scope(true, false, false, false, false, false, false, false));
 }
 
 #[test]
 fn l2_float_ordering() {
-    check_fixture("l2_float_order.rs", scope(false, true, false, false, false, false, false));
+    check_fixture("l2_float_order.rs", scope(false, true, false, false, false, false, false, false));
 }
 
 #[test]
 fn l3_try_twins() {
     // L1 + L3 together, as in the real lib-crate scope, so that allow(L1)
     // directives are consumed exactly like they are in the workspace.
-    check_fixture("l3_twins.rs", scope(true, false, true, false, false, false, false));
+    check_fixture("l3_twins.rs", scope(true, false, true, false, false, false, false, false));
 }
 
 #[test]
 fn l4_float_literal_equality() {
-    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false, false, false));
+    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false, false, false, false));
 }
 
 #[test]
 fn l5_missing_docs() {
-    check_fixture("l5_docs.rs", scope(false, false, false, false, true, false, false));
+    check_fixture("l5_docs.rs", scope(false, false, false, false, true, false, false, false));
 }
 
 #[test]
 fn l6_lock_results() {
-    check_fixture("l6_locks.rs", scope(false, false, false, false, false, true, false));
+    check_fixture("l6_locks.rs", scope(false, false, false, false, false, true, false, false));
 }
 
 #[test]
 fn l7_library_prints() {
-    check_fixture("l7_prints.rs", scope(false, false, false, false, false, false, true));
+    check_fixture("l7_prints.rs", scope(false, false, false, false, false, false, true, false));
+}
+
+#[test]
+fn l8_thread_sleeps() {
+    check_fixture("l8_sleeps.rs", scope(false, false, false, false, false, false, false, true));
 }
 
 #[test]
@@ -120,6 +135,15 @@ fn workspace_path_scoping() {
     assert!(!FileScope::for_path("crates/bench/src/lib.rs").unwrap().l7);
     assert!(!FileScope::for_path("crates/analyze/src/rules.rs").unwrap().l7);
     assert!(!FileScope::for_path("crates/trace/src/bin/trace_schema.rs").unwrap().l7);
+    // L8 exempts the two crates that legitimately own timing — the runtime
+    // pool and the serving stack's watchdog/backoff — and, as with every
+    // rule, binaries and test trees.
+    assert!(core.l8);
+    assert!(FileScope::for_path("crates/detect/src/madgan.rs").unwrap().l8);
+    assert!(!runtime.l8);
+    assert!(!FileScope::for_path("crates/serve/src/watchdog.rs").unwrap().l8);
+    assert!(!bench_bin.l8);
+    assert!(!test_file.l8);
 }
 
 /// The whole point of the crate: the workspace itself stays lint-clean.

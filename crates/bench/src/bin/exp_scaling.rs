@@ -30,7 +30,14 @@ fn main() -> Result<(), LgoError> {
     );
     let config = pipeline_config(scale);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    eprintln!("machine reports {cores} available core(s)");
+    // The ambient LGO_THREADS setting (overridden per run below, but
+    // recorded so a speedup-below-1 curve on a small container is
+    // interpretable PR over PR).
+    let threads_env = std::env::var("LGO_THREADS").ok();
+    eprintln!(
+        "machine reports {cores} available core(s); LGO_THREADS={}",
+        threads_env.as_deref().unwrap_or("<unset>")
+    );
 
     // Warm-up: first run pays one-off costs (pool spawn, page faults)
     // that would otherwise be charged to whichever thread count runs
@@ -73,8 +80,12 @@ fn main() -> Result<(), LgoError> {
             )
         })
         .collect();
+    let threads_field = match &threads_env {
+        Some(v) => format!("\"{}\"", v.replace('"', "")),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"available_cores\": {cores},\n  \"deterministic\": {all_identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"available_cores\": {cores},\n  \"lgo_threads_env\": {threads_field},\n  \"deterministic\": {all_identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
         scale.name(),
         rows.join(",\n")
     );

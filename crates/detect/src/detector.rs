@@ -27,6 +27,23 @@ pub trait AnomalyDetector: Send + Sync {
     }
 }
 
+/// Boxed detectors delegate, so trait-object pipelines (the fallback
+/// chain, the serving ladder's fault-injection wrappers) can compose
+/// detectors without knowing their concrete types.
+impl<D: AnomalyDetector + ?Sized> AnomalyDetector for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        (**self).score(window)
+    }
+
+    fn is_anomalous(&self, window: &Window) -> bool {
+        (**self).is_anomalous(window)
+    }
+}
+
 /// Flags every window of a slice, returning the boolean decisions.
 pub fn flag_all<D: AnomalyDetector + ?Sized>(detector: &D, windows: &[Window]) -> Vec<bool> {
     windows.iter().map(|w| detector.is_anomalous(w)).collect()

@@ -43,6 +43,7 @@ mod ode;
 mod params;
 mod sensor;
 mod sim;
+mod stream;
 
 pub use dataset::{generate_cohort, generate_cohort_sized, PatientDataset};
 pub use events::{DailyEvents, Event, EventKind};
@@ -52,3 +53,4 @@ pub use ode::{OdeParams, PhysioState};
 pub use params::{profile, profiles, PatientId, PatientProfile, Subset};
 pub use sensor::SensorModel;
 pub use sim::{Simulator, CHANNELS, SAMPLES_PER_DAY, STEP_MINUTES};
+pub use stream::{synthetic_profile, CohortStream, StreamedPatient};

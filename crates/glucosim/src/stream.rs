@@ -1,0 +1,228 @@
+//! Streaming cohort generation for arbitrarily large synthetic populations.
+//!
+//! The batch entry points ([`crate::generate_cohort_sized`]) materialize
+//! every patient's full dataset up front — fine for the paper's 12-patient
+//! reproduction, hopeless for a serving benchmark that drives 100 000+
+//! streams. [`CohortStream`] instead *yields* one simulated patient at a
+//! time: nothing is retained between `next()` calls, so the stream's own
+//! memory footprint is O(1) in the cohort size and a driver can feed
+//! patients into a scoring service as fast as it consumes them.
+//!
+//! Scale beyond the twelve built-in profiles comes from
+//! [`synthetic_profile`]: patient `i` specializes archetype `i % 12` with
+//! bounded, deterministic parameter jitter derived from
+//! `lgo_runtime::split_seed(base_seed, i)`. Two streams with the same
+//! `(count, days, base_seed)` are identical patient for patient, and the
+//! per-patient seeds are schedule-independent, so a parallel driver can
+//! regenerate any patient by index.
+
+use lgo_runtime::split_seed;
+use lgo_series::MultiSeries;
+
+use crate::params::{profiles, PatientProfile};
+use crate::sim::Simulator;
+
+/// One lazily generated synthetic patient.
+#[derive(Debug, Clone)]
+pub struct StreamedPatient {
+    /// Position in the stream — the patient's identity at cohort scale
+    /// (the 12-value [`crate::PatientId`] space is the archetype label,
+    /// not the identity, once cohorts outgrow the paper's twelve).
+    pub index: u64,
+    /// The jittered archetype this patient was simulated from.
+    pub profile: PatientProfile,
+    /// The simulated multivariate series (all simulator channels).
+    pub series: MultiSeries,
+}
+
+/// A lazy, deterministic iterator over a synthetic cohort of any size.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_glucosim::CohortStream;
+///
+/// let mut stream = CohortStream::new(3, 1, 0xC0FFEE);
+/// let first = stream.next().unwrap();
+/// assert_eq!(first.index, 0);
+/// assert_eq!(first.series.len(), 288); // one day at 5-minute cadence
+/// assert_eq!(stream.count(), 2); // lazily yields the remaining two
+/// ```
+#[derive(Debug, Clone)]
+pub struct CohortStream {
+    base_seed: u64,
+    days: usize,
+    next: u64,
+    count: u64,
+}
+
+impl CohortStream {
+    /// A stream of `count` patients, each simulated for `days` days, with
+    /// all per-patient randomness derived from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`; a zero-length simulation has no samples to
+    /// serve.
+    #[must_use]
+    pub fn new(count: u64, days: usize, base_seed: u64) -> Self {
+        assert!(days > 0, "CohortStream: days must be positive");
+        Self { base_seed, days, next: 0, count }
+    }
+
+    /// How many patients are still to come.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.count - self.next
+    }
+
+    /// Regenerates the patient at `index` without advancing the stream —
+    /// the random-access twin of `next()`, for parallel drivers that
+    /// partition the index space.
+    #[must_use]
+    pub fn patient(&self, index: u64) -> StreamedPatient {
+        let profile = synthetic_profile(index, self.base_seed);
+        let series = Simulator::new(profile.clone()).run_days(self.days);
+        StreamedPatient { index, profile, series }
+    }
+}
+
+impl Iterator for CohortStream {
+    type Item = StreamedPatient;
+
+    fn next(&mut self) -> Option<StreamedPatient> {
+        if self.next >= self.count {
+            return None;
+        }
+        let p = self.patient(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining()).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+/// A uniform draw in `[0, 1)` from one `split_seed` stream — enough
+/// resolution for parameter jitter without dragging in a full RNG.
+fn unit(seed: u64, stream: u64) -> f64 {
+    (split_seed(seed, stream) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Multiplicative jitter: `value` scaled by `1 ± rel`, uniformly.
+fn jitter(value: f64, seed: u64, stream: u64, rel: f64) -> f64 {
+    value * (1.0 + (unit(seed, stream) - 0.5) * 2.0 * rel)
+}
+
+/// Derives the deterministic profile of synthetic patient `index`.
+///
+/// The patient specializes archetype `index % 12` (the twelve built-in
+/// profiles, which span the paper's tight-control-to-erratic phenotype
+/// axis) with bounded multiplicative jitter on the behavioural and sensor
+/// parameters, so a million-patient cohort keeps the cohort-level
+/// heterogeneity structure while no two patients are identical. All
+/// randomness — the jitter and the patient's simulation seed — derives
+/// from `split_seed(base_seed, index)`, so the profile is a pure function
+/// of `(index, base_seed)`.
+#[must_use]
+pub fn synthetic_profile(index: u64, base_seed: u64) -> PatientProfile {
+    let archetypes = profiles();
+    let mut p = archetypes[(index % archetypes.len() as u64) as usize].clone();
+    let seed = split_seed(base_seed, index);
+    p.seed = seed;
+    // Bounded jitter keeps every parameter well inside the validated
+    // physiological ranges the archetypes already satisfy.
+    p.meal_carbs_mean = jitter(p.meal_carbs_mean, seed, 1, 0.15);
+    p.meal_carbs_rel_std = jitter(p.meal_carbs_rel_std, seed, 2, 0.20);
+    p.meal_time_jitter_min = jitter(p.meal_time_jitter_min, seed, 3, 0.20);
+    p.snack_probability = jitter(p.snack_probability, seed, 4, 0.25).clamp(0.0, 1.0);
+    p.insulin_carb_ratio = jitter(p.insulin_carb_ratio, seed, 5, 0.10);
+    p.bolus_error_rel_std = jitter(p.bolus_error_rel_std, seed, 6, 0.20);
+    p.missed_bolus_probability =
+        jitter(p.missed_bolus_probability, seed, 7, 0.25).clamp(0.0, 1.0);
+    p.basal_rate = jitter(p.basal_rate, seed, 8, 0.10);
+    p.dawn_amplitude = jitter(p.dawn_amplitude, seed, 9, 0.20);
+    p.exercise_probability = jitter(p.exercise_probability, seed, 10, 0.25).clamp(0.0, 1.0);
+    p.sensor_noise_std = jitter(p.sensor_noise_std, seed, 11, 0.20);
+    // ±5 % keeps basal glucose inside the ODE validator's (40, 250) band
+    // for every archetype (128–150 mg/dL).
+    p.ode.basal_glucose = jitter(p.ode.basal_glucose, seed, 12, 0.05);
+    p.validate();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_per_index() {
+        let a: Vec<StreamedPatient> = CohortStream::new(4, 1, 7).collect();
+        let b: Vec<StreamedPatient> = CohortStream::new(4, 1, 7).collect();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.series.rows(), y.series.rows());
+        }
+    }
+
+    #[test]
+    fn random_access_matches_iteration() {
+        let stream = CohortStream::new(10, 1, 99);
+        let third = stream.patient(3);
+        let from_iter = CohortStream::new(10, 1, 99).nth(3).unwrap();
+        assert_eq!(third.profile, from_iter.profile);
+        assert_eq!(third.series.rows(), from_iter.series.rows());
+    }
+
+    #[test]
+    fn base_seed_changes_every_patient() {
+        let a = synthetic_profile(5, 1);
+        let b = synthetic_profile(5, 2);
+        assert_eq!(a.id, b.id, "same archetype");
+        assert_ne!(a, b, "different base seed must change the jitter");
+    }
+
+    #[test]
+    fn synthetic_profiles_are_distinct_and_valid() {
+        // Far beyond the 12 archetypes: every profile validates and
+        // differs from its archetype and from its same-archetype sibling.
+        let archetypes = profiles();
+        for i in 0..100u64 {
+            let p = synthetic_profile(i, 0xFEED);
+            p.validate();
+            let arch = &archetypes[(i % 12) as usize];
+            assert_eq!(p.id, arch.id);
+            assert_ne!(&p, arch, "patient {i} identical to its archetype");
+            if i >= 12 {
+                assert_ne!(
+                    p,
+                    synthetic_profile(i - 12, 0xFEED),
+                    "patient {i} identical to its same-archetype sibling"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_counts_and_laziness() {
+        let mut s = CohortStream::new(1000, 1, 3);
+        assert_eq!(s.remaining(), 1000);
+        assert_eq!(s.size_hint(), (1000, Some(1000)));
+        // Consuming three patients costs three simulations, not a
+        // thousand; `remaining` tracks the lazy cursor.
+        for want in 0..3 {
+            assert_eq!(s.next().unwrap().index, want);
+        }
+        assert_eq!(s.remaining(), 997);
+    }
+
+    #[test]
+    #[should_panic(expected = "days must be positive")]
+    fn zero_days_rejected() {
+        let _ = CohortStream::new(1, 0, 0);
+    }
+}

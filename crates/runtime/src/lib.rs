@@ -34,6 +34,12 @@
 //! schedule-independence guarantee), composing with the workspace's
 //! graceful-degradation layer as `LgoError::Runtime`.
 //!
+//! For *online* workloads the crate also provides [`BoundedQueue`], a
+//! bounded multi-producer ingest queue whose submissions are rejected with
+//! full depth/capacity accounting ([`SubmitError::Full`]) instead of
+//! growing without bound — the capacity signal `lgo-serve` builds its
+//! backpressure and load-shedding ladder on.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,10 +56,12 @@
 
 mod error;
 mod pool;
+mod queue;
 mod seed;
 
 pub use error::RuntimeError;
 pub use pool::{set_threads, threads};
+pub use queue::{BoundedQueue, SubmitError};
 pub use seed::split_seed;
 
 use std::sync::Mutex;

@@ -1,0 +1,378 @@
+//! A bounded multi-producer ingest queue with explicit overflow reporting.
+//!
+//! The serving layer (`lgo-serve`) builds its backpressure on *real*
+//! capacity signals: a submission against a full queue is **rejected and
+//! reported**, never silently queued into unbounded memory. This module is
+//! the primitive behind that contract — a `Mutex<VecDeque>` + two-condvar
+//! bounded MPSC queue in the same dependency-free style as the pool.
+//!
+//! Depth accounting is first-class: [`BoundedQueue::depth`] is the live
+//! occupancy and [`SubmitError::Full`] carries both the observed depth and
+//! the capacity, so callers can grade their response to pressure (degrade,
+//! then shed) instead of discovering overload only by allocation failure.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a submission was not accepted. The rejected item is returned to the
+/// caller in both cases — the queue never drops silently.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError<T> {
+    /// The queue was at capacity; `depth` is the occupancy observed at the
+    /// rejection (equal to `capacity` unless a consumer raced the check).
+    Full {
+        /// The rejected item, returned to the producer.
+        item: T,
+        /// Occupancy observed at rejection time.
+        depth: usize,
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The queue was closed; no further submissions will ever be accepted.
+    Closed(T),
+}
+
+impl<T> SubmitError<T> {
+    /// Recovers the rejected item.
+    pub fn into_item(self) -> T {
+        match self {
+            SubmitError::Full { item, .. } | SubmitError::Closed(item) => item,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for SubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { depth, capacity, .. } => {
+                write!(f, "queue full: depth {depth} of capacity {capacity}")
+            }
+            SubmitError::Closed(_) => write!(f, "queue closed"),
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signalled when an item is removed (space freed) or the queue closes.
+    not_full: Condvar,
+    /// Signalled when an item is added or the queue closes.
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO queue.
+///
+/// Cloning the handle is cheap (an `Arc` bump); all clones address the same
+/// queue. The capacity is fixed at construction — the queue's memory is
+/// bounded by `capacity` items for its whole lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use lgo_runtime::{BoundedQueue, SubmitError};
+///
+/// let q: BoundedQueue<u32> = BoundedQueue::new(2);
+/// q.try_submit(1).unwrap();
+/// q.try_submit(2).unwrap();
+/// // The third submission overflows: reported, not silently queued.
+/// match q.try_submit(3) {
+///     Err(SubmitError::Full { item, depth, capacity }) => {
+///         assert_eq!((item, depth, capacity), (3, 2, 2));
+///     }
+///     other => panic!("expected Full, got {other:?}"),
+/// }
+/// assert_eq!(q.depth(), 2);
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a zero-capacity queue can never accept
+    /// a submission, which is a configuration bug, not a runtime state.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedQueue: capacity must be positive");
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+                not_full: Condvar::new(),
+                not_empty: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// The fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Live occupancy (racy by nature under concurrent producers; exact
+    /// when the caller is the only mutator).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// Closes the queue: every subsequent submission is rejected with
+    /// [`SubmitError::Closed`] and blocked producers/consumers wake up.
+    /// Items already queued can still be popped.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.inner.not_full.notify_all();
+        self.inner.not_empty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Non-blocking bounded submission: accepts the item if there is space,
+    /// otherwise reports the overflow (or closure) and hands the item back.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] after [`close`](Self::close).
+    pub fn try_submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(SubmitError::Closed(item));
+        }
+        let depth = st.items.len();
+        if depth >= self.inner.capacity {
+            lgo_trace::sched("runtime/queue_rejects", 1);
+            return Err(SubmitError::Full { item, depth, capacity: self.inner.capacity });
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking submission: waits for space instead of rejecting. Returns
+    /// the item only if the queue is closed while waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] when the queue closes before space frees up.
+    pub fn submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(SubmitError::Closed(item));
+            }
+            if st.items.len() < self.inner.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .inner
+                .not_full
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Pops the oldest item without blocking.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let item = self.lock().items.pop_front();
+        if item.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Pops the oldest item, waiting up to `timeout` for one to arrive.
+    /// Returns `None` on timeout or when the queue is closed and drained.
+    #[must_use]
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Moves up to `max` items into `out` (oldest first) without blocking;
+    /// returns how many were moved. The micro-batching primitive: one lock
+    /// round trip per drain instead of one per item.
+    pub fn drain_into(&self, max: usize, out: &mut Vec<T>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut st = self.lock();
+        let take = max.min(st.items.len());
+        out.extend(st.items.drain(..take));
+        drop(st);
+        if take > 0 {
+            self.inner.not_full.notify_all();
+        }
+        take
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_is_reported_not_silently_queued() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(3);
+        for i in 0..3 {
+            q.try_submit(i).unwrap();
+        }
+        // The defining contract of the bounded-submission API: the fourth
+        // item is rejected with full accounting, and the queue's memory
+        // footprint has not grown.
+        match q.try_submit(99) {
+            Err(SubmitError::Full { item, depth, capacity }) => {
+                assert_eq!(item, 99);
+                assert_eq!(depth, 3);
+                assert_eq!(capacity, 3);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 3);
+        // Freeing one slot re-admits exactly one submission.
+        assert_eq!(q.pop(), Some(0));
+        q.try_submit(99).unwrap();
+        assert!(q.try_submit(100).is_err());
+    }
+
+    #[test]
+    fn fifo_order_and_depth_accounting() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(8);
+        assert!(q.is_empty());
+        for i in 0..5u8 {
+            q.try_submit(i).unwrap();
+            assert_eq!(q.depth(), i as usize + 1);
+        }
+        let popped: Vec<u8> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_into_micro_batches() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_submit(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert_eq!(q.drain_into(4, &mut batch), 4);
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(q.depth(), 6);
+        assert_eq!(q.drain_into(100, &mut batch), 6);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(q.drain_into(4, &mut batch), 0);
+        assert_eq!(q.drain_into(0, &mut batch), 0);
+    }
+
+    #[test]
+    fn close_rejects_submissions_but_drains() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(4);
+        q.try_submit(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_submit(2), Err(SubmitError::Closed(2)));
+        assert_eq!(q.submit(3), Err(SubmitError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(1);
+        q.try_submit(0).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.submit(1));
+        // Give the producer a moment to block, then free a slot.
+        let popped = q.pop_timeout(Duration::from_secs(5));
+        assert_eq!(popped, Some(0));
+        producer.join().expect("producer thread").unwrap();
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn pop_timeout_sees_late_arrivals() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(4);
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.try_submit(7).unwrap();
+        });
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)), Some(7));
+        producer.join().expect("producer thread");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn rejected_item_is_recoverable() {
+        let q: BoundedQueue<String> = BoundedQueue::new(1);
+        q.try_submit("a".into()).unwrap();
+        let err = q.try_submit("b".into()).unwrap_err();
+        assert_eq!(err.to_string(), "queue full: depth 1 of capacity 1");
+        assert_eq!(err.into_item(), "b");
+    }
+}

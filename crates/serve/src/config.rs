@@ -1,0 +1,154 @@
+//! Service configuration and the `LGO_SERVE_*` environment knobs.
+
+use std::time::Duration;
+
+/// Tuning knobs of a [`crate::ScoringService`].
+///
+/// Every field has a production-shaped default; [`ServeConfig::from_env`]
+/// overrides them from `LGO_SERVE_*` environment variables so benches and
+/// CI tiers can reshape the service without recompiling. Malformed values
+/// fall back to the default rather than aborting — a scoring service must
+/// not refuse to start over a typo in an env var.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bounded ingest queue capacity, in samples (`LGO_SERVE_CAPACITY`).
+    /// Producers that outrun scoring see rejections, not memory growth.
+    pub capacity: usize,
+    /// Maximum samples drained per scoring cycle (`LGO_SERVE_BATCH`).
+    pub batch_max: usize,
+    /// Sliding-window length in samples; must match the detector bank's
+    /// expected window shape (MAD-GAN is shape-strict).
+    pub seq_len: usize,
+    /// Stride between consecutive emitted windows, in samples.
+    pub stride: usize,
+    /// Queue-pressure thresholds (fractions of capacity, ascending) at
+    /// which scoring degrades one level down the detector ladder.
+    pub degrade_thresholds: Vec<f64>,
+    /// Queue pressure at or above which a cycle sheds: windows still
+    /// advance patient state but are not scored (`LGO_SERVE_SHED`).
+    pub shed_pressure: f64,
+    /// Wall-clock deadline for one micro-batch scoring call
+    /// (`LGO_SERVE_DEADLINE_MS`; `0` disables the watchdog and scores
+    /// inline — the deterministic mode the tests pin).
+    pub deadline: Option<Duration>,
+    /// Retries per scoring call after a deadline miss (`LGO_SERVE_RETRIES`).
+    pub retries: u32,
+    /// Sleep between retries, doubled per attempt (`LGO_SERVE_BACKOFF_MS`).
+    pub backoff: Duration,
+    /// Maximum abandoned (wedged) scorer threads allowed to be live at
+    /// once; at the cap the watchdog refuses to spawn more and the ladder
+    /// falls through to the next level (`LGO_SERVE_MAX_WEDGED`).
+    pub max_wedged: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            batch_max: 256,
+            seq_len: 12,
+            stride: 6,
+            degrade_thresholds: vec![0.5, 0.75],
+            shed_pressure: 0.9,
+            deadline: None,
+            retries: 2,
+            backoff: Duration::from_millis(5),
+            max_wedged: 4,
+        }
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    match std::env::var(key) {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    match std::env::var(key) {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by any `LGO_SERVE_*` variables that are set.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        let deadline_ms = env_u64(
+            "LGO_SERVE_DEADLINE_MS",
+            d.deadline.map_or(0, |t| t.as_millis() as u64),
+        );
+        Self {
+            capacity: env_usize("LGO_SERVE_CAPACITY", d.capacity).max(1),
+            batch_max: env_usize("LGO_SERVE_BATCH", d.batch_max).max(1),
+            seq_len: d.seq_len,
+            stride: d.stride,
+            degrade_thresholds: d.degrade_thresholds,
+            shed_pressure: env_f64("LGO_SERVE_SHED", d.shed_pressure),
+            deadline: match deadline_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            retries: env_u64("LGO_SERVE_RETRIES", u64::from(d.retries)) as u32,
+            backoff: Duration::from_millis(env_u64(
+                "LGO_SERVE_BACKOFF_MS",
+                d.backoff.as_millis() as u64,
+            )),
+            max_wedged: env_usize("LGO_SERVE_MAX_WEDGED", d.max_wedged).max(1),
+        }
+    }
+
+    /// Scoring level for a queue pressure in `[0, 1]`: the number of
+    /// degrade thresholds at or below the pressure. Level 0 is the primary
+    /// detector; each threshold crossed steps one level down the ladder.
+    #[must_use]
+    pub fn level_for_pressure(&self, pressure: f64) -> usize {
+        self.degrade_thresholds
+            .iter()
+            .filter(|&&t| pressure >= t)
+            .count()
+    }
+
+    /// Whether a cycle at this pressure sheds scoring entirely.
+    #[must_use]
+    pub fn sheds_at(&self, pressure: f64) -> bool {
+        pressure >= self.shed_pressure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_ladder_maps_levels() {
+        let c = ServeConfig::default();
+        assert_eq!(c.level_for_pressure(0.0), 0);
+        assert_eq!(c.level_for_pressure(0.49), 0);
+        assert_eq!(c.level_for_pressure(0.5), 1);
+        assert_eq!(c.level_for_pressure(0.74), 1);
+        assert_eq!(c.level_for_pressure(0.75), 2);
+        assert_eq!(c.level_for_pressure(1.0), 2);
+        assert!(!c.sheds_at(0.89));
+        assert!(c.sheds_at(0.9));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.capacity > 0 && c.batch_max > 0);
+        assert!(c.deadline.is_none(), "deterministic inline mode by default");
+        assert!(c.degrade_thresholds.windows(2).all(|w| w[0] < w[1]));
+        assert!(c.shed_pressure > *c.degrade_thresholds.last().unwrap());
+    }
+}

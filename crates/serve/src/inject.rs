@@ -1,0 +1,131 @@
+//! Fault-injecting detector wrappers for robustness testing.
+//!
+//! `bench_serve` and the root robustness tests wrap real (or stub)
+//! detectors with these adapters to exercise the failure paths the
+//! service must survive: stalls (watchdog deadlines) and panics (patient
+//! quarantine). They live in the serve crate proper — not a test module —
+//! so the bench binary and integration tests share one implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use lgo_detect::{AnomalyDetector, Window};
+
+/// Sentinel value planted in a sample row to make [`PanickingDetector`]
+/// panic — a stand-in for the pathological input that crashes a real
+/// model (NaN cascades, shape corruption, poisoned streams).
+pub const POISON: f64 = -9_999.25;
+
+/// Wraps a detector and stalls (sleeps) on every `period`-th scoring
+/// call, simulating a wedged model. The watchdog must convert these
+/// stalls into deadline misses instead of letting them freeze a cycle.
+pub struct StallingDetector<D> {
+    inner: D,
+    period: u64,
+    stall: Duration,
+    calls: AtomicU64,
+}
+
+impl<D> StallingDetector<D> {
+    /// Stall for `stall` on every `period`-th call (1-based; `period`
+    /// must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period == 0`.
+    #[must_use]
+    pub fn new(inner: D, period: u64, stall: Duration) -> Self {
+        assert!(period > 0, "StallingDetector: period must be positive");
+        Self {
+            inner,
+            period,
+            stall,
+            calls: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<D: AnomalyDetector> AnomalyDetector for StallingDetector<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if call.is_multiple_of(self.period) {
+            std::thread::sleep(self.stall);
+        }
+        self.inner.score(window)
+    }
+}
+
+/// Wraps a detector and panics whenever the scored window contains the
+/// [`POISON`] sentinel, simulating a per-patient model crash. The service
+/// must quarantine exactly the poisoned patient and keep scoring the
+/// rest.
+pub struct PanickingDetector<D> {
+    inner: D,
+}
+
+impl<D> PanickingDetector<D> {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: D) -> Self {
+        Self { inner }
+    }
+}
+
+impl<D: AnomalyDetector> AnomalyDetector for PanickingDetector<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        let poisoned = window.iter().any(|row| row.contains(&POISON));
+        assert!(!poisoned, "poisoned window: injected model crash");
+        self.inner.score(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    struct Zero;
+
+    impl AnomalyDetector for Zero {
+        fn name(&self) -> &str {
+            "zero"
+        }
+        fn score(&self, _w: &Window) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn stalls_only_on_period() {
+        let d = StallingDetector::new(Zero, 3, Duration::from_millis(60));
+        let w: Window = vec![vec![1.0]];
+        let t0 = Instant::now();
+        d.score(&w);
+        d.score(&w);
+        assert!(t0.elapsed() < Duration::from_millis(40), "calls 1-2 fast");
+        let t1 = Instant::now();
+        d.score(&w);
+        assert!(t1.elapsed() >= Duration::from_millis(60), "call 3 stalls");
+        assert_eq!(d.name(), "zero");
+    }
+
+    #[test]
+    fn panics_only_on_poison() {
+        let d = PanickingDetector::new(Zero);
+        let clean: Window = vec![vec![1.0, 2.0]];
+        assert_eq!(d.score(&clean), 0.0);
+        let poisoned: Window = vec![vec![1.0, POISON]];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.score(&poisoned)
+        }));
+        assert!(err.is_err(), "poison sentinel must panic");
+    }
+}

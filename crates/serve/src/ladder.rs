@@ -1,0 +1,110 @@
+//! The graded load-shedding ladder: a bank of detectors ordered from most
+//! to least expensive.
+//!
+//! Under queue pressure the service does not drop samples first — it steps
+//! scoring down this ladder (the paper's MAD-GAN → OC-SVM → kNN fallback
+//! chain, reusing the detectors `lgo_core::selective` trains), trading
+//! detection fidelity for throughput. Only at shed pressure does scoring
+//! stop entirely, and even then samples still advance patient state.
+
+use std::sync::Arc;
+
+use lgo_detect::AnomalyDetector;
+
+/// An ordered bank of trained detectors: level 0 is the primary (most
+/// faithful, most expensive) detector; higher levels are progressively
+/// cheaper fallbacks.
+#[derive(Clone)]
+pub struct DetectorBank {
+    levels: Vec<Arc<dyn AnomalyDetector>>,
+}
+
+impl DetectorBank {
+    /// Builds a bank from at least one trained detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels` is empty; a service with nothing to score with
+    /// is a configuration error, not a runtime condition.
+    #[must_use]
+    pub fn new(levels: Vec<Arc<dyn AnomalyDetector>>) -> Self {
+        assert!(!levels.is_empty(), "DetectorBank: at least one detector");
+        Self { levels }
+    }
+
+    /// Number of ladder levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the bank is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The detector at `level`, clamped to the cheapest one — pressure can
+    /// push the requested level past the end of a short ladder and the
+    /// service should degrade gracefully, not index out of bounds.
+    #[must_use]
+    pub fn at(&self, level: usize) -> &Arc<dyn AnomalyDetector> {
+        &self.levels[level.min(self.levels.len() - 1)]
+    }
+
+    /// Detector names, ladder order — for reports.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.levels.iter().map(|d| d.name().to_string()).collect()
+    }
+}
+
+impl std::fmt::Debug for DetectorBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorBank")
+            .field("levels", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgo_detect::Window;
+
+    struct Named(&'static str);
+
+    impl AnomalyDetector for Named {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn score(&self, _w: &Window) -> f64 {
+            0.0
+        }
+    }
+
+    fn bank() -> DetectorBank {
+        DetectorBank::new(vec![
+            Arc::new(Named("madgan")),
+            Arc::new(Named("ocsvm")),
+            Arc::new(Named("knn")),
+        ])
+    }
+
+    #[test]
+    fn levels_resolve_in_order_and_clamp() {
+        let b = bank();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.at(0).name(), "madgan");
+        assert_eq!(b.at(1).name(), "ocsvm");
+        assert_eq!(b.at(2).name(), "knn");
+        assert_eq!(b.at(99).name(), "knn", "past-the-end clamps to cheapest");
+        assert_eq!(b.names(), vec!["madgan", "ocsvm", "knn"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one detector")]
+    fn empty_bank_rejected() {
+        let _ = DetectorBank::new(Vec::new());
+    }
+}

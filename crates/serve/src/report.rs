@@ -1,0 +1,157 @@
+//! The service's accounting: every sample and window is attributable.
+//!
+//! The report is split along the determinism boundary the root tests pin:
+//! [`ServeStats`] counters are pure functions of the ingest/drain
+//! interleave (byte-identical across `LGO_THREADS` settings), while the
+//! watchdog's timing counters live in `lgo_serve::WatchdogStats` and are
+//! reported separately. [`ServeReport::to_json`] emits canonical JSON —
+//! fixed field order, no whitespace variance — so equality of reports can
+//! be asserted bytewise.
+
+use crate::watchdog::WatchdogStats;
+
+/// Deterministic service counters (given a fixed ingest/drain interleave).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Samples accepted into the queue.
+    pub ingested: u64,
+    /// Samples rejected by backpressure (`try_ingest` on a full queue).
+    pub rejected: u64,
+    /// Samples pulled out of the queue by scoring cycles.
+    pub drained: u64,
+    /// Samples discarded because their patient is quarantined.
+    pub dropped_quarantined: u64,
+    /// Windows completed by the sliding-window state machines.
+    pub windows_emitted: u64,
+    /// Windows actually scored (any ladder level).
+    pub windows_scored: u64,
+    /// Windows shed unscored (shed cycles, or ladder exhaustion).
+    pub windows_shed: u64,
+    /// Scored windows flagged anomalous.
+    pub anomalies: u64,
+    /// Windows scored per ladder level (index = level).
+    pub level_windows: Vec<u64>,
+    /// Scoring cycles run.
+    pub cycles: u64,
+    /// Cycles that ran at a degraded ladder level (> 0).
+    pub degraded_cycles: u64,
+    /// Cycles that shed scoring entirely.
+    pub shed_cycles: u64,
+    /// Patient panics captured (each quarantines one patient).
+    pub panics: u64,
+    /// Highest queue depth observed at a cycle start.
+    pub max_depth: u64,
+}
+
+/// Full service report: deterministic stats, timing stats, and the
+/// quarantine list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Deterministic counters.
+    pub stats: ServeStats,
+    /// Timing-dependent watchdog counters (zero in inline mode).
+    pub watchdog: WatchdogStats,
+    /// Quarantined patient ids, ascending.
+    pub quarantined: Vec<u64>,
+    /// Ladder detector names, level order.
+    pub ladder: Vec<String>,
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_u64s(vals: &[u64]) -> String {
+    let inner: Vec<String> = vals.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl ServeReport {
+    /// Canonical single-line JSON: fixed field order, integers only, so
+    /// two equal reports serialize to identical bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let w = &self.watchdog;
+        let ladder: Vec<String> = self.ladder.iter().map(|n| json_str(n)).collect();
+        format!(
+            concat!(
+                "{{\"ingested\":{},\"rejected\":{},\"drained\":{},",
+                "\"dropped_quarantined\":{},\"windows_emitted\":{},",
+                "\"windows_scored\":{},\"windows_shed\":{},\"anomalies\":{},",
+                "\"level_windows\":{},\"cycles\":{},\"degraded_cycles\":{},",
+                "\"shed_cycles\":{},\"panics\":{},\"max_depth\":{},",
+                "\"deadline_misses\":{},\"retries\":{},\"gave_up\":{},",
+                "\"quarantined\":{},\"ladder\":[{}]}}"
+            ),
+            s.ingested,
+            s.rejected,
+            s.drained,
+            s.dropped_quarantined,
+            s.windows_emitted,
+            s.windows_scored,
+            s.windows_shed,
+            s.anomalies,
+            json_u64s(&s.level_windows),
+            s.cycles,
+            s.degraded_cycles,
+            s.shed_cycles,
+            s.panics,
+            s.max_depth,
+            w.deadline_misses,
+            w.retries,
+            w.gave_up,
+            json_u64s(&self.quarantined),
+            ladder.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_json_is_stable_and_complete() {
+        let mut r = ServeReport {
+            stats: ServeStats {
+                ingested: 10,
+                rejected: 2,
+                drained: 8,
+                level_windows: vec![3, 1, 0],
+                ..ServeStats::default()
+            },
+            quarantined: vec![4, 7],
+            ladder: vec!["madgan".into(), "knn".into()],
+            ..ServeReport::default()
+        };
+        let a = r.to_json();
+        assert_eq!(a, r.clone().to_json(), "serialization is pure");
+        assert!(a.starts_with("{\"ingested\":10,\"rejected\":2,\"drained\":8,"));
+        assert!(a.contains("\"level_windows\":[3,1,0]"));
+        assert!(a.contains("\"quarantined\":[4,7]"));
+        assert!(a.ends_with("\"ladder\":[\"madgan\",\"knn\"]}"));
+        r.stats.anomalies = 1;
+        assert_ne!(a, r.to_json(), "every counter is load-bearing");
+    }
+
+    #[test]
+    fn string_escaping_is_json_safe() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

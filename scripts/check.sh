@@ -48,4 +48,16 @@ LGO_SCALE=fast LGO_TRACE=json \
     cargo run -q -p lgo-bench --release --features trace --bin exp_scaling > /dev/null
 cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_exp_scaling.json
 
+# Serve tier: the online scoring service must survive a hostile fast-scale
+# cohort (injected stalls + panics) end to end — backpressure, shedding,
+# watchdog and quarantine all exercised — and its trace report must
+# validate against the schema. bench_serve asserts the robustness contract
+# (panics captured, patients quarantined, every accepted sample drained)
+# before exiting, so a green run here is the contract holding.
+echo "==> bench_serve (fast scale, traced): fault-injected serving gate"
+rm -f results/trace_serve.json
+LGO_SCALE=fast LGO_TRACE=json LGO_SERVE_PATIENTS=300 \
+    cargo run -q -p lgo-bench --release --features trace --bin bench_serve > /dev/null
+cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_serve.json
+
 echo "==> all checks passed"

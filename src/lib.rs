@@ -21,6 +21,8 @@
 //!   framework and selective-training strategies.
 //! - [`trace`] — zero-cost structured observability (spans, counters,
 //!   histograms) behind the `trace` cargo feature.
+//! - [`serve`] — fault-tolerant online scoring service: backpressure,
+//!   graded load-shedding, watchdog deadlines and patient quarantine.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub use lgo_forecast as forecast;
 pub use lgo_glucosim as glucosim;
 pub use lgo_nn as nn;
 pub use lgo_runtime as runtime;
+pub use lgo_serve as serve;
 pub use lgo_series as series;
 pub use lgo_tensor as tensor;
 pub use lgo_trace as trace;

@@ -1,0 +1,178 @@
+//! The robustness contract of `lgo-serve`, end to end.
+//!
+//! Three promises from DESIGN.md §14, pinned at the workspace level:
+//!
+//! 1. **Determinism** — given a fixed ingest/drain interleave and no
+//!    watchdog deadline, the full report (shed/degrade counters included)
+//!    is byte-identical at `LGO_THREADS=1` and `4`. Scoring fan-out goes
+//!    through `lgo-runtime`, whose index contract makes the schedule
+//!    invisible.
+//! 2. **Quarantine isolation** — an injected per-patient panic removes
+//!    exactly that patient from service; every other stream keeps
+//!    scoring and the process survives.
+//! 3. **Bounded memory** — a producer that outruns scoring is rejected at
+//!    the queue's capacity; depth never exceeds it and per-patient state
+//!    stays at one window.
+//!
+//! Tests share process-global state (the thread override) and therefore
+//! serialize on one lock.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::Arc;
+
+use lgo::detect::{AnomalyDetector, Window};
+use lgo::runtime::set_threads;
+use lgo::serve::{
+    DetectorBank, PanickingDetector, Sample, ScoringService, ServeConfig, POISON,
+};
+
+/// Serializes tests that mutate the thread override.
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deviation of the window mean from a center — anomalous far from 100.
+struct Center;
+
+impl AnomalyDetector for Center {
+    fn name(&self) -> &str {
+        "center"
+    }
+    fn score(&self, w: &Window) -> f64 {
+        let mean = w.iter().map(|r| r[0]).sum::<f64>() / w.len() as f64;
+        (mean - 100.0).abs() - 40.0
+    }
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        capacity: 32,
+        batch_max: 8,
+        seq_len: 6,
+        stride: 3,
+        deadline: None, // inline scoring: the deterministic mode
+        ..ServeConfig::default()
+    }
+}
+
+fn bank() -> DetectorBank {
+    DetectorBank::new(vec![
+        Arc::new(PanickingDetector::new(Center)) as Arc<dyn AnomalyDetector>,
+        Arc::new(Center),
+    ])
+}
+
+fn sample(patient: u64, v: f64) -> Sample {
+    Sample {
+        patient,
+        row: vec![v, v / 2.0],
+    }
+}
+
+/// A fixed, pressure-heavy interleave: bursts that cross the degrade and
+/// shed thresholds, three interleaved patients, drained in micro-batches.
+fn fixed_interleave() -> String {
+    let svc = ScoringService::new(config(), bank());
+    let mut t = 0u64;
+    for burst in [4usize, 12, 32, 8, 20, 3] {
+        for _ in 0..burst {
+            // Rejections on the 32-burst are part of the fixture.
+            let _ = svc.try_ingest(sample(t % 3, 60.0 + (t % 90) as f64));
+            t += 1;
+        }
+        svc.drain_cycle();
+    }
+    while !svc.is_drained() {
+        svc.drain_cycle();
+    }
+    svc.report().to_json()
+}
+
+#[test]
+fn counters_byte_identical_at_1_and_4_threads() {
+    let _guard = global_guard();
+    set_threads(Some(1));
+    let serial = fixed_interleave();
+    set_threads(Some(4));
+    let parallel = fixed_interleave();
+    set_threads(None);
+    assert!(
+        serial == parallel,
+        "serve report differs across thread counts:\n1: {serial}\n4: {parallel}"
+    );
+    // The fixture is substantive: it exercised backpressure, shedding and
+    // degradation, not just a happy path.
+    assert!(!serial.contains("\"rejected\":0,"), "report: {serial}");
+    assert!(!serial.contains("\"shed_cycles\":0,"), "report: {serial}");
+    assert!(!serial.contains("\"degraded_cycles\":0,"), "report: {serial}");
+    assert!(!serial.contains("\"windows_scored\":0,"), "report: {serial}");
+}
+
+#[test]
+fn injected_panic_quarantines_only_that_patient() {
+    let _guard = global_guard();
+    set_threads(Some(2));
+    let svc = ScoringService::new(config(), bank());
+    // Patients 0..4 healthy; patient 2 streams poisoned rows.
+    for _ in 0..6 {
+        for p in 0..5u64 {
+            let v = if p == 2 { POISON } else { 100.0 };
+            assert!(svc.try_ingest(sample(p, v)));
+        }
+        svc.drain_cycle();
+    }
+    set_threads(None);
+    let report = svc.report();
+    assert_eq!(report.quarantined, vec![2], "exactly the poisoned patient");
+    assert_eq!(report.stats.panics, 1, "captured once, then quarantined");
+    // The four healthy patients each completed one window (their 6th
+    // sample) and were scored; the poisoned window was not.
+    assert_eq!(report.stats.windows_scored, 4);
+    // The process is alive: healthy streams keep scoring, and patient 2's
+    // later samples are dropped at the door instead of reaching a model.
+    for _ in 0..3 {
+        for p in 0..5u64 {
+            assert!(svc.try_ingest(sample(p, 200.0)));
+        }
+        svc.drain_cycle();
+    }
+    let after = svc.report();
+    assert!(after.stats.windows_scored > report.stats.windows_scored);
+    assert!(after.stats.anomalies > 0, "off-center values flag anomalous");
+    assert_eq!(after.stats.dropped_quarantined, 3, "post-quarantine samples dropped");
+    assert_eq!(after.stats.panics, 1, "no second panic from the dropped stream");
+    assert_eq!(after.quarantined, vec![2], "no collateral quarantine");
+}
+
+#[test]
+fn queue_memory_stays_bounded_under_runaway_producer() {
+    let _guard = global_guard();
+    let cfg = ServeConfig {
+        capacity: 64,
+        ..config()
+    };
+    let svc = ScoringService::new(cfg, bank());
+    // A producer pushes 10k samples without any scoring: everything past
+    // the queue capacity must be rejected, not buffered.
+    let mut accepted = 0u64;
+    for t in 0..10_000u64 {
+        if svc.try_ingest(sample(t % 7, 100.0)) {
+            accepted += 1;
+        }
+        assert!(svc.depth() <= 64, "queue depth exceeded capacity");
+    }
+    assert_eq!(accepted, 64, "exactly the capacity is buffered");
+    let report = svc.report();
+    assert_eq!(report.stats.rejected, 10_000 - 64);
+    // Drain and confirm the accepted samples (and only they) come out;
+    // per-patient state is one seq_len ring regardless of stream length.
+    while !svc.is_drained() {
+        svc.drain_cycle();
+    }
+    let report = svc.report();
+    assert_eq!(report.stats.drained, 64);
+    assert_eq!(report.stats.ingested, 64);
+}
