@@ -1,0 +1,246 @@
+//! The lightweight AST produced by [`crate::parser`].
+//!
+//! This is not a full Rust grammar: it models exactly the shapes the lint
+//! rules reason about — the *item tree* (functions, impl blocks, traits,
+//! inline modules, structs with field types, `use` imports) and, inside
+//! every function body, a flat, source-ordered list of [`Node`]s (lets,
+//! calls, method calls, macros, closures, `for` loops). Nesting is
+//! recovered by *span containment*: every node carries its range of
+//! significant-token indices, so "is this lock acquired inside that
+//! closure?" is `closure.body.contains(lock.span)` rather than a tree
+//! walk. That keeps the parser total — any token soup it does not
+//! recognise is skipped, never fatal — which matters for a linter that
+//! must survive every file in the workspace, macros and all.
+
+/// Inclusive range `[start, end]` of significant-token indices (comments
+/// excluded), as produced by [`crate::parser::Cursor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Whether `other` lies entirely inside this span.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the single token index `i` lies inside this span.
+    pub fn contains_idx(&self, i: usize) -> bool {
+        self.start <= i && i <= self.end
+    }
+}
+
+/// Item visibility; `pub(crate)` / `pub(super)` count as [`Vis::Scoped`]
+/// (not public API surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    Pub,
+    Scoped,
+    Private,
+}
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// A top-level or module-nested item.
+#[derive(Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    pub line: usize,
+    pub span: Span,
+}
+
+/// The item shapes the rules distinguish.
+#[derive(Debug)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Impl(ImplItem),
+    Trait(TraitItem),
+    Mod(ModItem),
+    Struct(StructItem),
+    Use(UseItem),
+    /// Anything else (enums, consts, statics, type aliases, macros...).
+    Other,
+}
+
+/// A function item (free, inherent, or trait-impl associated).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub vis: Vis,
+    pub line: usize,
+    /// Raw text of the parameter list, parentheses excluded.
+    pub params: String,
+    /// Raw text of the return type (after `->`), empty when `()`.
+    pub ret: String,
+    /// Body span (the `{`..`}` token indices) and its extracted nodes;
+    /// `None` for bodyless trait-method signatures.
+    pub body: Option<Body>,
+}
+
+/// A function body: its brace span plus the flat node list.
+#[derive(Debug)]
+pub struct Body {
+    pub span: Span,
+    pub nodes: Vec<Node>,
+}
+
+/// An `impl` block.
+#[derive(Debug)]
+pub struct ImplItem {
+    /// `Some(trait_name)` for `impl Trait for Type`, `None` for inherent.
+    pub trait_name: Option<String>,
+    /// The implementing type's head identifier (`Foo` from `Foo<'a, T>`).
+    pub self_ty: String,
+    pub fns: Vec<FnItem>,
+}
+
+/// A `trait` definition: its name and method items (signatures or
+/// defaulted bodies).
+#[derive(Debug)]
+pub struct TraitItem {
+    pub name: String,
+    pub vis: Vis,
+    pub fns: Vec<FnItem>,
+}
+
+/// A module: `mod name { ... }` carries its items, `mod name;` is a leaf.
+#[derive(Debug)]
+pub struct ModItem {
+    pub name: String,
+    pub items: Vec<Item>,
+}
+
+/// A struct with its named fields (name, raw type text). Tuple and unit
+/// structs have no fields here.
+#[derive(Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub vis: Vis,
+    pub fields: Vec<(String, String)>,
+}
+
+/// A `use` declaration, kept as raw path text (`std::collections::HashMap`
+/// or a braced tree); [`crate::resolve`] expands it.
+#[derive(Debug)]
+pub struct UseItem {
+    pub text: String,
+}
+
+/// One interesting expression-level event inside a function body. The
+/// list is flat and in source order; `span` containment recovers nesting.
+#[derive(Debug)]
+pub enum Node {
+    /// `let <name>[: ty] = <init>;` — only simple-ident patterns carry a
+    /// name (tuple/struct patterns have an empty one).
+    Let {
+        name: String,
+        /// Raw type-annotation text, empty when inferred.
+        ty: String,
+        /// Span of the initializer expression (empty-range when absent).
+        init: Span,
+        /// Significant-token index of the matching `}` of the innermost
+        /// enclosing block — the end of this binding's scope.
+        scope_end: usize,
+        line: usize,
+    },
+    /// `<recv>.<name>(<args>)`. `recv` is the normalized receiver chain
+    /// text (indices collapsed to `[_]`); `recv_base` its leading
+    /// identifier (`self`, a local, ...), empty when the receiver starts
+    /// with a literal or call.
+    MethodCall {
+        recv: String,
+        recv_base: String,
+        name: String,
+        args: Span,
+        span: Span,
+        line: usize,
+    },
+    /// `a::b::name(<args>)` — plain or path-qualified call. `path` holds
+    /// every segment including the final name.
+    Call {
+        path: Vec<String>,
+        args: Span,
+        span: Span,
+        line: usize,
+    },
+    /// `name!(...)` / `name![...]` / `name!{...}`.
+    Macro {
+        name: String,
+        args: Span,
+        line: usize,
+    },
+    /// `|params| body` or `move |params| body`; `body` spans the block or
+    /// the trailing expression.
+    Closure {
+        params: String,
+        body: Span,
+        span: Span,
+        line: usize,
+    },
+    /// `for <pat> in <iter> { ... }`.
+    For {
+        pat: String,
+        /// Span of the iterated expression.
+        iter: Span,
+        /// Normalized text of the iterated expression.
+        iter_text: String,
+        body: Span,
+        line: usize,
+    },
+}
+
+impl Node {
+    /// The node's starting line (for findings).
+    pub fn line(&self) -> usize {
+        match self {
+            Node::Let { line, .. }
+            | Node::MethodCall { line, .. }
+            | Node::Call { line, .. }
+            | Node::Macro { line, .. }
+            | Node::Closure { line, .. }
+            | Node::For { line, .. } => *line,
+        }
+    }
+
+    /// The node's own span (for containment queries). `Let` spans its
+    /// initializer, `For` its iterated expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Node::Let { init, .. } => *init,
+            Node::MethodCall { span, .. } => *span,
+            Node::Call { span, .. } => *span,
+            Node::Macro { args, .. } => *args,
+            Node::Closure { span, .. } => *span,
+            Node::For { iter, .. } => *iter,
+        }
+    }
+}
+
+impl File {
+    /// Every function in the file — free, trait-default, and impl-associated
+    /// — with its impl context: `(containing impl, fn)`. Walks inline
+    /// modules recursively.
+    pub fn all_fns(&self) -> Vec<(Option<&ImplItem>, &FnItem)> {
+        let mut out = Vec::new();
+        collect_fns(&self.items, &mut out);
+        out
+    }
+}
+
+fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<(Option<&'a ImplItem>, &'a FnItem)>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(f) => out.push((None, f)),
+            ItemKind::Impl(im) => out.extend(im.fns.iter().map(|f| (Some(im), f))),
+            ItemKind::Trait(tr) => out.extend(tr.fns.iter().map(|f| (None, f))),
+            ItemKind::Mod(m) => collect_fns(&m.items, out),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,724 @@
+//! Workspace call graph and the interprocedural rules.
+//!
+//! Pass 1 ([`collect_facts`]) reduces every function in every scanned file
+//! to a [`FnFact`]: its identity (name, impl type, trait context,
+//! visibility), its failure surface (unexcused panic-family sites, Result
+//! return, `try_` twin), its outgoing calls with whatever receiver-type
+//! evidence the local [`crate::resolve::TypeEnv`] offers, and its lock
+//! acquisitions with hold spans. Pass 2 stitches the facts together:
+//!
+//! * **L3** — a public API function (now *including* trait-impl methods of
+//!   workspace-defined traits) that contains an unexcused panic site must
+//!   return `Result` or have a `try_` twin.
+//! * **L11** — a `pub` defense-API function that reaches a panic
+//!   *transitively* through the call graph, where no function on the path
+//!   absorbs the failure (returns `Result` or offers a `try_` twin), is
+//!   flagged with the full witness chain.
+//! * **L12** — lock-order consistency: any pair of lock keys acquired in
+//!   both orders anywhere in the workspace (directly nested or through
+//!   calls made while holding a guard) is a deadlock seed.
+//!
+//! Call resolution is name-based and deliberately conservative: a call
+//! edge is added only when the callee is unambiguous (receiver type known,
+//! `Type::fn` qualified, or a unique workspace-wide name). Ambiguity drops
+//! the edge — a false-negative class, never a false positive.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::allow::AllowDirective;
+use crate::ast::{File, ItemKind, Node, Span, Vis};
+use crate::parser::{panic_site, Cursor};
+use crate::report::Finding;
+
+/// Everything pass 2 needs to know about one function.
+#[derive(Debug)]
+pub struct FnFact {
+    /// Index of the containing file in the `analyze_files` input.
+    pub file: usize,
+    /// Workspace-relative path (for findings).
+    pub path: String,
+    /// Crate name (`core`, `runtime`, ...), empty outside `crates/`.
+    pub krate: String,
+    pub name: String,
+    /// Implementing type for inherent/trait-impl methods.
+    pub self_ty: Option<String>,
+    /// Trait name for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    pub vis: Vis,
+    pub line: usize,
+    pub returns_result: bool,
+    pub has_body: bool,
+    /// Body lies inside `#[cfg(test)]` / `#[test]` masked code.
+    pub is_test: bool,
+    /// First unexcused panic-family site in the body: `(line, display)`.
+    pub panic: Option<(usize, &'static str)>,
+    pub calls: Vec<CallSite>,
+    pub locks: Vec<LockAcq>,
+}
+
+/// One outgoing call site.
+#[derive(Debug)]
+pub struct CallSite {
+    pub target: CallTarget,
+    pub line: usize,
+    /// Significant-token index (for lock-hold containment).
+    pub idx: usize,
+}
+
+/// What the call site syntactically names.
+#[derive(Debug)]
+pub enum CallTarget {
+    /// `recv.name(...)`; `recv_ty` is the head type of the receiver when
+    /// the local type table knows it.
+    Method {
+        recv_base: String,
+        recv_ty: Option<String>,
+        name: String,
+    },
+    /// `a::b::name(...)` (single-segment for plain calls).
+    Path { segs: Vec<String> },
+}
+
+/// One lock acquisition.
+#[derive(Debug)]
+pub struct LockAcq {
+    /// Normalized lock key: receiver chain with `self.` stripped and
+    /// indices collapsed (`shared.state`, `queues[_]`); a `lock_x()`
+    /// helper method contributes `recv.x`.
+    pub key: String,
+    pub line: usize,
+    /// Significant-token index of the acquiring call.
+    pub idx: usize,
+    /// For guards bound by `let`: token index of the enclosing block's
+    /// `}` — the end of the hold span. `None` for temporary guards.
+    pub hold_end: Option<usize>,
+}
+
+/// Result adapters that keep the returned guard alive when chained onto a
+/// lock call inside a `let` initializer.
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Common std method names never resolved to workspace functions by bare
+/// (receiver-type-unknown) lookup — they would alias ubiquitous container
+/// and iterator calls onto any workspace type that happens to share the
+/// name.
+const STD_METHODS: &[&str] = &[
+    "new", "default", "clone", "len", "is_empty", "get", "get_mut", "insert", "remove", "push",
+    "pop", "iter", "iter_mut", "into_iter", "next", "contains", "contains_key", "extend",
+    "clear", "fmt", "eq", "ne", "cmp", "partial_cmp", "total_cmp", "hash", "from", "into",
+    "to_string", "to_owned", "to_vec", "as_ref", "as_mut", "as_str", "as_slice", "map",
+    "and_then", "or_else", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok", "err",
+    "expect", "unwrap", "take", "replace", "split", "join", "min", "max", "abs", "sqrt", "exp",
+    "ln", "powi", "powf", "floor", "ceil", "round", "sort", "sort_by", "sort_unstable", "rev",
+    "zip", "enumerate", "filter", "filter_map", "fold", "sum", "count", "collect", "drain",
+    "retain", "last", "first", "send", "recv", "spawn", "lock", "read", "write", "store",
+    "load", "swap", "wait", "notify_all", "notify_one", "is_some", "is_none", "is_ok",
+    "is_err", "finish", "flush", "drop", "resize", "reserve", "chunks", "windows", "to_bits",
+];
+
+/// Free-fn names never resolved by bare single-segment lookup.
+const STD_FNS: &[&str] = &[
+    "drop", "format", "min", "max", "swap", "replace", "take", "size_of", "from_fn",
+];
+
+/// Extracts the facts for every function in one parsed file.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_facts(
+    file_idx: usize,
+    path: &str,
+    file: &File,
+    cur: &Cursor,
+    test_mask: &[bool],
+    allows: &[AllowDirective],
+    out: &mut Vec<FnFact>,
+) {
+    let krate = crate_of(path);
+    for (im, f) in file.all_fns() {
+        let env = crate::resolve::TypeEnv::for_fn(cur, f, im);
+        let is_test = f
+            .body
+            .as_ref()
+            .map(|b| *test_mask.get(b.span.start).unwrap_or(&false))
+            .unwrap_or(false);
+        let returns_result = f
+            .ret
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|w| w.ends_with("Result") && !w.is_empty());
+        let mut fact = FnFact {
+            file: file_idx,
+            path: path.to_string(),
+            krate: krate.clone(),
+            name: f.name.clone(),
+            self_ty: im.map(|i| i.self_ty.clone()),
+            trait_name: im.and_then(|i| i.trait_name.clone()),
+            vis: f.vis,
+            line: f.line,
+            returns_result,
+            has_body: f.body.is_some(),
+            is_test,
+            panic: None,
+            calls: Vec::new(),
+            locks: Vec::new(),
+        };
+        if let Some(body) = &f.body {
+            // Direct panic sites (unexcused, outside test-masked spans).
+            for i in body.span.start..=body.span.end.min(cur.n().saturating_sub(1)) {
+                if *test_mask.get(i).unwrap_or(&false) {
+                    continue;
+                }
+                if let Some(site) = panic_site(cur, i) {
+                    let line = cur.line(i);
+                    let excused = allows.iter().any(|a| a.covers("L1", line));
+                    if !excused {
+                        fact.panic = Some((line, site));
+                        break;
+                    }
+                }
+            }
+            collect_calls_and_locks(cur, &body.nodes, &env, &mut fact);
+        }
+        out.push(fact);
+    }
+}
+
+/// Crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+fn collect_calls_and_locks(
+    _cur: &Cursor,
+    nodes: &[Node],
+    env: &crate::resolve::TypeEnv,
+    fact: &mut FnFact,
+) {
+    // Lock calls that end up bound to a `let` guard; excluded from the
+    // temporary-acquisition list below.
+    let mut bound_lock_idxs: BTreeSet<usize> = BTreeSet::new();
+
+    for node in nodes {
+        if let Node::Let { init, scope_end, .. } = node {
+            if let Some((lock_idx, key, line)) = bound_guard(nodes, *init) {
+                bound_lock_idxs.insert(lock_idx);
+                fact.locks.push(LockAcq {
+                    key,
+                    line,
+                    idx: lock_idx,
+                    hold_end: Some(*scope_end),
+                });
+            }
+        }
+    }
+    for node in nodes {
+        match node {
+            Node::MethodCall { recv, recv_base, name, args, span, line } => {
+                if let Some(key) = lock_key(recv, name, args) {
+                    if !bound_lock_idxs.contains(&span.start) {
+                        fact.locks.push(LockAcq {
+                            key,
+                            line: *line,
+                            idx: span.start,
+                            hold_end: None,
+                        });
+                    }
+                    continue;
+                }
+                let recv_ty = if recv == recv_base && !recv_base.is_empty() {
+                    env.type_of(recv_base, span.start).map(head_type)
+                } else {
+                    None
+                };
+                fact.calls.push(CallSite {
+                    target: CallTarget::Method {
+                        recv_base: recv_base.clone(),
+                        recv_ty,
+                        name: name.clone(),
+                    },
+                    line: *line,
+                    idx: span.start,
+                });
+            }
+            Node::Call { path, span, line, .. } => {
+                fact.calls.push(CallSite {
+                    target: CallTarget::Path { segs: path.clone() },
+                    line: *line,
+                    idx: span.start,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The head type identifier of a raw type text (`&mut HashMap<u64, f64>` →
+/// `HashMap`).
+fn head_type(ty: &str) -> String {
+    ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .find(|w| !w.is_empty() && !matches!(*w, "mut" | "dyn" | "ref"))
+        .unwrap_or("")
+        .to_string()
+}
+
+/// If the method call `recv.name(args)` acquires a lock, its normalized
+/// key. `lock_x()` helper methods contribute `recv.x`.
+fn lock_key(recv: &str, name: &str, args: &Span) -> Option<String> {
+    let zero_arg = args.end <= args.start + 1;
+    let base = strip_self(recv);
+    if name == "lock" && zero_arg {
+        return (!base.is_empty()).then(|| base.to_string());
+    }
+    if matches!(name, "read" | "write") && zero_arg && !base.is_empty() {
+        // Only count `read`/`write` on plain field/ident receivers — an
+        // `io::Read`/`Write` receiver is typically a call result or file.
+        if base.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            return Some(format!("{base}:{name}"));
+        }
+        return None;
+    }
+    if let Some(rest) = name.strip_prefix("lock_") {
+        if !rest.is_empty() && zero_arg {
+            return Some(if base.is_empty() {
+                rest.to_string()
+            } else {
+                format!("{base}.{rest}")
+            });
+        }
+    }
+    None
+}
+
+/// `self.shared.state` → `shared.state`; leading `&` dropped.
+fn strip_self(recv: &str) -> &str {
+    let r = recv.trim_start_matches('&');
+    r.strip_prefix("self.").unwrap_or(r)
+}
+
+/// Decides whether the `let` initializer `init` binds a lock guard:
+/// its chain must terminate in a lock acquisition, with only
+/// guard-preserving adapters (`unwrap`, `expect`, `unwrap_or_else`)
+/// stacked on top. Returns `(lock call token idx, key, line)`.
+fn bound_guard(nodes: &[Node], init: Span) -> Option<(usize, String, usize)> {
+    if init.end < init.start {
+        return None;
+    }
+    // All method calls inside the initializer.
+    let mut lock: Option<(usize, String, usize, Span)> = None;
+    for node in nodes {
+        if let Node::MethodCall { recv, name, args, span, line, .. } = node {
+            if !init.contains(*span) {
+                continue;
+            }
+            if let Some(key) = lock_key(recv, name, args) {
+                // Keep the outermost (widest) lock call in the chain.
+                if lock.as_ref().is_none_or(|(_, _, _, s)| span.start <= s.start) {
+                    lock = Some((span.start, key, *line, *span));
+                }
+            }
+        }
+    }
+    let (idx, key, line, lock_span) = lock?;
+    // Every call wrapped around the lock call must preserve the guard.
+    for node in nodes {
+        if let Node::MethodCall { name, span, .. } = node {
+            if init.contains(*span) && span.contains(lock_span) && *span != lock_span {
+                // The wrapper's *own* call (not a chain prefix): it starts
+                // at or before the lock and extends past it.
+                if !GUARD_PRESERVING.contains(&name.as_str()) {
+                    return None;
+                }
+            }
+        }
+    }
+    // `lgo_runtime`-style chains where the lock is itself the whole init
+    // (no wrapper) are guards too; both cases land here.
+    Some((idx, key, line))
+}
+
+/// Name-resolution index over the collected facts.
+pub struct CallGraph<'a> {
+    pub facts: &'a [FnFact],
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    by_qual: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    /// `(file index, fn name)` pairs, for `try_` twin lookup.
+    names_in_file: BTreeSet<(usize, &'a str)>,
+}
+
+impl<'a> CallGraph<'a> {
+    pub fn build(facts: &'a [FnFact]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut names_in_file = BTreeSet::new();
+        for (i, f) in facts.iter().enumerate() {
+            names_in_file.insert((f.file, f.name.as_str()));
+            if f.is_test {
+                continue; // test fns are never call targets
+            }
+            by_name.entry(f.name.as_str()).or_default().push(i);
+            if let Some(ty) = &f.self_ty {
+                by_qual.entry((ty.as_str(), f.name.as_str())).or_default().push(i);
+            }
+        }
+        CallGraph { facts, by_name, by_qual, names_in_file }
+    }
+
+    /// Whether `try_<name>` exists in the same file as fact `i`.
+    pub fn has_twin(&self, i: usize) -> bool {
+        let f = &self.facts[i];
+        let twin = format!("try_{}", f.name);
+        self.names_in_file
+            .iter()
+            .any(|&(file, name)| file == f.file && name == twin)
+    }
+
+    /// Resolves one call site from `caller` to a unique fact index, or
+    /// `None` when ambiguous / external / blocklisted.
+    pub fn resolve(&self, caller: usize, site: &CallSite) -> Option<usize> {
+        let caller_fact = &self.facts[caller];
+        match &site.target {
+            CallTarget::Method { recv_base, recv_ty, name } => {
+                if recv_base == "self" {
+                    if let Some(ty) = &caller_fact.self_ty {
+                        if let Some(v) = self.by_qual.get(&(ty.as_str(), name.as_str())) {
+                            return unique(v);
+                        }
+                    }
+                }
+                if let Some(ty) = recv_ty {
+                    if let Some(v) = self.by_qual.get(&(ty.as_str(), name.as_str())) {
+                        return unique(v);
+                    }
+                }
+                if STD_METHODS.contains(&name.as_str()) {
+                    return None;
+                }
+                // Unknown receiver: accept only a workspace-unique method.
+                let v = self.by_name.get(name.as_str())?;
+                let methods: Vec<usize> = v
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.facts[i].self_ty.is_some())
+                    .collect();
+                unique(&methods)
+            }
+            CallTarget::Path { segs } => {
+                let name = segs.last()?.as_str();
+                if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    return None; // tuple-struct / enum-variant constructor
+                }
+                if segs.len() >= 2 {
+                    let prev = segs[segs.len() - 2].as_str();
+                    if prev == "Self" {
+                        let ty = caller_fact.self_ty.as_deref()?;
+                        return unique(self.by_qual.get(&(ty, name))?);
+                    }
+                    if prev.chars().next().is_some_and(|c| c.is_uppercase()) {
+                        return unique(self.by_qual.get(&(prev, name))?);
+                    }
+                    if let Some(krate) = prev.strip_prefix("lgo_") {
+                        let v = self.by_name.get(name)?;
+                        let in_crate: Vec<usize> = v
+                            .iter()
+                            .copied()
+                            .filter(|&i| self.facts[i].krate == krate)
+                            .collect();
+                        return unique(&in_crate);
+                    }
+                    if matches!(prev, "crate" | "super") || segs.len() > 2 {
+                        let v = self.by_name.get(name)?;
+                        let in_crate: Vec<usize> = v
+                            .iter()
+                            .copied()
+                            .filter(|&i| self.facts[i].krate == caller_fact.krate)
+                            .collect();
+                        return unique(&in_crate);
+                    }
+                }
+                if STD_FNS.contains(&name) {
+                    return None;
+                }
+                let v = self.by_name.get(name)?;
+                // Free functions only; prefer same file, then same crate,
+                // then a workspace-unique name.
+                let frees: Vec<usize> = v
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.facts[i].self_ty.is_none())
+                    .collect();
+                let same_file: Vec<usize> = frees
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.facts[i].file == caller_fact.file)
+                    .collect();
+                if let Some(i) = unique(&same_file) {
+                    return Some(i);
+                }
+                let same_crate: Vec<usize> = frees
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.facts[i].krate == caller_fact.krate)
+                    .collect();
+                if let Some(i) = unique(&same_crate) {
+                    return Some(i);
+                }
+                unique(&frees)
+            }
+        }
+    }
+}
+
+fn unique(v: &[usize]) -> Option<usize> {
+    (v.len() == 1).then(|| v[0])
+}
+
+/// L3: a public API fn with an unexcused direct panic site must return
+/// `Result` or have a `try_` twin. Covers free fns, inherent `pub fn`s,
+/// and — new — trait-impl methods of workspace-defined `pub` traits
+/// (std-trait impls like `Display` cannot grow twins and are skipped:
+/// a documented false-negative class).
+pub fn rule_l3(
+    graph: &CallGraph,
+    l3_files: &BTreeSet<usize>,
+    workspace_traits: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for (i, f) in graph.facts.iter().enumerate() {
+        if !l3_files.contains(&f.file) || f.is_test || !f.has_body {
+            continue;
+        }
+        let Some((_, site)) = f.panic else { continue };
+        let public = match &f.trait_name {
+            None => f.vis == Vis::Pub,
+            Some(t) => workspace_traits.contains(t),
+        };
+        if !public || f.returns_result || f.name.starts_with("try_") || graph.has_twin(i) {
+            continue;
+        }
+        let ctx = match (&f.trait_name, &f.self_ty) {
+            (Some(t), Some(ty)) => format!(" (in `impl {t} for {ty}`)"),
+            _ => String::new(),
+        };
+        out.push(Finding {
+            file: f.path.clone(),
+            line: f.line,
+            rule: "L3",
+            message: format!(
+                "pub fn `{}`{ctx} can panic (contains `{site}`) but neither returns Result \
+                 nor has a `try_{}` twin",
+                f.name, f.name
+            ),
+        });
+    }
+}
+
+/// L11: a `pub` defense-API fn whose *transitive* callees reach a panic,
+/// with no absorption point on the path. Direct sites are L1/L3's job, so
+/// only clean-looking functions are reported here — the whole value is
+/// the witness chain.
+pub fn rule_l11(graph: &CallGraph, l11_files: &BTreeSet<usize>, out: &mut Vec<Finding>) {
+    let n = graph.facts.len();
+    // chain[i]: the path of (fn display name, file:line) hops from fact i
+    // down to a panic site, once known.
+    let mut chain: Vec<Option<Vec<String>>> = vec![None; n];
+    for (i, f) in graph.facts.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        if let Some((line, site)) = f.panic {
+            chain[i] = Some(vec![format!("`{site}` at {}:{line}", f.path)]);
+        }
+    }
+    // Fixpoint: propagate panickiness up call edges, skipping absorbed
+    // callees. Monotone (None -> Some only), so it terminates.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if chain[i].is_some() || graph.facts[i].is_test {
+                continue;
+            }
+            let mut best: Option<Vec<String>> = None;
+            for site in &graph.facts[i].calls {
+                let Some(g) = graph.resolve(i, site) else { continue };
+                if g == i {
+                    continue;
+                }
+                let gf = &graph.facts[g];
+                // Absorption: the callee's failure is part of its
+                // documented fallible contract.
+                if gf.returns_result || gf.name.starts_with("try_") || graph.has_twin(g) {
+                    continue;
+                }
+                if let Some(rest) = &chain[g] {
+                    let mut c = vec![format!(
+                        "`{}` ({}:{})",
+                        display_name(gf),
+                        graph.facts[i].path,
+                        site.line
+                    )];
+                    c.extend(rest.iter().cloned());
+                    // Prefer the shortest chain for a stable, readable witness.
+                    if best.as_ref().is_none_or(|b| c.len() < b.len()) {
+                        best = Some(c);
+                    }
+                }
+            }
+            if best.is_some() {
+                chain[i] = best;
+                changed = true;
+            }
+        }
+    }
+    for (i, f) in graph.facts.iter().enumerate() {
+        if !l11_files.contains(&f.file)
+            || f.is_test
+            || f.vis != Vis::Pub
+            || f.trait_name.is_some()
+            || f.returns_result
+            || f.name.starts_with("try_")
+            || f.panic.is_some()
+            || graph.has_twin(i)
+        {
+            continue;
+        }
+        if let Some(c) = &chain[i] {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: f.line,
+                rule: "L11",
+                message: format!(
+                    "pub fn `{}` transitively reaches a panic via {} and has no `try_{}` \
+                     twin; absorb the failure or expose a fallible variant",
+                    display_name(f),
+                    c.join(" -> "),
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+fn display_name(f: &FnFact) -> String {
+    match &f.self_ty {
+        Some(ty) => format!("{ty}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// L12: lock-order consistency. Collects every ordered pair of lock keys
+/// — `b` acquired (directly, or transitively through a call) while `a`'s
+/// guard is held — and flags any unordered pair seen in both orders.
+pub fn rule_l12(graph: &CallGraph, l12_files: &BTreeSet<usize>, out: &mut Vec<Finding>) {
+    let n = graph.facts.len();
+    // Effective locksets: keys a fn may acquire, transitively.
+    let mut locksets: Vec<BTreeSet<String>> = graph
+        .facts
+        .iter()
+        .map(|f| f.locks.iter().map(|l| l.key.clone()).collect())
+        .collect();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 64 {
+        changed = false;
+        rounds += 1;
+        for i in 0..n {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for site in &graph.facts[i].calls {
+                if let Some(g) = graph.resolve(i, site) {
+                    if g != i {
+                        add.extend(locksets[g].iter().cloned());
+                    }
+                }
+            }
+            for k in add {
+                if locksets[i].insert(k) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Ordered pairs with their first witness: (held key, then-acquired key)
+    // -> (file idx, path, line).
+    let mut pairs: BTreeMap<(String, String), (usize, String, usize)> = BTreeMap::new();
+    for (i, f) in graph.facts.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for a in &f.locks {
+            let Some(hold_end) = a.hold_end else { continue };
+            for b in &f.locks {
+                if b.idx > a.idx && b.idx <= hold_end && b.key != a.key {
+                    pairs
+                        .entry((a.key.clone(), b.key.clone()))
+                        .or_insert((f.file, f.path.clone(), b.line));
+                }
+            }
+            for site in &f.calls {
+                if site.idx <= a.idx || site.idx > hold_end {
+                    continue;
+                }
+                let Some(g) = graph.resolve(i, site) else { continue };
+                for k in &locksets[g] {
+                    if k != &a.key {
+                        pairs
+                            .entry((a.key.clone(), k.clone()))
+                            .or_insert((f.file, f.path.clone(), site.line));
+                    }
+                }
+            }
+        }
+    }
+    // Flag unordered pairs seen in both orders, once each, attributed to
+    // the lexically later witness.
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((a, b), w_ab) in &pairs {
+        let Some(w_ba) = pairs.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let key = if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        if !seen.insert(key) {
+            continue;
+        }
+        // Attribute to the later witness; mention the earlier one.
+        let (here, there, first, second) =
+            if (&w_ab.1, w_ab.2) >= (&w_ba.1, w_ba.2) {
+                (w_ab, w_ba, a, b)
+            } else {
+                (w_ba, w_ab, b, a)
+            };
+        if !l12_files.contains(&here.0) {
+            continue;
+        }
+        out.push(Finding {
+            file: here.1.clone(),
+            line: here.2,
+            rule: "L12",
+            message: format!(
+                "locks `{first}` and `{second}` are acquired in both orders (`{second}` \
+                 while holding `{first}` here; the reverse at {}:{}); pick one global \
+                 order to rule out deadlock",
+                there.1, there.2
+            ),
+        });
+    }
+}
+
+/// Names of `pub trait`s defined in one parsed file (for L3's trait-impl
+/// extension: only workspace traits can grow `try_` twins).
+pub fn pub_traits(file: &File, out: &mut BTreeSet<String>) {
+    collect_traits(&file.items, out);
+}
+
+fn collect_traits(items: &[crate::ast::Item], out: &mut BTreeSet<String>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Trait(t) if t.vis == Vis::Pub => {
+                out.insert(t.name.clone());
+            }
+            ItemKind::Mod(m) => collect_traits(&m.items, out),
+            _ => {}
+        }
+    }
+}

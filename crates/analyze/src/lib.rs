@@ -2,15 +2,22 @@
 //!
 //! The BGMS defense stack sits in a safety-critical loop (CGM → anomaly
 //! detector → BiLSTM forecaster → dosing). A silent NaN in a risk profile,
-//! a `partial_cmp` that misorders NaN scores, or a stray `unwrap()` in a
-//! per-patient stage corrupts exactly the quantities the selective-training
-//! defense depends on. This crate enforces the repo conventions that guard
-//! against that, as a build gate (`scripts/check.sh`) with no external
-//! dependencies so it runs in the same offline environment as the rest of
-//! the workspace.
+//! a `partial_cmp` that misorders NaN scores, a stray `unwrap()` in a
+//! per-patient stage, or a `HashMap` iteration that reorders exported risk
+//! profiles between runs corrupts exactly the quantities the
+//! selective-training defense depends on. This crate enforces the repo
+//! conventions that guard against that, as a build gate
+//! (`scripts/check.sh`) with no external dependencies so it runs in the
+//! same offline environment as the rest of the workspace.
 //!
 //! * [`lexer`] — hand-rolled Rust tokenizer;
-//! * [`rules`] — the lint catalog (L1–L5) and the per-file engine;
+//! * [`parser`] — dependency-free recursive-descent parser producing the
+//!   lightweight [`ast`] (item tree + flat per-body node lists);
+//! * [`resolve`] — scope-aware symbol table: `use` aliases, struct field
+//!   types, per-function local type environments;
+//! * [`callgraph`] — workspace call graph and the interprocedural rules
+//!   (L3 twins, L11 panic reachability, L12 lock order);
+//! * [`rules`] — the lint catalog (L1–L12) and the two-pass engine;
 //! * [`allow`] — `// lint: allow(<rule>): <why>` suppression directives;
 //! * [`report`] — findings plus text/JSON rendering;
 //! * [`walk`] — workspace file discovery.
@@ -25,23 +32,29 @@
 //! ```
 
 pub mod allow;
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod walk;
 
 pub use report::{render_json, Finding};
-pub use rules::{analyze_source, FileScope};
+pub use rules::{analyze_files, analyze_source, FileInput, FileScope};
 
 use std::path::Path;
 
 /// Scans the workspace rooted at `root`, applying path-derived rule scopes.
+/// All files are analyzed as one batch so the interprocedural rules
+/// (L3/L11/L12) see the whole call graph.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from walking or reading source files.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for path in walk::workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -52,7 +65,7 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             continue;
         };
         let src = std::fs::read_to_string(&path)?;
-        findings.extend(analyze_source(&rel, &src, scope));
+        inputs.push(FileInput { path: rel, src, scope });
     }
-    Ok(findings)
+    Ok(analyze_files(&inputs))
 }

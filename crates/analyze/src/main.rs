@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lgo_analyze::{analyze_source, analyze_workspace, render_json, FileScope, Finding};
+use lgo_analyze::{analyze_files, analyze_workspace, render_json, FileInput, FileScope, Finding};
 
 const RULE_CATALOG: &str = "\
 L1  no .unwrap()/.expect()/panic!/unreachable!/todo!/unimplemented! in non-test
@@ -31,6 +31,19 @@ L8  no bare thread::sleep in non-test library code (any crate except
     lgo-runtime and lgo-serve); sleep-based waits hide stalls and break
     determinism — wait on a Condvar / deadline or allow with
     `// lint: allow(L8): <why>`
+L9  determinism dataflow: no HashMap/HashSet declarations or storage-order
+    iteration in library code (use BTreeMap/BTreeSet, an order-insensitive
+    reduction, or an explicit sort); no Instant::now/SystemTime outside the
+    runtime/trace/serve timing seams; no RNG not derived from
+    lgo_runtime::split_seed (entropy sources and constant seeds)
+L10 closures passed to par_map/par_chunks/par_index_pairs/scope (and their
+    try_ twins) must not mutate captured shared state (Mutex/RefCell/atomic
+    writes); index-addressed slots and closure-owned locals are allowed
+L11 a pub defense-crate fn must not transitively reach a panic through the
+    workspace call graph without a Result return or a try_ twin somewhere
+    on the path
+L12 lock-order consistency in lgo-runtime/lgo-serve: no pair of locks
+    acquired in both orders anywhere in the (interprocedural) hold graph
 A0  lint directives must be well-formed and carry a justification
 A1  lint directives must suppress at least one finding";
 
@@ -80,11 +93,17 @@ fn run(args: &Args) -> std::io::Result<Vec<Finding>> {
         findings.extend(analyze_workspace(&args.root)?);
     }
     // Explicit files are scanned with every rule enabled: used for fixture
-    // tests and for checking a file before it lands in a scoped crate.
+    // tests and for checking a file before it lands in a scoped crate. They
+    // go through as one batch so L3/L11/L12 see calls across the set.
+    let mut inputs = Vec::new();
     for path in &args.files {
-        let src = std::fs::read_to_string(path)?;
-        findings.extend(analyze_source(&path.to_string_lossy(), &src, FileScope::all()));
+        inputs.push(FileInput {
+            path: path.to_string_lossy().into_owned(),
+            src: std::fs::read_to_string(path)?,
+            scope: FileScope::all(),
+        });
     }
+    findings.extend(analyze_files(&inputs));
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
 }

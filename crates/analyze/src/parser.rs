@@ -1,0 +1,1246 @@
+//! A dependency-free recursive-descent parser over the [`crate::lexer`]
+//! token stream, producing the lightweight AST in [`crate::ast`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Total.** The parser must survive every file in the workspace —
+//!    `macro_rules!` bodies, `unsafe impl`, `dyn Fn(usize) + Sync` types,
+//!    `thread_local!` blocks, nested closures. Anything unrecognised is
+//!    skipped by delimiter matching, never an error.
+//! 2. **Faithful where the rules look.** Item structure (visibility,
+//!    names, impl/trait context, fn signatures, struct field types) and
+//!    the body events the determinism rules consume (lets, calls,
+//!    closures, `for` loops) are parsed precisely.
+//! 3. **Lossy elsewhere.** Expression structure the rules never inspect
+//!    (arithmetic, match arms, if/else shape) is not modelled; nesting is
+//!    recovered from token spans.
+//!
+//! The known approximations (all are false-*negative* classes, never
+//! false positives): a closure is recognised by its leading `|` only in
+//! argument/assignment position; `let` patterns more complex than a
+//! single identifier bind no name; type inference reaches only as far as
+//! `let` annotations, constructor paths and struct field declarations.
+
+use crate::ast::{
+    Body, File, FnItem, ImplItem, Item, ItemKind, ModItem, Node, Span, StructItem, TraitItem,
+    UseItem, Vis,
+};
+use crate::lexer::{Token, TokenKind};
+
+/// A cursor over the significant (non-comment) tokens of a file. `sig[i]`
+/// maps the cursor index `i` back into the full token stream, so findings
+/// keep exact line numbers.
+pub struct Cursor<'a> {
+    pub tokens: &'a [Token],
+    pub sig: Vec<usize>,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(tokens: &'a [Token]) -> Self {
+        let sig = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        Self { tokens, sig }
+    }
+
+    pub fn n(&self) -> usize {
+        self.sig.len()
+    }
+
+    pub fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    pub fn text(&self, i: usize) -> &str {
+        &self.tok(i).text
+    }
+
+    pub fn line(&self, i: usize) -> usize {
+        self.tok(i).line
+    }
+
+    /// Token text at a possibly out-of-range index (empty when outside).
+    pub fn text_at(&self, i: isize) -> &str {
+        if i < 0 || i as usize >= self.n() {
+            ""
+        } else {
+            self.text(i as usize)
+        }
+    }
+
+    pub fn kind(&self, i: usize) -> TokenKind {
+        self.tok(i).kind
+    }
+
+    /// Index of the `}` matching the `{` at `open` (last index if
+    /// unbalanced).
+    pub fn match_brace(&self, open: usize) -> usize {
+        self.match_delim(open, "{", "}")
+    }
+
+    /// Index of the `)` matching the `(` at `open`.
+    pub fn match_paren(&self, open: usize) -> usize {
+        self.match_delim(open, "(", ")")
+    }
+
+    /// Index of the `]` matching the `[` at `open`.
+    pub fn match_bracket(&self, open: usize) -> usize {
+        self.match_delim(open, "[", "]")
+    }
+
+    fn match_delim(&self, open: usize, l: &str, r: &str) -> usize {
+        let mut depth = 0isize;
+        for i in open..self.n() {
+            let t = self.text(i);
+            if t == l {
+                depth += 1;
+            } else if t == r {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        self.n().saturating_sub(1)
+    }
+
+    /// From the first token of an item, the index of its final token: a
+    /// `;` at top nesting or the `}` matching its body brace.
+    pub fn item_end(&self, start: usize) -> usize {
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut i = start;
+        while i < self.n() {
+            match self.text(i) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => return i,
+                "{" if paren == 0 && bracket == 0 => return self.match_brace(i),
+                _ => {}
+            }
+            i += 1;
+        }
+        self.n().saturating_sub(1)
+    }
+
+    /// Skips a generic-argument list starting at `<`; returns the index
+    /// just past the matching `>`. Handles `>>` closing two levels.
+    pub fn skip_generics(&self, start: usize) -> usize {
+        if self.text_at(start as isize) != "<" {
+            return start;
+        }
+        let mut depth = 0isize;
+        let mut i = start;
+        while i < self.n() {
+            match self.text(i) {
+                "<" | "<<" => depth += if self.text(i) == "<<" { 2 } else { 1 },
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                // `->` inside fn-pointer generic args does not nest.
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        i
+    }
+
+    /// Raw text of the token range `[start, end]`, space-separated.
+    pub fn span_text(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for i in start..=end.min(self.n().saturating_sub(1)) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.text(i));
+        }
+        out
+    }
+}
+
+/// Marks significant tokens inside test-only items: `#[cfg(test)] mod`,
+/// `#[test]` and `#[should_panic]` fns. Indexed like the cursor's sig
+/// stream.
+pub fn test_mask(cur: &Cursor) -> Vec<bool> {
+    let n = cur.n();
+    let mut mask = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if cur.text(i) == "#" && i + 1 < n && cur.text(i + 1) == "[" {
+            let (attr_end, is_test) = scan_attr(cur, i + 1);
+            if is_test {
+                // Skip any further attributes before the item itself.
+                let mut j = attr_end + 1;
+                while j + 1 < n && cur.text(j) == "#" && cur.text(j + 1) == "[" {
+                    let (e, _) = scan_attr(cur, j + 1);
+                    j = e + 1;
+                }
+                let end = cur.item_end(j);
+                for m in mask.iter_mut().take(end.min(n - 1) + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// From the `[` of an attribute, returns (index of matching `]`, whether
+/// the attribute marks test-only code).
+fn scan_attr(cur: &Cursor, open: usize) -> (usize, bool) {
+    let n = cur.n();
+    let mut depth = 0usize;
+    let mut end = n - 1;
+    for i in open..n {
+        match cur.text(i) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner: Vec<&str> = (open + 1..end).map(|i| cur.text(i)).collect();
+    let is_test = match inner.first() {
+        Some(&"test") | Some(&"should_panic") => true,
+        Some(&"cfg") => !inner.contains(&"not") && inner.contains(&"test"),
+        _ => false,
+    };
+    (end, is_test)
+}
+
+/// If sig index `i` is a panic-family site, returns a display name:
+/// `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / ...
+pub fn panic_site(cur: &Cursor, i: usize) -> Option<&'static str> {
+    let t = cur.tok(i);
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let prev = cur.text_at(i as isize - 1);
+    let next = cur.text_at(i as isize + 1);
+    match t.text.as_str() {
+        "unwrap" if prev == "." && next == "(" => Some(".unwrap()"),
+        "expect" if prev == "." && next == "(" => Some(".expect()"),
+        "panic" if next == "!" && prev != "::" => Some("panic!"),
+        "unreachable" if next == "!" && prev != "::" => Some("unreachable!"),
+        "todo" if next == "!" && prev != "::" => Some("todo!"),
+        "unimplemented" if next == "!" && prev != "::" => Some("unimplemented!"),
+        _ => None,
+    }
+}
+
+/// Parses one file's tokens into the lightweight AST. Never fails.
+pub fn parse_file(tokens: &[Token]) -> (File, Cursor<'_>) {
+    let cur = Cursor::new(tokens);
+    let items = parse_items(&cur, 0, cur.n());
+    (File { items }, cur)
+}
+
+/// Parses the items in `[start, end)`.
+fn parse_items(cur: &Cursor, start: usize, end: usize) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = start;
+    while i < end {
+        let item_start = i;
+        // Attributes (`#[...]` / `#![...]`) are skipped, not modelled.
+        if cur.text(i) == "#" {
+            let mut j = i + 1;
+            if cur.text_at(j as isize) == "!" {
+                j += 1;
+            }
+            if cur.text_at(j as isize) == "[" {
+                i = cur.match_bracket(j) + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Visibility.
+        let mut vis = Vis::Private;
+        if cur.text(i) == "pub" {
+            vis = Vis::Pub;
+            i += 1;
+            if cur.text_at(i as isize) == "(" {
+                vis = Vis::Scoped;
+                i = cur.match_paren(i) + 1;
+            }
+        }
+        // Qualifiers before the item keyword.
+        while i < end
+            && (matches!(cur.text(i), "const" | "async" | "unsafe" | "extern" | "default")
+                && matches!(
+                    cur.text_at(i as isize + 1),
+                    "fn" | "unsafe" | "async" | "extern" | "impl" | "trait"
+                )
+                || (cur.text(i) == "extern" && cur.kind(i + 1) == TokenKind::StrLit))
+        {
+            i += 1;
+            if cur.kind(i.min(end - 1)) == TokenKind::StrLit {
+                i += 1; // ABI string of `extern "C"`
+            }
+        }
+        if i >= end {
+            break;
+        }
+        let line = cur.line(item_start);
+        match cur.text(i) {
+            "fn" => {
+                let (f, next) = parse_fn(cur, i, vis, end);
+                let span = Span { start: item_start, end: next.saturating_sub(1) };
+                items.push(Item { kind: ItemKind::Fn(f), line, span });
+                i = next;
+            }
+            "impl" => {
+                let (im, next) = parse_impl(cur, i, end);
+                let span = Span { start: item_start, end: next.saturating_sub(1) };
+                items.push(Item { kind: ItemKind::Impl(im), line, span });
+                i = next;
+            }
+            "trait" => {
+                let (tr, next) = parse_trait(cur, i, vis, end);
+                let span = Span { start: item_start, end: next.saturating_sub(1) };
+                items.push(Item { kind: ItemKind::Trait(tr), line, span });
+                i = next;
+            }
+            "mod" => {
+                let name = cur.text_at(i as isize + 1).to_string();
+                let after = i + 2;
+                if cur.text_at(after as isize) == "{" {
+                    let close = cur.match_brace(after);
+                    let inner = parse_items(cur, after + 1, close);
+                    let span = Span { start: item_start, end: close };
+                    items.push(Item {
+                        kind: ItemKind::Mod(ModItem { name, items: inner }),
+                        line,
+                        span,
+                    });
+                    i = close + 1;
+                } else {
+                    let e = cur.item_end(i);
+                    items.push(Item {
+                        kind: ItemKind::Mod(ModItem { name, items: Vec::new() }),
+                        line,
+                        span: Span { start: item_start, end: e },
+                    });
+                    i = e + 1;
+                }
+            }
+            "struct" => {
+                let (st, next) = parse_struct(cur, i, vis);
+                let span = Span { start: item_start, end: next.saturating_sub(1) };
+                items.push(Item { kind: ItemKind::Struct(st), line, span });
+                i = next;
+            }
+            "use" => {
+                // A use-tree's `{ ... }` is a group, not a body: the item
+                // ends at the `;`, which `item_end` would stop short of.
+                let mut e = i + 1;
+                while e < cur.n() && cur.text(e) != ";" {
+                    if cur.text(e) == "{" {
+                        e = cur.match_brace(e);
+                    }
+                    e += 1;
+                }
+                let e = e.min(cur.n().saturating_sub(1));
+                let text = cur.span_text(i + 1, e.saturating_sub(1));
+                items.push(Item {
+                    kind: ItemKind::Use(UseItem { text }),
+                    line,
+                    span: Span { start: item_start, end: e },
+                });
+                i = e + 1;
+            }
+            "enum" | "union" | "static" | "type" | "const" | "macro_rules" | "macro" => {
+                let e = cur.item_end(i);
+                items.push(Item {
+                    kind: ItemKind::Other,
+                    line,
+                    span: Span { start: item_start, end: e },
+                });
+                i = e + 1;
+            }
+            _ => {
+                // Unrecognised (stray macro invocation, extern block...):
+                // skip one whole "item" by delimiter matching.
+                let e = cur.item_end(i);
+                items.push(Item {
+                    kind: ItemKind::Other,
+                    line,
+                    span: Span { start: item_start, end: e },
+                });
+                i = e + 1;
+            }
+        }
+    }
+    items
+}
+
+/// Parses a `fn` item starting at the `fn` keyword; returns the item and
+/// the index just past it.
+fn parse_fn(cur: &Cursor, fn_kw: usize, vis: Vis, end: usize) -> (FnItem, usize) {
+    let name_idx = fn_kw + 1;
+    let name = if name_idx < end && cur.kind(name_idx) == TokenKind::Ident {
+        cur.text(name_idx).to_string()
+    } else {
+        String::new()
+    };
+    let line = cur.line(name_idx.min(cur.n().saturating_sub(1)));
+    let mut i = name_idx + 1;
+    i = cur.skip_generics(i);
+    let (params, args_close) = if cur.text_at(i as isize) == "(" {
+        let close = cur.match_paren(i);
+        (cur.span_text(i + 1, close.saturating_sub(1)), close)
+    } else {
+        (String::new(), i)
+    };
+    // Return type: after `->`, up to the body, `;`, or `where`.
+    let mut ret = String::new();
+    let mut j = args_close + 1;
+    if cur.text_at(j as isize) == "->" {
+        let ret_start = j + 1;
+        j = ret_start;
+        let mut depth = 0isize;
+        while j < cur.n() {
+            match cur.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" | "where" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        ret = cur.span_text(ret_start, j.saturating_sub(1));
+    }
+    // Where clause / trailing tokens until the body or `;`.
+    let mut body = None;
+    let mut next = j;
+    while next < cur.n() {
+        match cur.text(next) {
+            "{" => {
+                let close = cur.match_brace(next);
+                let span = Span { start: next, end: close };
+                let nodes = extract_nodes(cur, next, close);
+                body = Some(Body { span, nodes });
+                next = close + 1;
+                break;
+            }
+            ";" => {
+                next += 1;
+                break;
+            }
+            _ => next += 1,
+        }
+    }
+    (FnItem { name, vis, line, params, ret, body }, next)
+}
+
+/// Parses an `impl` block starting at the `impl` keyword.
+fn parse_impl(cur: &Cursor, impl_kw: usize, end: usize) -> (ImplItem, usize) {
+    let mut i = cur.skip_generics(impl_kw + 1);
+    // First type path (the trait for `impl T for S`, else the self type).
+    let (first, after_first) = parse_type_head(cur, i);
+    i = after_first;
+    let (trait_name, self_ty) = if cur.text_at(i as isize) == "for" {
+        let (ty, after) = parse_type_head(cur, i + 1);
+        i = after;
+        (Some(first), ty)
+    } else {
+        (None, first)
+    };
+    // Skip to the block (through any where clause).
+    while i < end && cur.text(i) != "{" && cur.text(i) != ";" {
+        i += 1;
+    }
+    if cur.text_at(i as isize) != "{" {
+        return (ImplItem { trait_name, self_ty, fns: Vec::new() }, i + 1);
+    }
+    let close = cur.match_brace(i);
+    let inner = parse_items(cur, i + 1, close);
+    let fns = inner
+        .into_iter()
+        .filter_map(|it| match it.kind {
+            ItemKind::Fn(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    (ImplItem { trait_name, self_ty, fns }, close + 1)
+}
+
+/// Parses a `trait` item starting at the `trait` keyword.
+fn parse_trait(cur: &Cursor, trait_kw: usize, vis: Vis, end: usize) -> (TraitItem, usize) {
+    let name = cur.text_at(trait_kw as isize + 1).to_string();
+    let mut i = cur.skip_generics(trait_kw + 2);
+    while i < end && cur.text(i) != "{" && cur.text(i) != ";" {
+        i += 1;
+    }
+    if cur.text_at(i as isize) != "{" {
+        return (TraitItem { name, vis, fns: Vec::new() }, i + 1);
+    }
+    let close = cur.match_brace(i);
+    let inner = parse_items(cur, i + 1, close);
+    let fns = inner
+        .into_iter()
+        .filter_map(|it| match it.kind {
+            ItemKind::Fn(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    (TraitItem { name, vis, fns }, close + 1)
+}
+
+/// Parses a `struct` item starting at the `struct` keyword.
+fn parse_struct(cur: &Cursor, struct_kw: usize, vis: Vis) -> (StructItem, usize) {
+    let name = cur.text_at(struct_kw as isize + 1).to_string();
+    let mut i = cur.skip_generics(struct_kw + 2);
+    // Skip where clause.
+    while i < cur.n() && !matches!(cur.text(i), "{" | "(" | ";") {
+        i += 1;
+    }
+    let mut fields = Vec::new();
+    let next = match cur.text_at(i as isize) {
+        "{" => {
+            let close = cur.match_brace(i);
+            // Named fields: `[vis] name : <type tokens> ,`
+            let mut j = i + 1;
+            while j < close {
+                // Skip attributes and visibility on the field.
+                if cur.text(j) == "#" && cur.text_at(j as isize + 1) == "[" {
+                    j = cur.match_bracket(j + 1) + 1;
+                    continue;
+                }
+                if cur.text(j) == "pub" {
+                    j += 1;
+                    if cur.text_at(j as isize) == "(" {
+                        j = cur.match_paren(j) + 1;
+                    }
+                    continue;
+                }
+                if cur.kind(j) == TokenKind::Ident && cur.text_at(j as isize + 1) == ":" {
+                    let fname = cur.text(j).to_string();
+                    let ty_start = j + 2;
+                    let mut k = ty_start;
+                    let mut depth = 0isize;
+                    while k < close {
+                        match cur.text(k) {
+                            "(" | "[" | "{" | "<" => depth += 1,
+                            ")" | "]" | "}" | ">" => depth -= 1,
+                            ">>" => depth -= 2,
+                            "," if depth <= 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    fields.push((fname, cur.span_text(ty_start, k.saturating_sub(1))));
+                    j = k + 1;
+                    continue;
+                }
+                j += 1;
+            }
+            close + 1
+        }
+        // Tuple struct: resume *past* the closing paren, or `item_end`
+        // counts it as unbalanced and swallows the following items.
+        "(" => cur.item_end(cur.match_paren(i) + 1) + 1,
+        _ => i + 1,
+    };
+    (StructItem { name, vis, fields }, next)
+}
+
+/// The head identifier of a type path (`Foo` from `crate::x::Foo<'a, T>`),
+/// plus the index just past the whole path.
+fn parse_type_head(cur: &Cursor, start: usize) -> (String, usize) {
+    let mut i = start;
+    // Leading `&`, `&mut`, `dyn`.
+    while matches!(cur.text_at(i as isize), "&" | "mut" | "dyn") {
+        i += 1;
+    }
+    if cur.kind(i.min(cur.n().saturating_sub(1))) == TokenKind::Lifetime {
+        i += 1;
+    }
+    let mut head = String::new();
+    while i < cur.n() {
+        if cur.kind(i) == TokenKind::Ident {
+            head = cur.text(i).to_string();
+            i += 1;
+            if cur.text_at(i as isize) == "::" {
+                i += 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    i = cur.skip_generics(i);
+    (head, i)
+}
+
+/// Tokens that may directly precede a closure's `|` (or `||`). Everything
+/// else (idents, literals, `)`) means bitwise/logical or.
+fn closure_position(prev: &str, prev_kind: Option<TokenKind>) -> bool {
+    if matches!(
+        prev,
+        "(" | "," | "=" | "=>" | "{" | ";" | ":" | "move" | "return" | "else" | "[" | "&&"
+            | "||" | "!" | "==" | "!=" | ".." | "..=" | "?" | ""
+    ) {
+        return true;
+    }
+    // `match x { _ => |y| ... }` etc. are covered above; a preceding
+    // ident/literal/`)`/`]` is an operand, so `|` is an operator there.
+    let _ = prev_kind;
+    false
+}
+
+/// Extracts the flat node list from a body's brace span `[open, close]`.
+fn extract_nodes(cur: &Cursor, open: usize, close: usize) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    // Stack of enclosing-block close indices, for `let` scope ends.
+    let mut blocks: Vec<usize> = vec![close];
+    let mut i = open + 1;
+    while i < close {
+        let t = cur.text(i);
+        let line = cur.line(i);
+        // Maintain the block stack.
+        if t == "{" {
+            blocks.push(cur.match_brace(i));
+            i += 1;
+            continue;
+        }
+        if t == "}" {
+            if blocks.len() > 1 && *blocks.last().unwrap_or(&close) == i {
+                blocks.pop();
+            }
+            i += 1;
+            continue;
+        }
+        // `let` binding.
+        if t == "let" {
+            let (node, next) = parse_let(cur, i, *blocks.last().unwrap_or(&close), close);
+            if let Some(n) = node {
+                nodes.push(n);
+            }
+            i = next;
+            continue;
+        }
+        // `for <pat> in <iter> {`
+        if t == "for" && cur.kind(i) == TokenKind::Ident && is_for_loop(cur, i) {
+            if let Some((node, _next)) = parse_for(cur, i, close) {
+                nodes.push(node);
+            }
+            // Continue scanning *inside* the header and body (flat list).
+            i += 1;
+            continue;
+        }
+        // Closure.
+        if (t == "|" || t == "||") && closure_position(cur.text_at(i as isize - 1), None) {
+            if let Some(node) = parse_closure(cur, i, close) {
+                nodes.push(node);
+            }
+            i += 1;
+            continue;
+        }
+        // Macro invocation: `name ! ( ... )` / `[...]` / `{...}`.
+        if cur.kind(i) == TokenKind::Ident && cur.text_at(i as isize + 1) == "!" {
+            let d = cur.text_at(i as isize + 2);
+            if matches!(d, "(" | "[" | "{") {
+                let open_d = i + 2;
+                let close_d = match d {
+                    "(" => cur.match_paren(open_d),
+                    "[" => cur.match_bracket(open_d),
+                    _ => cur.match_brace(open_d),
+                };
+                nodes.push(Node::Macro {
+                    name: cur.text(i).to_string(),
+                    args: Span { start: open_d, end: close_d },
+                    line,
+                });
+                i += 3; // keep scanning inside the macro args
+                continue;
+            }
+        }
+        // Call or method call: ident followed by `(`, or turbofish
+        // `ident :: < ... > (`.
+        if cur.kind(i) == TokenKind::Ident && !is_keyword(t) {
+            let mut after = i + 1;
+            if cur.text_at(after as isize) == "::" && cur.text_at(after as isize + 1) == "<" {
+                after = cur.skip_generics(after + 1);
+            }
+            if cur.text_at(after as isize) == "(" {
+                let args_close = cur.match_paren(after);
+                let args = Span { start: after, end: args_close };
+                if cur.text_at(i as isize - 1) == "." {
+                    let (recv, recv_base, recv_start) = receiver_chain(cur, i - 1, open);
+                    nodes.push(Node::MethodCall {
+                        recv,
+                        recv_base,
+                        name: t.to_string(),
+                        args,
+                        span: Span { start: recv_start, end: args_close },
+                        line,
+                    });
+                } else {
+                    let (path, path_start) = leading_path(cur, i, open);
+                    nodes.push(Node::Call {
+                        path,
+                        args,
+                        span: Span { start: path_start, end: args_close },
+                        line,
+                    });
+                }
+                i += 1; // scan into the arguments too
+                continue;
+            }
+        }
+        i += 1;
+    }
+    nodes
+}
+
+/// Whether the `for` at `i` heads a loop (vs a generic bound `for<'a>` or
+/// `impl Trait for`).
+fn is_for_loop(cur: &Cursor, i: usize) -> bool {
+    if cur.text_at(i as isize + 1) == "<" {
+        return false; // `for<'a>` higher-ranked bound
+    }
+    !matches!(cur.text_at(i as isize - 1), "impl") && {
+        // A loop header contains `in` before its `{`.
+        let mut j = i + 1;
+        let mut depth = 0isize;
+        while j < cur.n() {
+            match cur.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "in" if depth == 0 => return true,
+                "{" | ";" if depth == 0 => return false,
+                _ => {}
+            }
+            j += 1;
+        }
+        false
+    }
+}
+
+/// Parses a `for <pat> in <iter> { ... }` header at `i`.
+fn parse_for(cur: &Cursor, i: usize, limit: usize) -> Option<(Node, usize)> {
+    let line = cur.line(i);
+    let mut j = i + 1;
+    let mut depth = 0isize;
+    let pat_start = j;
+    while j < limit {
+        match cur.text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    let pat = cur.span_text(pat_start, j.saturating_sub(1));
+    let iter_start = j + 1;
+    let mut k = iter_start;
+    let mut d = 0isize;
+    while k < limit {
+        match cur.text(k) {
+            "(" | "[" => d += 1,
+            ")" | "]" => d -= 1,
+            "{" if d == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= limit || k == iter_start {
+        return None;
+    }
+    let body_close = cur.match_brace(k);
+    Some((
+        Node::For {
+            pat,
+            iter: Span { start: iter_start, end: k - 1 },
+            iter_text: normalized_text(cur, iter_start, k - 1),
+            body: Span { start: k, end: body_close },
+            line,
+        },
+        k,
+    ))
+}
+
+/// Parses a closure at the `|` / `||` token `i`.
+fn parse_closure(cur: &Cursor, i: usize, limit: usize) -> Option<Node> {
+    let line = cur.line(i);
+    let params_end = if cur.text(i) == "||" {
+        i
+    } else {
+        // Find the closing `|`, skipping nested delimiters in parameter
+        // types (`|x: Vec<u8>|`).
+        let mut j = i + 1;
+        let mut depth = 0isize;
+        loop {
+            if j >= limit {
+                return None;
+            }
+            match cur.text(j) {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "|" if depth <= 0 => break,
+                ";" => return None, // gave up: not a closure after all
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    };
+    let params = if params_end > i {
+        cur.span_text(i + 1, params_end.saturating_sub(1))
+    } else {
+        String::new()
+    };
+    // Body: a block, or an expression running to the next `,` / `)` / `;`
+    // / `]` / `}` at relative depth 0.
+    let body_start = params_end + 1;
+    if body_start >= limit {
+        return None;
+    }
+    let body_end = if cur.text(body_start) == "{" {
+        cur.match_brace(body_start)
+    } else {
+        let mut j = body_start;
+        let mut depth = 0isize;
+        while j < limit {
+            match cur.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" if depth > 0 => depth -= 1,
+                ")" | "]" | "}" | "," | ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        j.saturating_sub(1).max(body_start)
+    };
+    Some(Node::Closure {
+        params,
+        body: Span { start: body_start, end: body_end },
+        span: Span { start: i, end: body_end },
+        line,
+    })
+}
+
+/// Parses `let [mut] <pat> [: ty] [= init] ;` at the `let` keyword.
+/// Returns the node (when a simple name binds) and the index just past
+/// the `let` keyword (scanning continues inside the initializer).
+fn parse_let(
+    cur: &Cursor,
+    let_kw: usize,
+    scope_end: usize,
+    limit: usize,
+) -> (Option<Node>, usize) {
+    let line = cur.line(let_kw);
+    let mut i = let_kw + 1;
+    while matches!(cur.text_at(i as isize), "mut" | "ref") {
+        i += 1;
+    }
+    let name = if i < limit && cur.kind(i) == TokenKind::Ident && !is_keyword(cur.text(i)) {
+        // Simple-ident pattern only: `let x` / `let mut x` followed by
+        // `:` or `=` (not `let Some(x)`, `let (a, b)`).
+        if matches!(cur.text_at(i as isize + 1), ":" | "=" | ";") {
+            cur.text(i).to_string()
+        } else {
+            String::new()
+        }
+    } else {
+        String::new()
+    };
+    // Find `=` and `;` at depth 0 from the pattern onwards.
+    let mut ty = String::new();
+    let mut eq = None;
+    let mut semi = None;
+    let mut j = i;
+    let mut depth = 0isize;
+    let mut angle = 0isize;
+    let mut colon = None;
+    while j < limit {
+        match cur.text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" if depth == 0 && eq.is_none() => angle += 1,
+            ">" if depth == 0 && eq.is_none() => angle -= 1,
+            ">>" if depth == 0 && eq.is_none() => angle -= 2,
+            ":" if depth == 0 && angle == 0 && eq.is_none() && colon.is_none() => {
+                colon = Some(j);
+            }
+            "=" if depth == 0 && angle <= 0 && eq.is_none() => eq = Some(j),
+            ";" if depth == 0 => {
+                semi = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        if depth < 0 {
+            break;
+        }
+        j += 1;
+    }
+    let semi = semi.unwrap_or(j.min(limit.saturating_sub(1)));
+    if let (Some(c), Some(e)) = (colon, eq) {
+        if c < e {
+            ty = cur.span_text(c + 1, e.saturating_sub(1));
+        }
+    } else if let Some(c) = colon {
+        ty = cur.span_text(c + 1, semi.saturating_sub(1));
+    }
+    let init = match eq {
+        Some(e) if e < semi.saturating_sub(1) => {
+            Span { start: e + 1, end: semi.saturating_sub(1) }
+        }
+        _ => Span { start: semi, end: semi.saturating_sub(1).max(semi) },
+    };
+    let node = Node::Let { name, ty, init, scope_end, line };
+    (Some(node), let_kw + 1)
+}
+
+/// Walks the receiver chain backwards from the `.` at `dot`, returning
+/// `(normalized text, base identifier, chain start index)`. Index
+/// expressions are collapsed to `[_]`; whitespace is dropped.
+fn receiver_chain(cur: &Cursor, dot: usize, floor: usize) -> (String, String, usize) {
+    let mut j = dot as isize - 1;
+    let floor = floor as isize;
+    let mut start = dot;
+    loop {
+        if j <= floor {
+            break;
+        }
+        let t = cur.text(j as usize);
+        match t {
+            ")" => {
+                // Backward-match the paren group.
+                let mut depth = 0isize;
+                while j > floor {
+                    match cur.text(j as usize) {
+                        ")" => depth += 1,
+                        "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                start = j.max(floor + 1) as usize;
+                j -= 1;
+            }
+            "]" => {
+                let mut depth = 0isize;
+                while j > floor {
+                    match cur.text(j as usize) {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                start = j.max(floor + 1) as usize;
+                j -= 1;
+            }
+            "?" | "." | "::" => {
+                j -= 1;
+            }
+            // `self` / `Self` are keywords but valid chain members.
+            _ if cur.kind(j as usize) == TokenKind::Ident
+                && (!is_keyword(t) || t == "self" || t == "Self") =>
+            {
+                start = j as usize;
+                // Continue only through `.` / `::` / `?` chains.
+                if matches!(cur.text_at(j - 1), "." | "::" | "?") {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    // Render `[start, dot-1]`, collapsing bracket groups.
+    let mut text = String::new();
+    let mut base = String::new();
+    let mut k = start;
+    while k < dot {
+        let t = cur.text(k);
+        if t == "[" {
+            let close = cur.match_bracket(k);
+            text.push_str("[_]");
+            k = close + 1;
+            continue;
+        }
+        if base.is_empty() && cur.kind(k) == TokenKind::Ident {
+            base = t.to_string();
+        }
+        text.push_str(t);
+        k += 1;
+    }
+    (text, base, start)
+}
+
+/// Collects the `a::b::name` path ending at the ident `i` (walking back
+/// through `::`), returning the segments and the path's start index.
+fn leading_path(cur: &Cursor, i: usize, floor: usize) -> (Vec<String>, usize) {
+    let mut segs = vec![cur.text(i).to_string()];
+    let mut j = i as isize - 1;
+    let floor = floor as isize;
+    let mut start = i;
+    while j > floor && cur.text(j as usize) == "::" {
+        // Skip a generic segment `::<...>` (turbofish appears after, not
+        // before, so `<` here means a qualified-self path; give up).
+        let prev = j - 1;
+        if prev > floor && cur.kind(prev as usize) == TokenKind::Ident {
+            segs.push(cur.text(prev as usize).to_string());
+            start = prev as usize;
+            j = prev - 1;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    (segs, start)
+}
+
+/// Rendered text of `[start, end]` with whitespace dropped and bracket
+/// groups collapsed to `[_]` — the normalization receiver keys use.
+fn normalized_text(cur: &Cursor, start: usize, end: usize) -> String {
+    let mut out = String::new();
+    let mut k = start;
+    while k <= end.min(cur.n().saturating_sub(1)) {
+        let t = cur.text(k);
+        if t == "[" {
+            let close = cur.match_bracket(k);
+            out.push_str("[_]");
+            k = close + 1;
+            continue;
+        }
+        out.push_str(t);
+        k += 1;
+    }
+    out
+}
+
+/// Rust keywords that can precede `(` without being calls.
+fn is_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "if" | "else" | "while" | "for" | "loop" | "match" | "return" | "break" | "continue"
+            | "let" | "fn" | "impl" | "trait" | "struct" | "enum" | "union" | "mod" | "use"
+            | "pub" | "const" | "static" | "mut" | "ref" | "move" | "unsafe" | "extern"
+            | "async" | "await" | "dyn" | "where" | "as" | "in" | "type" | "self" | "Self"
+            | "super" | "crate" | "true" | "false"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ItemKind, Node, Vis};
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> File {
+        let toks = tokenize(src);
+        let (file, _) = parse_file(&toks);
+        // Leak is fine in tests; keeps the helper signature simple.
+        file
+    }
+
+    fn body_nodes(f: &FnItem) -> &[Node] {
+        f.body.as_ref().map(|b| b.nodes.as_slice()).unwrap_or(&[])
+    }
+
+    #[test]
+    fn items_and_visibility() {
+        let file = parse(
+            "pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\npub struct S { x: u8 }\n",
+        );
+        let fns: Vec<_> = file.all_fns();
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].1.name, "a");
+        assert_eq!(fns[0].1.vis, Vis::Pub);
+        assert_eq!(fns[1].1.vis, Vis::Private);
+        assert_eq!(fns[2].1.vis, Vis::Scoped);
+        assert!(file.items.iter().any(|i| matches!(
+            &i.kind,
+            ItemKind::Struct(s) if s.name == "S" && s.fields == vec![("x".into(), "u8".into())]
+        )));
+    }
+
+    #[test]
+    fn impl_blocks_and_trait_impls() {
+        let file = parse(
+            "impl Foo { pub fn new() -> Self { Self } fn hidden(&self) {} }\n\
+             impl std::fmt::Display for Foo { fn fmt(&self, f: &mut F) -> R { write!(f, \"\") } }\n\
+             unsafe impl Send for Foo {}\n",
+        );
+        let impls: Vec<_> = file
+            .items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Impl(im) => Some(im),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(impls.len(), 3);
+        assert_eq!(impls[0].trait_name, None);
+        assert_eq!(impls[0].self_ty, "Foo");
+        assert_eq!(impls[0].fns.len(), 2);
+        assert_eq!(impls[1].trait_name.as_deref(), Some("Display"));
+        assert_eq!(impls[1].self_ty, "Foo");
+        assert_eq!(impls[2].trait_name.as_deref(), Some("Send"));
+    }
+
+    #[test]
+    fn fn_signature_parts() {
+        let file = parse(
+            "pub fn f<T: Clone>(xs: &[T], n: usize) -> Result<Vec<T>, String> where T: Send { todo() }",
+        );
+        let (_, f) = file.all_fns()[0];
+        assert_eq!(f.name, "f");
+        assert!(f.params.contains("xs"));
+        assert!(f.ret.contains("Result"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn let_bindings_capture_name_type_and_scope() {
+        let file = parse(
+            "fn f() { let m: HashMap<u64, f64> = HashMap::new(); { let inner = 1; } let (a, b) = p; }",
+        );
+        let nodes = body_nodes(file.all_fns()[0].1);
+        let lets: Vec<_> = nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Let { name, ty, .. } => Some((name.clone(), ty.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lets.len(), 3);
+        assert_eq!(lets[0].0, "m");
+        assert!(lets[0].1.contains("HashMap"));
+        assert_eq!(lets[1].0, "inner");
+        assert_eq!(lets[2].0, ""); // tuple pattern binds no simple name
+    }
+
+    #[test]
+    fn method_calls_carry_receiver_chains() {
+        let file = parse("fn f() { self.cache.iter().map(g).collect::<Vec<_>>(); slots[i].lock(); }");
+        let nodes = body_nodes(file.all_fns()[0].1);
+        let methods: Vec<(String, String)> = nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::MethodCall { recv, name, .. } => Some((recv.clone(), name.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(methods.contains(&("self.cache".into(), "iter".into())));
+        assert!(methods.contains(&("slots[_]".into(), "lock".into())));
+        // Chain links keep their full receiver text.
+        assert!(methods.iter().any(|(r, n)| n == "collect" && r.contains("iter()")));
+    }
+
+    #[test]
+    fn calls_macros_and_for_loops() {
+        let file = parse(
+            "fn f(m: &M) { lgo_runtime::split_seed(7, 3); println!(\"x\"); for (k, v) in &m.map { g(k); } }",
+        );
+        let nodes = body_nodes(file.all_fns()[0].1);
+        assert!(nodes.iter().any(|n| matches!(
+            n,
+            Node::Call { path, .. } if path == &vec!["lgo_runtime".to_string(), "split_seed".to_string()]
+        )));
+        assert!(nodes.iter().any(|n| matches!(n, Node::Macro { name, .. } if name == "println")));
+        assert!(nodes.iter().any(|n| matches!(
+            n,
+            Node::For { pat, iter_text, .. } if pat.contains('k') && iter_text == "&m.map"
+        )));
+        // The call inside the for body is still extracted (flat list).
+        assert!(nodes.iter().any(|n| matches!(
+            n,
+            Node::Call { path, .. } if path == &vec!["g".to_string()]
+        )));
+    }
+
+    #[test]
+    fn closures_vs_bitwise_or() {
+        let file = parse("fn f(a: u8, b: u8) -> u8 { let c = a | b; xs.map(|x| x + 1); c }");
+        let nodes = body_nodes(file.all_fns()[0].1);
+        let closures: Vec<_> = nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Closure { .. }))
+            .collect();
+        assert_eq!(closures.len(), 1, "bitwise or must not parse as a closure");
+    }
+
+    #[test]
+    fn nested_closures_nest_by_span() {
+        let file = parse("fn f() { par_map(&xs, |w| inner(move || w.lock())); }");
+        let nodes = body_nodes(file.all_fns()[0].1);
+        let closures: Vec<Span> = nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Closure { body, .. } => Some(*body),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(closures.len(), 2);
+        assert!(closures[0].contains(closures[1]) || closures[1].contains(closures[0]));
+        let lock = nodes.iter().find_map(|n| match n {
+            Node::MethodCall { name, span, .. } if name == "lock" => Some(*span),
+            _ => None,
+        });
+        let lock = lock.expect("lock call extracted");
+        assert!(closures.iter().all(|c| c.contains(lock)));
+    }
+
+    #[test]
+    fn macro_rules_and_thread_local_do_not_derail() {
+        let file = parse(
+            "macro_rules! m { ($x:expr) => { $x.unwrap() }; }\n\
+             thread_local! { static T: Cell<bool> = const { Cell::new(false) }; }\n\
+             pub fn after() {}\n",
+        );
+        assert!(file.all_fns().iter().any(|(_, f)| f.name == "after"));
+    }
+
+    #[test]
+    fn traits_with_default_bodies() {
+        let file = parse(
+            "pub trait Defense { fn score(&self) -> f64; fn try_score(&self) -> Option<f64> { None } }",
+        );
+        let tr = file
+            .items
+            .iter()
+            .find_map(|i| match &i.kind {
+                ItemKind::Trait(t) => Some(t),
+                _ => None,
+            })
+            .expect("trait parsed");
+        assert_eq!(tr.name, "Defense");
+        assert_eq!(tr.fns.len(), 2);
+        assert!(tr.fns[0].body.is_none());
+        assert!(tr.fns[1].body.is_some());
+    }
+}

@@ -41,7 +41,18 @@ pub fn render_json(findings: &[Finding]) -> String {
         out.push('\n');
         out.push_str("  ");
     }
-    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out.push_str("],\n  \"by_rule\": {");
+    let mut by_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.rule).or_insert(0) += 1;
+    }
+    for (i, (rule, count)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{rule}\": {count}"));
+    }
+    out.push_str(&format!("}},\n  \"count\": {}\n}}\n", findings.len()));
     out
 }
 

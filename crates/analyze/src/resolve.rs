@@ -1,0 +1,428 @@
+//! Scope-aware symbol and type resolution over the [`crate::ast`] tree.
+//!
+//! The determinism rules need to answer one question cheaply: *what is the
+//! type of this receiver?* — specifically whether it is a hash-ordered
+//! container. Resolution is deliberately shallow: `use` aliases, `let`
+//! annotations, constructor-path initializers, `collect::<T>` turbofish,
+//! fn parameters and struct fields. Anything deeper (generic instantiation,
+//! trait-object erasure, cross-file field types) resolves to "unknown",
+//! which the rules treat as *not* a violation — a false-negative class, by
+//! design, never a false positive.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{File, FnItem, ImplItem, ItemKind, Node, Span, StructItem};
+use crate::parser::Cursor;
+
+/// Hash-ordered std containers whose iteration order is nondeterministic
+/// across processes (`RandomState` seeding) and therefore banned from
+/// deterministic library code by L9.
+pub const HASH_CONTAINERS: &[&str] = &["HashMap", "HashSet"];
+
+/// Whether a raw type-text (space-separated tokens, as stored on the AST)
+/// names a hash-ordered container anywhere in its spelling.
+pub fn mentions_hash_container(ty: &str) -> bool {
+    ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .any(|w| HASH_CONTAINERS.contains(&w))
+}
+
+/// `use` declarations of one file, flattened: local name → full path text.
+/// Handles grouped trees (`use std::collections::{HashMap, HashSet};`) and
+/// `as` renames; glob imports are ignored.
+#[derive(Debug, Default)]
+pub struct UseMap {
+    map: BTreeMap<String, String>,
+}
+
+impl UseMap {
+    /// Builds the map from every `use` item in the file (top level and
+    /// inline modules).
+    pub fn from_file(file: &File) -> Self {
+        let mut map = BTreeMap::new();
+        collect_uses(&file.items, &mut map);
+        UseMap { map }
+    }
+
+    /// The full imported path for a local name, when one exists.
+    pub fn expand(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Whether the local name resolves (directly or via rename) to a
+    /// hash-ordered container type.
+    pub fn is_hash_alias(&self, name: &str) -> bool {
+        if HASH_CONTAINERS.contains(&name) {
+            return true;
+        }
+        self.expand(name).is_some_and(|p| {
+            p.rsplit("::").next().map(str::trim).is_some_and(|last| {
+                HASH_CONTAINERS.contains(&last)
+            })
+        })
+    }
+}
+
+fn collect_uses(items: &[crate::ast::Item], map: &mut BTreeMap<String, String>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Use(u) => parse_use_text(&u.text, map),
+            ItemKind::Mod(m) => collect_uses(&m.items, map),
+            _ => {}
+        }
+    }
+}
+
+/// Parses the space-separated token text of one `use` declaration into
+/// (local name → full path) entries.
+fn parse_use_text(text: &str, map: &mut BTreeMap<String, String>) {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    expand_use(&toks, "", map);
+}
+
+fn expand_use(toks: &[&str], prefix: &str, map: &mut BTreeMap<String, String>) {
+    // Split the token list at the first `{` (grouped tree) if any.
+    if let Some(open) = toks.iter().position(|&t| t == "{") {
+        let head: String = toks[..open]
+            .iter()
+            .filter(|&&t| t != "::")
+            .copied()
+            .collect::<Vec<_>>()
+            .join("::");
+        let prefix = join_path(prefix, &head);
+        // Find the matching close and split the inside at top-level commas.
+        let mut depth = 0usize;
+        let mut close = toks.len().saturating_sub(1);
+        for (i, &t) in toks.iter().enumerate().skip(open) {
+            match t {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let inner = &toks[open + 1..close];
+        let mut start = 0;
+        let mut d = 0usize;
+        for (i, &t) in inner.iter().enumerate() {
+            match t {
+                "{" => d += 1,
+                "}" => d = d.saturating_sub(1),
+                "," if d == 0 => {
+                    expand_use(&inner[start..i], &prefix, map);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if start < inner.len() {
+            expand_use(&inner[start..], &prefix, map);
+        }
+        return;
+    }
+    // Flat path, possibly with an `as` rename or trailing `;` noise.
+    let mut segs: Vec<&str> = Vec::new();
+    let mut rename: Option<&str> = None;
+    let mut it = toks.iter().peekable();
+    while let Some(&t) = it.next() {
+        match t {
+            "::" | ";" => {}
+            "as" => {
+                rename = it.next().copied();
+                break;
+            }
+            "*" => return, // glob: nothing nameable
+            _ => segs.push(t),
+        }
+    }
+    let Some(&last) = segs.last() else { return };
+    if last == "self" {
+        segs.pop();
+    }
+    let Some(&tail) = segs.last() else { return };
+    let local = rename.unwrap_or(tail);
+    let full = join_path(prefix, &segs.join("::"));
+    map.insert(local.to_string(), full);
+}
+
+fn join_path(prefix: &str, rest: &str) -> String {
+    if prefix.is_empty() {
+        rest.to_string()
+    } else if rest.is_empty() {
+        prefix.to_string()
+    } else {
+        format!("{prefix}::{rest}")
+    }
+}
+
+/// Struct field types declared in one file: struct name → (field, type).
+#[derive(Debug, Default)]
+pub struct FieldTypes {
+    map: BTreeMap<String, Vec<(String, String)>>,
+}
+
+impl FieldTypes {
+    /// Collects every struct declaration in the file.
+    pub fn from_file(file: &File) -> Self {
+        let mut map = BTreeMap::new();
+        collect_structs(&file.items, &mut map);
+        FieldTypes { map }
+    }
+
+    /// The raw type text of `ty.field`, when the struct is declared in
+    /// this file.
+    pub fn field_type(&self, ty: &str, field: &str) -> Option<&str> {
+        self.map.get(ty)?.iter().find(|(f, _)| f == field).map(|(_, t)| t.as_str())
+    }
+
+    /// Every struct in the file, for rules that scan declarations.
+    pub fn structs(&self) -> impl Iterator<Item = (&String, &Vec<(String, String)>)> {
+        self.map.iter()
+    }
+}
+
+fn collect_structs(items: &[crate::ast::Item], map: &mut BTreeMap<String, Vec<(String, String)>>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Struct(StructItem { name, fields, .. }) => {
+                map.insert(name.clone(), fields.clone());
+            }
+            ItemKind::Mod(m) => collect_structs(&m.items, map),
+            _ => {}
+        }
+    }
+}
+
+/// A local type table for one function body: parameters plus `let`
+/// bindings, each valid over a token-index range.
+#[derive(Debug, Default)]
+pub struct TypeEnv {
+    /// `(name, type text, visible-from index, scope-end index)`.
+    entries: Vec<(String, String, usize, usize)>,
+}
+
+impl TypeEnv {
+    /// Builds the table for `f` (in optional impl context `im`).
+    pub fn for_fn(cur: &Cursor, f: &FnItem, _im: Option<&ImplItem>) -> Self {
+        let mut entries = Vec::new();
+        let Some(body) = &f.body else { return TypeEnv { entries } };
+        // Parameters are visible across the whole body.
+        for (name, ty) in split_params(&f.params) {
+            entries.push((name, ty, body.span.start, body.span.end));
+        }
+        for node in &body.nodes {
+            if let Node::Let { name, ty, init, scope_end, .. } = node {
+                if name.is_empty() {
+                    continue;
+                }
+                let ty = if !ty.is_empty() {
+                    ty.clone()
+                } else {
+                    infer_init_type(cur, *init).unwrap_or_default()
+                };
+                if !ty.is_empty() {
+                    entries.push((name.clone(), ty, init.start, *scope_end));
+                }
+            }
+        }
+        TypeEnv { entries }
+    }
+
+    /// The declared/inferred type of `name` visible at token index `at` —
+    /// the innermost (latest) binding wins, matching shadowing.
+    pub fn type_of(&self, name: &str, at: usize) -> Option<&str> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _, from, to)| n == name && *from <= at && at <= *to)
+            .map(|(_, t, _, _)| t.as_str())
+    }
+}
+
+/// Splits a fn parameter list's raw token text (`self , xs : & [ T ] , n :
+/// usize`) into `(name, type)` pairs at top-level commas. `self` receivers
+/// carry an empty type.
+pub fn split_params(params: &str) -> Vec<(String, String)> {
+    let toks: Vec<&str> = params.split_whitespace().collect();
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut depth = 0isize;
+    let mut i = 0;
+    while i <= toks.len() {
+        let at_end = i == toks.len();
+        let t = if at_end { "," } else { toks[i] };
+        match t {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "," if depth <= 0 => {
+                let seg = &toks[start..i];
+                if let Some(pair) = param_pair(seg) {
+                    out.push(pair);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn param_pair(seg: &[&str]) -> Option<(String, String)> {
+    if seg.is_empty() {
+        return None;
+    }
+    // Strip leading `mut` (pattern) — `&`/`&mut self` handled below.
+    let mut j = 0;
+    while j < seg.len() && matches!(seg[j], "mut" | "&") {
+        j += 1;
+    }
+    if j < seg.len() && seg[j] == "self" {
+        return Some(("self".to_string(), String::new()));
+    }
+    let name = *seg.first()?;
+    if name == "mut" {
+        return param_pair(&seg[1..]);
+    }
+    if !name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+        return None;
+    }
+    // Untyped single-ident segments (closure params) carry an empty type.
+    let ty = match seg.iter().position(|&t| t == ":") {
+        Some(colon) => seg[colon + 1..].join(" "),
+        None if seg.len() == 1 => String::new(),
+        None => return None,
+    };
+    Some((name.to_string(), ty))
+}
+
+/// Infers a head type from an initializer span: a constructor path
+/// (`HashMap::new()`, `std::collections::HashSet::from([..])`) or a
+/// `collect::<T>()` turbofish. Returns the raw head-type text.
+pub fn infer_init_type(cur: &Cursor, init: Span) -> Option<String> {
+    if init.end < init.start || init.start >= cur.n() {
+        return None;
+    }
+    // Constructor path: the first tokens are `Seg (:: Seg)* :: fn (`.
+    let mut i = init.start;
+    let mut last_type_seg: Option<String> = None;
+    while i < init.end {
+        let t = cur.text(i);
+        if t.chars().next().is_some_and(|c| c.is_uppercase()) {
+            last_type_seg = Some(t.to_string());
+            // `HashMap < u64 , f64 > :: new` — skip the generics.
+            let after = cur.skip_generics(i + 1);
+            if cur.text_at(after as isize) == "::" {
+                i = after + 1;
+                continue;
+            }
+            break;
+        } else if cur.text_at(i as isize + 1) == "::" {
+            i += 2; // lowercase module segment (`std ::`, `collections ::`)
+            continue;
+        }
+        break;
+    }
+    if let Some(ty) = last_type_seg {
+        return Some(ty);
+    }
+    // `collect :: < T ... >` turbofish anywhere in the initializer chain.
+    for i in init.start..=init.end.min(cur.n().saturating_sub(1)) {
+        if cur.text(i) == "collect"
+            && cur.text_at(i as isize + 1) == "::"
+            && cur.text_at(i as isize + 2) == "<"
+        {
+            let close = cur.skip_generics(i + 2);
+            return Some(cur.span_text(i + 3, close.saturating_sub(2)));
+        }
+    }
+    None
+}
+
+/// Parameter names of a closure's raw parameter text — the first
+/// identifier of each top-level comma segment (`mut` and `&` stripped,
+/// destructuring patterns contribute every identifier).
+pub fn closure_param_names(params: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, _) in split_params(params) {
+        out.push(name);
+    }
+    // Destructuring patterns (`|(a, b)|`) defeat split_params' name rule;
+    // fall back to harvesting every identifier-looking token.
+    if out.is_empty() && !params.trim().is_empty() {
+        for t in params.split(|c: char| !c.is_alphanumeric() && c != '_') {
+            if !t.is_empty()
+                && t.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+                && !matches!(t, "mut" | "ref" | "move")
+            {
+                out.push(t.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn use_map_handles_groups_and_renames() {
+        let toks = tokenize(
+            "use std::collections::{HashMap, BTreeMap as Sorted};\nuse std::collections::HashSet as Fast;\n",
+        );
+        let (file, _) = parse_file(&toks);
+        let uses = UseMap::from_file(&file);
+        assert_eq!(uses.expand("HashMap"), Some("std::collections::HashMap"));
+        assert_eq!(uses.expand("Sorted"), Some("std::collections::BTreeMap"));
+        assert!(uses.is_hash_alias("HashMap"));
+        assert!(uses.is_hash_alias("Fast"));
+        assert!(!uses.is_hash_alias("Sorted"));
+    }
+
+    #[test]
+    fn type_env_resolves_params_lets_and_turbofish() {
+        let src = "fn f(m: &HashMap<u64, f64>, n: usize) {\n\
+                   let s: HashSet<u32> = HashSet::new();\n\
+                   let t = BTreeMap::new();\n\
+                   let c = xs.iter().collect::<HashMap<u64, f64>>();\n\
+                   }\n";
+        let toks = tokenize(src);
+        let (file, cur) = parse_file(&toks);
+        let (_, f) = file.all_fns()[0];
+        let env = TypeEnv::for_fn(&cur, f, None);
+        let at = f.body.as_ref().map(|b| b.span.end - 1).unwrap_or(0);
+        assert!(mentions_hash_container(env.type_of("m", at).unwrap()));
+        assert!(mentions_hash_container(env.type_of("s", at).unwrap()));
+        assert!(!mentions_hash_container(env.type_of("t", at).unwrap()));
+        assert!(mentions_hash_container(env.type_of("c", at).unwrap()));
+        assert_eq!(env.type_of("n", at), Some("usize"));
+        assert_eq!(env.type_of("nope", at), None);
+    }
+
+    #[test]
+    fn inner_scope_bindings_expire() {
+        let src = "fn f() { { let m = HashMap::new(); m.len(); } after(); }";
+        let toks = tokenize(src);
+        let (file, cur) = parse_file(&toks);
+        let (_, f) = file.all_fns()[0];
+        let env = TypeEnv::for_fn(&cur, f, None);
+        let at = f.body.as_ref().map(|b| b.span.end).unwrap_or(0);
+        assert_eq!(env.type_of("m", at), None, "m's scope ended with its block");
+    }
+
+    #[test]
+    fn closure_params_cover_patterns() {
+        assert_eq!(closure_param_names("w"), vec!["w"]);
+        assert_eq!(closure_param_names("i , w : & Window"), vec!["i", "w"]);
+        assert_eq!(closure_param_names("( a , b )"), vec!["a", "b"]);
+        assert!(closure_param_names("").is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 
 /// A directive naming an unknown rule is malformed.
 pub fn unknown_rule(xs: &[f64]) -> Option<f64> {
-    // lint: allow(L9): no such rule //~ A0
+    // lint: allow(L99): no such rule //~ A0
     xs.first().copied()
 }
 

@@ -1,0 +1,51 @@
+//! L10 fixture: closures handed to the deterministic-parallelism adapters
+//! must not mutate captured shared state — even synchronized touches
+//! interleave schedule-dependently. Index-addressed slots and state the
+//! closure owns are the blessed patterns. Scope: l10 only.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn shared_mutex_accumulator(pool: &Pool, xs: &[f64]) -> f64 {
+    let total = Mutex::new(0.0);
+    pool.par_map(xs, |x| {
+        *total.lock().unwrap() += x; //~ L10
+    });
+    total.into_inner().unwrap()
+}
+
+pub fn shared_atomic_counter(pool: &Pool, xs: &[f64]) -> usize {
+    let hits = AtomicUsize::new(0);
+    pool.scope(|s| {
+        hits.fetch_add(1, Ordering::SeqCst); //~ L10
+        s.run(xs);
+    });
+    hits.into_inner()
+}
+
+pub fn index_addressed_slots(pool: &Pool, xs: &[f64], slots: &[AtomicU64]) {
+    pool.par_map_indexed(xs, |i, x| {
+        slots[i].store(x.to_bits(), Ordering::SeqCst);
+    });
+}
+
+pub fn closure_owned_state(pool: &Pool, xs: &[f64]) -> Vec<f64> {
+    pool.par_chunks(xs, |chunk| {
+        let acc = std::cell::RefCell::new(0.0);
+        *acc.borrow_mut() += chunk[0];
+        acc.into_inner()
+    })
+}
+
+pub fn parameter_owned_state(pool: &Pool) {
+    pool.try_scope(|state| {
+        state.store(1, Ordering::SeqCst);
+    });
+}
+
+pub fn excused_trace_counter(pool: &Pool, xs: &[f64], spans: &AtomicUsize) {
+    pool.par_map(xs, |x| {
+        spans.fetch_add(1, Ordering::Relaxed); // lint: allow(L10): trace counter; monotonic and order-free
+        x * 2.0
+    });
+}

@@ -1,0 +1,43 @@
+//! L11 fixture: a `pub` API fn that looks clean locally but *transitively*
+//! reaches a panic through the call graph, with no absorption point
+//! (Result return, `try_` prefix, or `try_` twin) along the way. Scope:
+//! l11 only — direct panic sites are L1/L3's job.
+
+fn deep(x: f64) -> f64 {
+    if x.is_nan() {
+        panic!("nan risk score");
+    }
+    x
+}
+
+fn middle(xs: &[f64]) -> f64 {
+    deep(xs[0])
+}
+
+pub fn profile(xs: &[f64]) -> f64 { //~ L11
+    middle(xs)
+}
+
+fn checked(xs: &[f64]) -> Result<f64, String> {
+    Ok(middle(xs))
+}
+
+pub fn shielded(xs: &[f64]) -> f64 {
+    checked(xs).unwrap_or(0.0)
+}
+
+pub fn twinned_reach(xs: &[f64]) -> f64 {
+    middle(xs)
+}
+
+pub fn try_twinned_reach(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(twinned_reach(xs))
+}
+
+// lint: allow(L11): callers guarantee non-NaN input per the module contract
+pub fn excused_reach(xs: &[f64]) -> f64 {
+    middle(xs)
+}

@@ -1,0 +1,63 @@
+//! L12 fixture: lock-order consistency. Any pair of lock keys acquired in
+//! both orders — directly nested, or through a call made while a guard is
+//! held — is a deadlock seed. Scope: l12 only.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+    d: Mutex<u64>,
+    e: Mutex<u64>,
+    f: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn a_then_b(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn b_then_a(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap(); //~ L12
+        *ga + *gb
+    }
+
+    fn with_d(&self) -> u64 {
+        let gd = self.d.lock().unwrap();
+        *gd
+    }
+
+    pub fn c_then_call_d(&self) -> u64 {
+        let gc = self.c.lock().unwrap();
+        *gc + self.with_d()
+    }
+
+    pub fn d_then_c(&self) -> u64 {
+        let gd = self.d.lock().unwrap();
+        let gc = self.c.lock().unwrap(); //~ L12
+        *gd + *gc
+    }
+
+    pub fn consistent_pair(&self) -> u64 {
+        let ge = self.e.lock().unwrap();
+        let gf = self.f.lock().unwrap();
+        *ge + *gf
+    }
+
+    pub fn consistent_pair_again(&self) -> u64 {
+        let ge = self.e.lock().unwrap();
+        let gf = self.f.lock().unwrap();
+        *ge + *gf
+    }
+
+    pub fn excused_reversal(&self) -> u64 {
+        let gf = self.f.lock().unwrap();
+        // lint: allow(L12): shutdown path; all workers already parked
+        let ge = self.e.lock().unwrap();
+        *ge + *gf
+    }
+}

@@ -1,0 +1,53 @@
+//! L3 fixture: trait-impl methods of workspace-defined `pub` traits are
+//! public API surface too — a panicking impl needs a `try_` twin just like
+//! a free `pub fn`. Scope: L1 + L3.
+
+/// A workspace-defined scoring trait: impls can grow `try_` twins.
+pub trait Score {
+    fn score(&self, xs: &[f64]) -> f64;
+}
+
+/// A second workspace trait, used for the twinned case.
+pub trait Rank {
+    fn rank(&self, xs: &[f64]) -> f64;
+}
+
+/// A private trait: its impls are not public API.
+trait Hidden {
+    fn hidden(&self, xs: &[f64]) -> f64;
+}
+
+pub struct Risky;
+
+impl Score for Risky {
+    fn score(&self, xs: &[f64]) -> f64 { //~ L3
+        *xs.first().unwrap() //~ L1
+    }
+}
+
+impl Rank for Risky {
+    fn rank(&self, xs: &[f64]) -> f64 {
+        *xs.first().unwrap() //~ L1
+    }
+}
+
+impl Risky {
+    /// The twin that excuses `Rank::rank` above.
+    pub fn try_rank(&self, xs: &[f64]) -> Option<f64> {
+        xs.first().copied()
+    }
+}
+
+impl Hidden for Risky {
+    fn hidden(&self, xs: &[f64]) -> f64 {
+        *xs.first().unwrap() //~ L1
+    }
+}
+
+pub struct Careful;
+
+impl Score for Careful {
+    fn score(&self, xs: &[f64]) -> f64 {
+        xs.iter().sum()
+    }
+}

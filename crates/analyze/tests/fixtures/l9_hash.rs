@@ -1,0 +1,59 @@
+//! L9 (hash) fixture: hash-ordered containers in deterministic library
+//! code — declarations and storage-order iteration. Scope: l9_hash only.
+
+use std::collections::{BTreeMap, HashMap};
+use std::collections::HashSet as Fast;
+
+pub struct Cache { //~ L9
+    ids: HashMap<u64, f64>,
+}
+
+pub struct Ordered {
+    ids: BTreeMap<u64, f64>,
+}
+
+pub fn declares_annotated() -> usize {
+    let seen: Fast<u64> = Fast::new(); //~ L9
+    seen.len()
+}
+
+pub fn declares_inferred() -> usize {
+    let m = HashMap::new(); //~ L9
+    m.len()
+}
+
+pub fn declares_ordered() -> usize {
+    let m: BTreeMap<u64, f64> = BTreeMap::new();
+    m.len()
+}
+
+pub fn iterates_into_vec(m: &HashMap<u64, f64>) -> Vec<u64> {
+    m.keys().copied().collect::<Vec<_>>() //~ L9
+}
+
+pub fn for_loop_over_hash(m: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in m { //~ L9
+        acc += v;
+    }
+    acc
+}
+
+pub fn order_insensitive_reduction(m: &HashMap<u64, f64>) -> f64 {
+    m.values().sum()
+}
+
+pub fn collects_into_keyed(m: &HashMap<u64, f64>) -> BTreeMap<u64, f64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}
+
+pub fn sorts_after_collect(m: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut ks: Vec<u64> = m.keys().copied().collect();
+    ks.sort();
+    ks
+}
+
+pub fn excused_iteration(m: &HashMap<u64, f64>) -> Vec<u64> {
+    // lint: allow(L9): order re-established by the caller's sort
+    m.keys().copied().collect::<Vec<_>>()
+}

@@ -1,0 +1,45 @@
+//! L9 (time/rng) fixture: wall-clock reads outside the timing seams, and
+//! RNG construction not derived from `lgo_runtime::split_seed`. Scope:
+//! l9_time + l9_rng.
+
+pub fn wall_clock_elapsed() -> f64 {
+    let t0 = std::time::Instant::now(); //~ L9
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn unix_stamp() -> u64 {
+    std::time::SystemTime::now() //~ L9
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn fn_pointer_form(flag: bool) -> bool {
+    flag.then(std::time::Instant::now).is_some() //~ L9
+}
+
+pub fn entropy_rng() -> u64 {
+    let mut rng = rand::thread_rng(); //~ L9
+    rng.next_u64()
+}
+
+pub fn from_entropy_rng() -> u64 {
+    let mut rng = SmallRng::from_entropy(); //~ L9
+    rng.next_u64()
+}
+
+pub fn constant_seed() -> u64 {
+    let mut rng = StdRng::seed_from_u64(42); //~ L9
+    rng.next_u64()
+}
+
+pub fn derived_seed(base: u64, task: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(lgo_runtime::split_seed(base, task));
+    rng.next_u64()
+}
+
+pub fn excused_entropy() -> u64 {
+    // lint: allow(L9): backoff jitter only; never touches exported data
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

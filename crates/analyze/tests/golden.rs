@@ -8,20 +8,6 @@
 
 use lgo_analyze::{analyze_source, FileScope};
 
-#[allow(clippy::too_many_arguments)]
-fn scope(
-    l1: bool,
-    l2: bool,
-    l3: bool,
-    l4: bool,
-    l5: bool,
-    l6: bool,
-    l7: bool,
-    l8: bool,
-) -> FileScope {
-    FileScope { l1, l2, l3, l4, l5, l6, l7, l8 }
-}
-
 /// `(line, rule)` pairs declared by `//~` markers in the fixture text.
 fn expected_findings(src: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
@@ -54,44 +40,80 @@ fn check_fixture(name: &str, scope: FileScope) {
 
 #[test]
 fn l1_panic_sites() {
-    check_fixture("l1_sites.rs", scope(true, false, false, false, false, false, false, false));
+    check_fixture("l1_sites.rs", FileScope { l1: true, ..FileScope::none() });
 }
 
 #[test]
 fn l2_float_ordering() {
-    check_fixture("l2_float_order.rs", scope(false, true, false, false, false, false, false, false));
+    check_fixture("l2_float_order.rs", FileScope { l2: true, ..FileScope::none() });
 }
 
 #[test]
 fn l3_try_twins() {
     // L1 + L3 together, as in the real lib-crate scope, so that allow(L1)
     // directives are consumed exactly like they are in the workspace.
-    check_fixture("l3_twins.rs", scope(true, false, true, false, false, false, false, false));
+    check_fixture("l3_twins.rs", FileScope { l1: true, l3: true, ..FileScope::none() });
+}
+
+#[test]
+fn l3_trait_impl_methods() {
+    // Trait-impl methods of workspace-defined pub traits are public API
+    // surface too: a panicking impl of a pub trait needs a try_ twin just
+    // like a free pub fn. (The old token engine only saw `pub fn`.)
+    check_fixture("l3_trait_impl.rs", FileScope { l1: true, l3: true, ..FileScope::none() });
 }
 
 #[test]
 fn l4_float_literal_equality() {
-    check_fixture("l4_float_eq.rs", scope(false, false, false, true, false, false, false, false));
+    check_fixture("l4_float_eq.rs", FileScope { l4: true, ..FileScope::none() });
 }
 
 #[test]
 fn l5_missing_docs() {
-    check_fixture("l5_docs.rs", scope(false, false, false, false, true, false, false, false));
+    check_fixture("l5_docs.rs", FileScope { l5: true, ..FileScope::none() });
 }
 
 #[test]
 fn l6_lock_results() {
-    check_fixture("l6_locks.rs", scope(false, false, false, false, false, true, false, false));
+    check_fixture("l6_locks.rs", FileScope { l6: true, ..FileScope::none() });
 }
 
 #[test]
 fn l7_library_prints() {
-    check_fixture("l7_prints.rs", scope(false, false, false, false, false, false, true, false));
+    check_fixture("l7_prints.rs", FileScope { l7: true, ..FileScope::none() });
 }
 
 #[test]
 fn l8_thread_sleeps() {
-    check_fixture("l8_sleeps.rs", scope(false, false, false, false, false, false, false, true));
+    check_fixture("l8_sleeps.rs", FileScope { l8: true, ..FileScope::none() });
+}
+
+#[test]
+fn l9_hash_containers() {
+    check_fixture("l9_hash.rs", FileScope { l9_hash: true, ..FileScope::none() });
+}
+
+#[test]
+fn l9_time_and_rng() {
+    check_fixture(
+        "l9_time_rng.rs",
+        FileScope { l9_time: true, l9_rng: true, ..FileScope::none() },
+    );
+}
+
+#[test]
+fn l10_parallel_closures() {
+    check_fixture("l10_par_closures.rs", FileScope { l10: true, ..FileScope::none() });
+}
+
+#[test]
+fn l11_panic_reachability() {
+    check_fixture("l11_panic_reach.rs", FileScope { l11: true, ..FileScope::none() });
+}
+
+#[test]
+fn l12_lock_order() {
+    check_fixture("l12_lock_order.rs", FileScope { l12: true, ..FileScope::none() });
 }
 
 #[test]
@@ -144,6 +166,28 @@ fn workspace_path_scoping() {
     assert!(!FileScope::for_path("crates/serve/src/watchdog.rs").unwrap().l8);
     assert!(!bench_bin.l8);
     assert!(!test_file.l8);
+    // L9's three sub-checks: hash-order and RNG discipline hold across all
+    // library code; wall-clock reads are legitimate only inside the
+    // runtime/trace/serve timing seams.
+    assert!(core.l9_hash && core.l9_time && core.l9_rng);
+    assert!(runtime.l9_hash && runtime.l9_rng);
+    assert!(!runtime.l9_time);
+    assert!(!FileScope::for_path("crates/trace/src/lib.rs").unwrap().l9_time);
+    assert!(!FileScope::for_path("crates/serve/src/inject.rs").unwrap().l9_time);
+    assert!(!bench_bin.l9_hash && !bench_bin.l9_time && !bench_bin.l9_rng);
+    assert!(!test_file.l9_hash);
+    // L10 follows L2/L4: everywhere outside test trees (bins included —
+    // a schedule-dependent experiment binary is just as wrong).
+    assert!(core.l10 && runtime.l10 && bench_bin.l10);
+    assert!(!test_file.l10);
+    // L11 shares L3's scope: the defense-crate public API.
+    assert!(core.l11);
+    assert!(!runtime.l11 && !bench_bin.l11 && !test_file.l11);
+    // L12 is owned by the two lock-holding crates.
+    assert!(runtime.l12);
+    assert!(FileScope::for_path("crates/serve/src/watchdog.rs").unwrap().l12);
+    assert!(!core.l12);
+    assert!(!FileScope::for_path("crates/runtime/tests/pool.rs").unwrap().l12);
 }
 
 /// The whole point of the crate: the workspace itself stays lint-clean.

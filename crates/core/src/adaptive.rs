@@ -142,7 +142,7 @@ impl AdaptiveProfiler {
             .iter()
             .map(|p| p.patient)
             .collect();
-        let changed: std::collections::HashSet<PatientId> = self
+        let changed: std::collections::BTreeSet<PatientId> = self
             .membership_changes()
             .into_iter()
             .map(|c| c.patient)

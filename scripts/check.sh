@@ -26,8 +26,26 @@ if [ -z "${SKIP_CLIPPY:-}" ]; then
         --all-targets -- -D warnings
 fi
 
-echo "==> lgo-analyze --workspace"
-cargo run -q -p lgo-analyze -- --workspace
+# Analyze tier: the workspace must be clean under L1–L12, the machine-
+# readable report must match the checked-in expectation byte for byte
+# (drift in either direction — new findings or silently vanished coverage
+# — fails the gate), and the analyzer's wall time is recorded for the
+# bench history. Timing lives out here in the shell: the analyzer library
+# itself is banned from wall-clock reads by its own L9.
+echo "==> lgo-analyze --workspace (findings gate + report diff)"
+cargo build -q --release -p lgo-analyze
+mkdir -p results
+t0=$(date +%s%N)
+./target/release/lgo-analyze --workspace --json > results/analyze.json \
+    || true # findings fail the gate below, with readable diagnostics
+t1=$(date +%s%N)
+./target/release/lgo-analyze --workspace
+diff -u expected/analyze.json results/analyze.json \
+    || { echo "analyze report drifted from expected/analyze.json"; exit 1; }
+findings=$(grep -c '"file"' results/analyze.json || true)
+printf '{\n  "bench": "analyze",\n  "findings": %s,\n  "wall_ms": %s\n}\n' \
+    "$findings" "$(( (t1 - t0) / 1000000 ))" > results/BENCH_analyze.json
+echo "    analyze wall time: $(( (t1 - t0) / 1000000 )) ms (results/BENCH_analyze.json)"
 
 echo "==> cargo test (strict-numerics sanitizers)"
 cargo test -q -p lgo-tensor -p lgo-nn -p lgo-runtime -p lgo-core \
