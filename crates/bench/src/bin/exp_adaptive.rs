@@ -5,19 +5,43 @@
 //! vulnerable patient "recovers" (adopts a disciplined phenotype) — the
 //! adaptive profiler must move them into the less-vulnerable cluster and
 //! signal that detector retraining is due.
+//!
+//! Risk profiles are produced through the attack zoo's pluggable `Attack`
+//! trait: `LGO_ZOO_ATTACK` selects the profiling attacker (any
+//! `lgo_zoo::attack_by_name` id — `fgsm`, `pgd`, `spsa`, ...); the default
+//! is the paper's maximizing URET explorer, matching the built-in
+//! profiler's historical behavior.
 
 use lgo_bench::{banner, forecast_config, profiler_config, Scale};
 use lgo_cluster::Linkage;
 use lgo_core::adaptive::AdaptiveProfiler;
+use lgo_core::profile::PatientAttackProfile;
 use lgo_forecast::GlucoseForecaster;
 use lgo_glucosim::{profile, PatientId, Simulator, Subset};
 use lgo_series::MultiSeries;
+use lgo_zoo::uret::UretAttack;
+use lgo_zoo::{attack_by_name, try_profile_patient_with, Attack, ZooConfig};
 
 fn main() {
     let scale = Scale::from_env();
     banner("Extension", "adaptive risk profiling under concept drift", scale);
     let (train_days, _) = scale.days();
     let train_days = train_days.min(10); // drift study needs epochs, not bulk
+
+    let profiler_cfg = profiler_config(scale);
+    let zoo = ZooConfig::default();
+    let attack: Box<dyn Attack> = match std::env::var("LGO_ZOO_ATTACK") {
+        Ok(name) if name != "uret" => attack_by_name(&name).unwrap_or_else(|| {
+            // Unknown attacker ids are a usage error, fail loudly.
+            panic!("LGO_ZOO_ATTACK={name}: unknown attacker (see lgo_zoo::standard_zoo)")
+        }),
+        _ => Box::new(UretAttack::maximizing(profiler_cfg.explorer_steps)),
+    };
+    println!(
+        "profiling attacker: {} ({})\n",
+        attack.name(),
+        attack.threat_model().name()
+    );
 
     let ids = [
         PatientId::new(Subset::A, 2),
@@ -35,9 +59,9 @@ fn main() {
 
     let mut models: Vec<(GlucoseForecaster, MultiSeries)> =
         ids.iter().map(|&id| build(profile(id))).collect();
-    let mut profiler = AdaptiveProfiler::new(profiler_config(scale), Linkage::Average);
+    let mut profiler = AdaptiveProfiler::new(profiler_cfg.clone(), Linkage::Average);
 
-    for epoch in 0..3 {
+    for epoch in 0..3u64 {
         if epoch == 2 {
             // Concept drift: A_2 recovers to a disciplined phenotype.
             println!("\n*** drift: patient A_2 adopts disciplined habits ***");
@@ -46,12 +70,27 @@ fn main() {
             recovered.seed ^= 0xD21F;
             models[0] = build(recovered);
         }
-        let cohort: Vec<_> = ids
+        let epoch_seed = lgo_runtime::split_seed(zoo.seed, epoch);
+        let profiles: Vec<PatientAttackProfile> = ids
             .iter()
             .zip(&models)
-            .map(|(&id, (f, s))| (id, f, s))
+            .enumerate()
+            .map(|(i, (&id, (f, s)))| {
+                try_profile_patient_with(
+                    attack.as_ref(),
+                    f,
+                    id,
+                    s,
+                    &profiler_cfg,
+                    &zoo,
+                    lgo_runtime::split_seed(epoch_seed, i as u64),
+                    None,
+                )
+                // Simulated series always yield windows; a failure here is fatal.
+                .unwrap_or_else(|e| panic!("profiling {id}: {e}"))
+            })
             .collect();
-        let record = profiler.reassess(&cohort);
+        let record = profiler.reassess_profiles(profiles);
         println!("\nepoch {}:", record.epoch);
         for p in &record.profiles {
             println!(

@@ -1,0 +1,113 @@
+//! Attack-zoo experiment: every attacker in `lgo-zoo` (URET baseline,
+//! FGSM/BIM/PGD/CW white-box, SPSA black-box, calibration-drift and
+//! cluster-poisoning defense-aware) versus the LGO-selective and
+//! no-defense detector configurations.
+//!
+//! Knobs: `LGO_SCALE=fast|mid|paper` picks the cohort/fidelity tier;
+//! `LGO_ZOO_EPS` (mg/dL, default 75) and `LGO_ZOO_STEPS` (default 8)
+//! override the shared perturbation budget and iteration count.
+//!
+//! Writes the canonical-JSON report to `results/BENCH_attack_zoo.json`
+//! (byte-identical at any `LGO_THREADS`; pinned by `tests/attack_zoo.rs`).
+
+use lgo_bench::{banner, percent_or_na, pipeline_config, write_trace, Scale};
+use lgo_glucosim::PatientId;
+use lgo_zoo::{run_attack_zoo, ZooConfig, ZooExperimentConfig};
+
+/// Maps the shared bench scale onto a zoo study configuration.
+fn config_for(scale: Scale) -> ZooExperimentConfig {
+    let pc = pipeline_config(scale);
+    ZooExperimentConfig {
+        patients: pc.patients.unwrap_or_else(PatientId::all),
+        train_days: pc.train_days,
+        test_days: pc.test_days,
+        forecast: pc.forecast,
+        profiler: pc.profiler,
+        detectors: pc.detectors,
+        zoo: ZooConfig::default(),
+        train_attack_stride: pc.train_attack_stride,
+        detector_stride: pc.detector_stride,
+    }
+}
+
+/// Parses a positive numeric env override, ignoring unset/invalid values.
+fn env_parse<T: std::str::FromStr + PartialOrd + Default>(key: &str) -> Option<T> {
+    let value: T = std::env::var(key).ok()?.parse().ok()?;
+    (value > T::default()).then_some(value)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Attack zoo",
+        "extension: gradient/black-box/adaptive attackers vs LGO",
+        scale,
+    );
+    let mut config = config_for(scale);
+    if let Some(eps) = env_parse::<f64>("LGO_ZOO_EPS") {
+        config.zoo.eps = eps;
+    }
+    if let Some(steps) = env_parse::<usize>("LGO_ZOO_STEPS") {
+        config.zoo.steps = steps;
+    }
+    eprintln!(
+        "cohort: {} patients, {}+{} days  eps: {} mg/dL  steps: {}",
+        config.patients.len(),
+        config.train_days,
+        config.test_days,
+        config.zoo.eps,
+        config.zoo.steps
+    );
+
+    let report = run_attack_zoo(&config);
+
+    println!(
+        "\nclusters: less-vulnerable {:?}  more-vulnerable {:?}",
+        report
+            .less_vulnerable
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>(),
+        report
+            .more_vulnerable
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "detectors: lgo-selective={}  no-defense={}\n",
+        report.lgo_detector, report.all_detector
+    );
+    println!(
+        "{:<8} {:<14} {:>9} {:>8} {:>9} {:>12} {:>12}",
+        "attacker", "threat model", "success", "manip.", "queries", "recall(lgo)", "recall(all)"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<8} {:<14} {:>9} {:>8} {:>9} {:>12} {:>12}",
+            row.name,
+            row.threat_model,
+            percent_or_na(row.success_rate),
+            row.windows_manipulated,
+            row.total_queries,
+            percent_or_na(row.recall_lgo),
+            percent_or_na(row.recall_all),
+        );
+    }
+    println!(
+        "\n(success on the poison row is the placement rate; its recall(lgo)\n\
+         is the LGO detector retrained on the poisoned pool, re-measured on\n\
+         the PGD reference windows)"
+    );
+
+    let json = report.canonical_json();
+    let path = "results/BENCH_attack_zoo.json";
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: create results/: {e}");
+    }
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nreport: {path}"),
+        Err(e) => eprintln!("warning: write {path}: {e}"),
+    }
+    write_trace("attack_zoo");
+}

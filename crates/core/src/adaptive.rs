@@ -80,15 +80,28 @@ impl AdaptiveProfiler {
         &mut self,
         cohort: &[(PatientId, &GlucoseForecaster, &MultiSeries)],
     ) -> &EpochRecord {
-        assert!(
-            cohort.len() >= 2,
-            "reassess: need at least two patients, got {}",
-            cohort.len()
-        );
         let profiles: Vec<PatientAttackProfile> = cohort
             .iter()
             .map(|(id, forecaster, series)| profile_patient(forecaster, *id, series, &self.config))
             .collect();
+        self.reassess_profiles(profiles)
+    }
+
+    /// [`reassess`](Self::reassess) for callers that computed the attack
+    /// profiles themselves — e.g. with a pluggable attacker from the attack
+    /// zoo (`lgo_zoo::try_profile_patient_with`) instead of this profiler's
+    /// built-in URET campaign. Re-derives the clusters and appends (and
+    /// returns) the new epoch record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` has fewer than two patients.
+    pub fn reassess_profiles(&mut self, profiles: Vec<PatientAttackProfile>) -> &EpochRecord {
+        assert!(
+            profiles.len() >= 2,
+            "reassess: need at least two patients, got {}",
+            profiles.len()
+        );
         let clusters = cluster_cohort(&profiles, self.linkage);
         self.history.push(EpochRecord {
             epoch: self.history.len(),

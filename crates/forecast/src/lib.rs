@@ -421,6 +421,63 @@ impl GlucoseForecaster {
         Ok(self.target_scaler.inverse_value(0, y))
     }
 
+    /// Gradient of the raw-unit prediction with respect to every raw input
+    /// cell: `out[t][j] = d predict(window) / d window[t][j]`, in
+    /// (mg/dL predicted) per (raw unit of feature `j`).
+    ///
+    /// This is the white-box surface gradient attacks (FGSM/BIM/PGD/CW)
+    /// climb. Both scalers are affine, so the chain rule through them is a
+    /// per-column constant: `target_range / feature_range[j]` multiplies
+    /// the model-space gradient from
+    /// [`BiLstmRegressor::input_gradients`]. The pass is pure (`&self`),
+    /// safe for models shared across parallel campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from the configured `seq_len`
+    /// or rows have the wrong width. Use
+    /// [`try_input_gradients`](Self::try_input_gradients) to handle
+    /// malformed windows gracefully.
+    pub fn input_gradients(&self, window: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        match self.try_input_gradients(window) {
+            Ok(g) => g,
+            // lint: allow(L1): documented panicking wrapper; try_input_gradients is the checked path
+            Err(e) => panic!("input_gradients: {e}"),
+        }
+    }
+
+    /// Fallible [`input_gradients`](Self::input_gradients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::WindowLength`] when the window length
+    /// differs from the configured `seq_len`, and [`ForecastError::Scaler`]
+    /// when rows have the wrong width.
+    pub fn try_input_gradients(&self, window: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ForecastError> {
+        if window.len() != self.config.seq_len {
+            return Err(ForecastError::WindowLength {
+                got: window.len(),
+                expected: self.config.seq_len,
+            });
+        }
+        let scaled = self.feature_scaler.transform(window)?;
+        let mut grads = self.model.input_gradients(&scaled);
+        // Affine scalers: d(scaled x_j)/d(raw x_j) = 1/feature_range_j and
+        // d(raw y)/d(scaled y) = target_range, both recoverable from the
+        // public transforms without new scaler API.
+        let target_range =
+            self.target_scaler.inverse_value(0, 1.0) - self.target_scaler.inverse_value(0, 0.0);
+        let inv_feature_ranges: Vec<f64> = (0..FEATURES.len())
+            .map(|j| self.feature_scaler.value(j, 1.0) - self.feature_scaler.value(j, 0.0))
+            .collect();
+        for row in &mut grads {
+            for (g, &inv) in row.iter_mut().zip(&inv_feature_ranges) {
+                *g *= target_range * inv;
+            }
+        }
+        Ok(grads)
+    }
+
     /// Predicts over every complete window of a series, returning
     /// `(window_end_index, prediction)` pairs. The prediction at index `t`
     /// refers to time `t + horizon`.
@@ -565,6 +622,48 @@ mod tests {
         let m2 = GlucoseForecaster::train_personalized(&train, &fast_cfg());
         let w = feature_window(&train, 50).unwrap();
         assert_eq!(m1.predict(&w), m2.predict(&w));
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        // The raw-unit gradient must agree with central differences of
+        // predict() — this pins the scaler chain rule, not just the BPTT
+        // core (checked separately in lgo-nn).
+        let train = series(2);
+        let model = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let w = feature_window(&train, 50).unwrap();
+        let grads = model.input_gradients(&w);
+        assert_eq!(grads.len(), 12);
+        assert_eq!(grads[0].len(), FEATURES.len());
+        let eps = 1e-3; // raw units
+        for &(t, j) in &[(0usize, 0usize), (5, 0), (11, 0), (6, 3), (3, 1)] {
+            let mut wp = w.clone();
+            wp[t][j] += eps;
+            let mut wm = w.clone();
+            wm[t][j] -= eps;
+            let numeric = (model.predict(&wp) - model.predict(&wm)) / (2.0 * eps);
+            assert!(
+                (numeric - grads[t][j]).abs() < 1e-4,
+                "d/dw[{t}][{j}]: numeric {numeric} vs analytic {}",
+                grads[t][j]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradients_reject_wrong_window() {
+        let train = series(2);
+        let model = GlucoseForecaster::train_personalized(&train, &fast_cfg());
+        let err = model
+            .try_input_gradients(&vec![vec![100.0, 0.0, 0.0, 70.0]; 5])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ForecastError::WindowLength {
+                got: 5,
+                expected: 12
+            }
+        );
     }
 
     #[test]

@@ -87,6 +87,49 @@ impl BiLstmRegressor {
         self.head.infer(&cat)[0]
     }
 
+    /// Gradient of the prediction with respect to every input cell:
+    /// `out[t][j] = d predict(window) / d window[t][j]`.
+    ///
+    /// Unlike [`Self::accumulate`], this is a *pure* pass through `&self` —
+    /// parameter-gradient accumulators are untouched — so a deployed model
+    /// shared across threads can serve white-box gradient attacks (FGSM,
+    /// BIM, PGD, CW) from concurrent campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or a row width mismatches.
+    pub fn input_gradients(&self, window: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert!(!window.is_empty(), "input_gradients: empty window");
+        let n = window.len();
+        let trace_f = self.fwd.forward_seq(window);
+        let rev: Vec<Vec<f64>> = window.iter().rev().cloned().collect();
+        let trace_b = self.bwd.forward_seq(&rev);
+        let mut cat = trace_f.last_hidden().to_vec();
+        cat.extend_from_slice(trace_b.last_hidden());
+        let (_, cache) = self.head.forward_with_cache(&cat);
+        let dcat = self.head.backward_input(&cache, &[1.0]);
+
+        let h = self.fwd.hidden_size();
+        let mut dh_f = vec![vec![0.0; h]; n];
+        dh_f[n - 1] = dcat[..h].to_vec();
+        let dx_f = self.fwd.input_grad_seq(&trace_f, &dh_f);
+
+        let mut dh_b = vec![vec![0.0; h]; n];
+        dh_b[n - 1] = dcat[h..].to_vec();
+        let dx_b = self.bwd.input_grad_seq(&trace_b, &dh_b);
+
+        // The backward direction consumed the reversed window, so its
+        // per-timestep gradients come back in reversed time order:
+        // dx_b[t] is w.r.t. window[n - 1 - t]. Un-reverse and sum.
+        let mut out = dx_f;
+        for (t, db) in dx_b.into_iter().enumerate() {
+            for (o, d) in out[n - 1 - t].iter_mut().zip(&db) {
+                *o += d;
+            }
+        }
+        out
+    }
+
     /// Forward + backward for a single `(window, target)` sample under the
     /// given loss; gradients accumulate. Returns the sample loss.
     ///

@@ -163,6 +163,24 @@ impl Dense {
         self.weight.matvec_transpose(&dz)
     }
 
+    /// Backpropagates `dy` through a caller-held cache *without* touching
+    /// the parameter-gradient accumulators, returning only the input
+    /// gradient — the pure path usable through `&self` on shared layers
+    /// (e.g. from parallel attack campaigns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len()` differs from the cached output width.
+    pub fn backward_input(&self, cache: &DenseCache, dy: &[f64]) -> Vec<f64> {
+        assert_eq!(dy.len(), cache.post.len(), "backward_input: bad dy length");
+        let dz: Vec<f64> = dy
+            .iter()
+            .zip(cache.pre.iter().zip(&cache.post))
+            .map(|(&d, (&z, &y))| d * self.activation.derivative(z, y))
+            .collect();
+        self.weight.matvec_transpose(&dz)
+    }
+
     /// Backpropagates `dy` (gradient w.r.t. the layer output), accumulating
     /// weight/bias gradients and returning the gradient w.r.t. the input.
     ///

@@ -214,56 +214,104 @@ impl GruCell {
     ///
     /// Panics if `dh.len() != trace.len()` or widths mismatch.
     pub fn backward_seq(&mut self, trace: &GruTrace, dh: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        assert_eq!(
-            dh.len(),
-            trace.len(),
-            "backward_seq: {} gradients for {} steps",
-            dh.len(),
-            trace.len()
-        );
-        let hsz = self.hidden;
-        let mut dxs = vec![vec![0.0; self.input]; trace.len()];
-        let mut dh_next = vec![0.0; hsz];
-        for t in (0..trace.len()).rev() {
-            let s = &trace.steps[t];
-            assert_eq!(dh[t].len(), hsz, "backward_seq: bad dh width at {t}");
-            let dht: Vec<f64> = dh[t].iter().zip(&dh_next).map(|(&a, &b)| a + b).collect();
-            // dzx layout r|z|n against w_x; dzh layout r|z|n against w_h.
-            let mut dzx = vec![0.0; 3 * hsz];
-            let mut dzh = vec![0.0; 3 * hsz];
-            let mut dh_prev = vec![0.0; hsz];
-            for j in 0..hsz {
-                let dz = dht[j] * (s.h_prev[j] - s.n[j]);
-                let dn = dht[j] * (1.0 - s.z[j]);
-                dh_prev[j] += dht[j] * s.z[j];
-                let dn_pre = dn * (1.0 - s.n[j] * s.n[j]);
-                let dr = dn_pre * s.hn_pre[j];
-                let dz_pre = dz * s.z[j] * (1.0 - s.z[j]);
-                let dr_pre = dr * s.r[j] * (1.0 - s.r[j]);
-                dzx[j] = dr_pre;
-                dzx[hsz + j] = dz_pre;
-                dzx[2 * hsz + j] = dn_pre;
-                dzh[j] = dr_pre;
-                dzh[hsz + j] = dz_pre;
-                dzh[2 * hsz + j] = dn_pre * s.r[j];
-            }
-            self.gw_x.add_outer(&dzx, &s.x, 1.0);
-            self.gw_h.add_outer(&dzh, &s.h_prev, 1.0);
-            for (g, &d) in self.gb_x.as_mut_slice().iter_mut().zip(&dzx) {
-                *g += d;
-            }
-            for (g, &d) in self.gb_h.as_mut_slice().iter_mut().zip(&dzh) {
-                *g += d;
-            }
-            dxs[t] = self.w_x.matvec_transpose(&dzx);
-            let rec = self.w_h.matvec_transpose(&dzh);
-            for (a, b) in dh_prev.iter_mut().zip(rec) {
-                *a += b;
-            }
-            dh_next = dh_prev;
-        }
-        dxs
+        let Self {
+            input,
+            hidden,
+            w_x,
+            w_h,
+            gw_x,
+            gw_h,
+            gb_x,
+            gb_h,
+            ..
+        } = self;
+        bptt_impl(
+            w_x,
+            w_h,
+            *input,
+            *hidden,
+            trace,
+            dh,
+            Some((gw_x, gw_h, gb_x, gb_h)),
+        )
     }
+
+    /// Pure input-gradient BPTT: like [`Self::backward_seq`] but without
+    /// accumulating parameter gradients, so shared read-only cells can
+    /// compute d-loss/d-input through `&self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh.len() != trace.len()` or widths mismatch.
+    pub fn input_grad_seq(&self, trace: &GruTrace, dh: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        bptt_impl(&self.w_x, &self.w_h, self.input, self.hidden, trace, dh, None)
+    }
+}
+
+/// The BPTT core shared by the accumulating and pure paths: walks the trace
+/// backwards and returns per-timestep input gradients; when `grads` is
+/// `Some`, parameter gradients accumulate into the
+/// `(gw_x, gw_h, gb_x, gb_h)` sinks.
+fn bptt_impl(
+    w_x: &Matrix,
+    w_h: &Matrix,
+    input: usize,
+    hidden: usize,
+    trace: &GruTrace,
+    dh: &[Vec<f64>],
+    mut grads: Option<(&mut Matrix, &mut Matrix, &mut Matrix, &mut Matrix)>,
+) -> Vec<Vec<f64>> {
+    assert_eq!(
+        dh.len(),
+        trace.len(),
+        "backward_seq: {} gradients for {} steps",
+        dh.len(),
+        trace.len()
+    );
+    let hsz = hidden;
+    let mut dxs = vec![vec![0.0; input]; trace.len()];
+    let mut dh_next = vec![0.0; hsz];
+    for t in (0..trace.len()).rev() {
+        let s = &trace.steps[t];
+        assert_eq!(dh[t].len(), hsz, "backward_seq: bad dh width at {t}");
+        let dht: Vec<f64> = dh[t].iter().zip(&dh_next).map(|(&a, &b)| a + b).collect();
+        // dzx layout r|z|n against w_x; dzh layout r|z|n against w_h.
+        let mut dzx = vec![0.0; 3 * hsz];
+        let mut dzh = vec![0.0; 3 * hsz];
+        let mut dh_prev = vec![0.0; hsz];
+        for j in 0..hsz {
+            let dz = dht[j] * (s.h_prev[j] - s.n[j]);
+            let dn = dht[j] * (1.0 - s.z[j]);
+            dh_prev[j] += dht[j] * s.z[j];
+            let dn_pre = dn * (1.0 - s.n[j] * s.n[j]);
+            let dr = dn_pre * s.hn_pre[j];
+            let dz_pre = dz * s.z[j] * (1.0 - s.z[j]);
+            let dr_pre = dr * s.r[j] * (1.0 - s.r[j]);
+            dzx[j] = dr_pre;
+            dzx[hsz + j] = dz_pre;
+            dzx[2 * hsz + j] = dn_pre;
+            dzh[j] = dr_pre;
+            dzh[hsz + j] = dz_pre;
+            dzh[2 * hsz + j] = dn_pre * s.r[j];
+        }
+        if let Some((gw_x, gw_h, gb_x, gb_h)) = grads.as_mut() {
+            gw_x.add_outer(&dzx, &s.x, 1.0);
+            gw_h.add_outer(&dzh, &s.h_prev, 1.0);
+            for (g, &d) in gb_x.as_mut_slice().iter_mut().zip(&dzx) {
+                *g += d;
+            }
+            for (g, &d) in gb_h.as_mut_slice().iter_mut().zip(&dzh) {
+                *g += d;
+            }
+        }
+        dxs[t] = w_x.matvec_transpose(&dzx);
+        let rec = w_h.matvec_transpose(&dzh);
+        for (a, b) in dh_prev.iter_mut().zip(rec) {
+            *a += b;
+        }
+        dh_next = dh_prev;
+    }
+    dxs
 }
 
 impl Trainable for GruCell {

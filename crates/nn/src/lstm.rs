@@ -247,47 +247,87 @@ impl LstmCell {
     /// Panics if `dh.len() != trace.len()` or any gradient row has the wrong
     /// width.
     pub fn backward_seq(&mut self, trace: &LstmTrace, dh: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        assert_eq!(
-            dh.len(),
-            trace.len(),
-            "backward_seq: {} gradients for {} steps",
-            dh.len(),
-            trace.len()
-        );
-        let hsz = self.hidden;
-        let mut dxs = vec![vec![0.0; self.input]; trace.len()];
-        let mut dh_next = vec![0.0; hsz];
-        let mut dc_next = vec![0.0; hsz];
-        for t in (0..trace.len()).rev() {
-            let s = &trace.steps[t];
-            assert_eq!(dh[t].len(), hsz, "backward_seq: bad dh width at {t}");
-            // Total gradient into h_t: external + recurrent.
-            let dht: Vec<f64> = dh[t].iter().zip(&dh_next).map(|(&a, &b)| a + b).collect();
-            let mut dz = vec![0.0; 4 * hsz];
-            let mut dc_prev = vec![0.0; hsz];
-            for j in 0..hsz {
-                let do_ = dht[j] * s.tanh_c[j];
-                let dct = dc_next[j] + dht[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]);
-                let di = dct * s.g[j];
-                let df = dct * s.c_prev[j];
-                let dg = dct * s.i[j];
-                dc_prev[j] = dct * s.f[j];
-                dz[j] = di * s.i[j] * (1.0 - s.i[j]);
-                dz[hsz + j] = df * s.f[j] * (1.0 - s.f[j]);
-                dz[2 * hsz + j] = dg * (1.0 - s.g[j] * s.g[j]);
-                dz[3 * hsz + j] = do_ * s.o[j] * (1.0 - s.o[j]);
-            }
-            self.gw_x.add_outer(&dz, &s.x, 1.0);
-            self.gw_h.add_outer(&dz, &s.h_prev, 1.0);
-            for (gb, &d) in self.gb.as_mut_slice().iter_mut().zip(&dz) {
+        let Self {
+            input,
+            hidden,
+            w_x,
+            w_h,
+            gw_x,
+            gw_h,
+            gb,
+            ..
+        } = self;
+        bptt_impl(w_x, w_h, *input, *hidden, trace, dh, Some((gw_x, gw_h, gb)))
+    }
+
+    /// Pure input-gradient BPTT: like [`Self::backward_seq`] but without
+    /// accumulating parameter gradients, so shared read-only cells can
+    /// compute d-loss/d-input through `&self` (e.g. from parallel attack
+    /// campaigns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh.len() != trace.len()` or any gradient row has the wrong
+    /// width.
+    pub fn input_grad_seq(&self, trace: &LstmTrace, dh: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        bptt_impl(&self.w_x, &self.w_h, self.input, self.hidden, trace, dh, None)
+    }
+}
+
+/// The BPTT core shared by the accumulating and pure paths: walks the trace
+/// backwards and returns per-timestep input gradients; when `grads` is
+/// `Some`, parameter gradients accumulate into the `(gw_x, gw_h, gb)` sinks.
+fn bptt_impl(
+    w_x: &Matrix,
+    w_h: &Matrix,
+    input: usize,
+    hidden: usize,
+    trace: &LstmTrace,
+    dh: &[Vec<f64>],
+    mut grads: Option<(&mut Matrix, &mut Matrix, &mut Matrix)>,
+) -> Vec<Vec<f64>> {
+    assert_eq!(
+        dh.len(),
+        trace.len(),
+        "backward_seq: {} gradients for {} steps",
+        dh.len(),
+        trace.len()
+    );
+    let hsz = hidden;
+    let mut dxs = vec![vec![0.0; input]; trace.len()];
+    let mut dh_next = vec![0.0; hsz];
+    let mut dc_next = vec![0.0; hsz];
+    for t in (0..trace.len()).rev() {
+        let s = &trace.steps[t];
+        assert_eq!(dh[t].len(), hsz, "backward_seq: bad dh width at {t}");
+        // Total gradient into h_t: external + recurrent.
+        let dht: Vec<f64> = dh[t].iter().zip(&dh_next).map(|(&a, &b)| a + b).collect();
+        let mut dz = vec![0.0; 4 * hsz];
+        let mut dc_prev = vec![0.0; hsz];
+        for j in 0..hsz {
+            let do_ = dht[j] * s.tanh_c[j];
+            let dct = dc_next[j] + dht[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]);
+            let di = dct * s.g[j];
+            let df = dct * s.c_prev[j];
+            let dg = dct * s.i[j];
+            dc_prev[j] = dct * s.f[j];
+            dz[j] = di * s.i[j] * (1.0 - s.i[j]);
+            dz[hsz + j] = df * s.f[j] * (1.0 - s.f[j]);
+            dz[2 * hsz + j] = dg * (1.0 - s.g[j] * s.g[j]);
+            dz[3 * hsz + j] = do_ * s.o[j] * (1.0 - s.o[j]);
+        }
+        if let Some((gw_x, gw_h, gb)) = grads.as_mut() {
+            gw_x.add_outer(&dz, &s.x, 1.0);
+            gw_h.add_outer(&dz, &s.h_prev, 1.0);
+            for (gb, &d) in gb.as_mut_slice().iter_mut().zip(&dz) {
                 *gb += d;
             }
-            dxs[t] = self.w_x.matvec_transpose(&dz);
-            dh_next = self.w_h.matvec_transpose(&dz);
-            dc_next = dc_prev;
         }
-        dxs
+        dxs[t] = w_x.matvec_transpose(&dz);
+        dh_next = w_h.matvec_transpose(&dz);
+        dc_next = dc_prev;
     }
+    dxs
 }
 
 impl Trainable for LstmCell {

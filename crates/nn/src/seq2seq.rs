@@ -123,6 +123,31 @@ impl LstmSeq2Seq {
         }
         self.cell.backward_seq(&trace.lstm, &dhs)
     }
+
+    /// Gradient of `sum_t dys[t] · output[t]` with respect to every input
+    /// cell — a *pure* pass through `&self` that leaves the
+    /// parameter-gradient accumulators untouched (runs its own forward
+    /// internally, so no trace is needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dys.len() != xs.len()` or any width mismatches.
+    pub fn input_gradients(&self, xs: &[Vec<f64>], dys: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            dys.len(),
+            xs.len(),
+            "input_gradients: {} gradients for {} steps",
+            dys.len(),
+            xs.len()
+        );
+        let lstm = self.cell.forward_seq(xs);
+        let mut dhs = Vec::with_capacity(dys.len());
+        for (t, dy) in dys.iter().enumerate() {
+            let (_, cache) = self.head.forward_with_cache(lstm.hidden(t));
+            dhs.push(self.head.backward_input(&cache, dy));
+        }
+        self.cell.input_grad_seq(&lstm, &dhs)
+    }
 }
 
 impl Trainable for LstmSeq2Seq {

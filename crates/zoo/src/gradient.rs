@@ -1,0 +1,374 @@
+//! White-box gradient attackers: FGSM, BIM, PGD (random restarts) and a
+//! CW-style margin attack.
+//!
+//! All four climb the forecaster's exact input gradients
+//! ([`GlucoseForecaster::input_gradients`](lgo_forecast::GlucoseForecaster::input_gradients)
+//! — BPTT through the BiLSTM, chain-ruled back to raw mg/dL units) in the
+//! boost parameterization `δ ∈ [0, ε]`, `v = clamp(x + δ, lo, hi)`: every
+//! candidate window satisfies the paper's CGM manipulation constraint by
+//! construction. Negative gradient components are ignored — pulling a CGM
+//! cell *down* can never enter the hyperglycemic manipulation range.
+
+use lgo_attack::cgm::{CgmCase, Window, WindowOutcome};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{
+    apply_boost, case_seed, cgm_gradient, finish_outcome, Attack, AttackContext, ThreatModel,
+};
+
+/// The ±1/0 step direction of a gradient component (unlike `f64::signum`,
+/// a zero gradient moves nothing).
+fn direction(g: f64) -> f64 {
+    if g > 0.0 {
+        1.0
+    } else if g < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Iterative signed-gradient ascent from a starting boost vector — the
+/// shared core of BIM and PGD. Each iteration recomputes the gradient at
+/// the current adversarial window, takes an `ε/steps` signed step per cell
+/// (projected back into `[0, ε]`) and re-evaluates; stops at the goal, a
+/// fixed point or the step budget. Returns the best `(window, output,
+/// steps)` seen, `None` when nothing improved on the benign window.
+fn signed_ascent(
+    ctx: &AttackContext<'_>,
+    case: &CgmCase,
+    mut delta: Vec<f64>,
+    queries: &mut usize,
+) -> Option<(Window, f64, usize)> {
+    let cfg = &ctx.zoo.attack;
+    let (lo, hi) = cfg.manipulation_range(case.fasting);
+    let col = cfg.cgm_column;
+    let goal = ctx.goal(case.fasting);
+    let alpha = ctx.zoo.eps / ctx.zoo.steps.max(1) as f64;
+    let mut best: Option<(Window, f64, usize)> = None;
+
+    // Evaluate a non-trivial starting point (PGD's random init).
+    if delta.iter().any(|&d| d > 0.0) {
+        let cand = apply_boost(&case.window, &delta, col, lo, hi);
+        let out = ctx.forecaster.predict(&cand);
+        *queries += 1;
+        best = Some((cand, out, 1));
+        if goal.achieved(out) {
+            return best;
+        }
+    }
+
+    for step in 1..=ctx.zoo.steps {
+        let at = apply_boost(&case.window, &delta, col, lo, hi);
+        let Some(g) = cgm_gradient(ctx.forecaster, &at, col) else {
+            break;
+        };
+        *queries += 1; // the gradient pass runs the model once
+        let mut moved = false;
+        for (d, &gt) in delta.iter_mut().zip(&g) {
+            let nd = (*d + alpha * direction(gt)).clamp(0.0, ctx.zoo.eps);
+            if nd != *d {
+                *d = nd;
+                moved = true;
+            }
+        }
+        if !moved {
+            break; // fixed point: zero gradient or saturated budget
+        }
+        let cand = apply_boost(&case.window, &delta, col, lo, hi);
+        let out = ctx.forecaster.predict(&cand);
+        *queries += 1;
+        if best
+            .as_ref()
+            .is_none_or(|&(_, b, _)| goal.score(out) > goal.score(b))
+        {
+            best = Some((cand, out, step));
+        }
+        if goal.achieved(out) {
+            break;
+        }
+    }
+    best
+}
+
+/// Fast Gradient Sign Method (Goodfellow et al.): one full-budget step
+/// `δ = ε · 1[∂f/∂x > 0]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fgsm;
+
+impl Attack for Fgsm {
+    fn name(&self) -> &'static str {
+        "fgsm"
+    }
+
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel::WhiteBox
+    }
+
+    fn run(&self, ctx: &AttackContext<'_>, case: &CgmCase) -> WindowOutcome {
+        let cfg = &ctx.zoo.attack;
+        let benign = ctx.forecaster.predict(&case.window);
+        let mut queries = 1;
+        if ctx.goal(case.fasting).achieved(benign) {
+            return finish_outcome(ctx, case, benign, None, queries);
+        }
+        let best = cgm_gradient(ctx.forecaster, &case.window, cfg.cgm_column).and_then(|g| {
+            queries += 1;
+            let delta: Vec<f64> = g
+                .iter()
+                .map(|&gt| if gt > 0.0 { ctx.zoo.eps } else { 0.0 })
+                .collect();
+            // lint: allow(L4): cells are exactly 0.0 or eps by construction above; exact compare detects the all-zero boost
+            if delta.iter().all(|&d| d == 0.0) {
+                return None;
+            }
+            let (lo, hi) = cfg.manipulation_range(case.fasting);
+            let adv = apply_boost(&case.window, &delta, cfg.cgm_column, lo, hi);
+            let out = ctx.forecaster.predict(&adv);
+            queries += 1;
+            Some((adv, out, 1))
+        });
+        finish_outcome(ctx, case, benign, best, queries)
+    }
+}
+
+/// Basic Iterative Method (Kurakin et al.): FGSM repeated with `ε/steps`
+/// step size and projection back into the budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bim;
+
+impl Attack for Bim {
+    fn name(&self) -> &'static str {
+        "bim"
+    }
+
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel::WhiteBox
+    }
+
+    fn run(&self, ctx: &AttackContext<'_>, case: &CgmCase) -> WindowOutcome {
+        let benign = ctx.forecaster.predict(&case.window);
+        let mut queries = 1;
+        if ctx.goal(case.fasting).achieved(benign) {
+            return finish_outcome(ctx, case, benign, None, queries);
+        }
+        let n = case.window.len();
+        let best = signed_ascent(ctx, case, vec![0.0; n], &mut queries);
+        finish_outcome(ctx, case, benign, best, queries)
+    }
+}
+
+/// Projected Gradient Descent (Madry et al.): BIM from several random
+/// starting points inside the budget; the restart RNGs derive from
+/// [`lgo_runtime::split_seed`] so campaigns stay deterministic at any
+/// thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pgd;
+
+impl Attack for Pgd {
+    fn name(&self) -> &'static str {
+        "pgd"
+    }
+
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel::WhiteBox
+    }
+
+    fn run(&self, ctx: &AttackContext<'_>, case: &CgmCase) -> WindowOutcome {
+        let benign = ctx.forecaster.predict(&case.window);
+        let mut queries = 1;
+        let goal = ctx.goal(case.fasting);
+        if goal.achieved(benign) {
+            return finish_outcome(ctx, case, benign, None, queries);
+        }
+        let n = case.window.len();
+        let base = case_seed(ctx, case);
+        let mut best: Option<(Window, f64, usize)> = None;
+        for restart in 0..ctx.zoo.restarts.max(1) {
+            let mut rng = StdRng::seed_from_u64(lgo_runtime::split_seed(base, restart as u64));
+            let init: Vec<f64> = (0..n)
+                .map(|_| {
+                    if restart == 0 || ctx.zoo.eps <= 0.0 {
+                        0.0 // first restart is plain BIM
+                    } else {
+                        rng.random_range(0.0..ctx.zoo.eps)
+                    }
+                })
+                .collect();
+            if let Some((w, out, steps)) = signed_ascent(ctx, case, init, &mut queries) {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|&(_, b, _)| goal.score(out) > goal.score(b));
+                if better {
+                    best = Some((w, out, steps));
+                }
+                if best.as_ref().is_some_and(|&(_, b, _)| goal.achieved(b)) {
+                    break; // early exit: a successful restart ends the search
+                }
+            }
+        }
+        finish_outcome(ctx, case, benign, best, queries)
+    }
+}
+
+/// Carlini–Wagner-style margin attack: continuous (magnitude-weighted, not
+/// sign) gradient ascent toward `threshold + κ`, followed by a shrink phase
+/// that halves the boost while the attack keeps succeeding — the returned
+/// adversarial window is a *low-distortion* success, not a saturated one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CwMargin;
+
+impl Attack for CwMargin {
+    fn name(&self) -> &'static str {
+        "cw"
+    }
+
+    fn threat_model(&self) -> ThreatModel {
+        ThreatModel::WhiteBox
+    }
+
+    fn run(&self, ctx: &AttackContext<'_>, case: &CgmCase) -> WindowOutcome {
+        let cfg = &ctx.zoo.attack;
+        let (lo, hi) = cfg.manipulation_range(case.fasting);
+        let col = cfg.cgm_column;
+        let goal = ctx.goal(case.fasting);
+        let threshold = cfg.threshold(case.fasting);
+        let benign = ctx.forecaster.predict(&case.window);
+        let mut queries = 1;
+        if goal.achieved(benign) {
+            return finish_outcome(ctx, case, benign, None, queries);
+        }
+        let lr = ctx.zoo.eps / ctx.zoo.steps.max(1) as f64;
+        let mut delta = vec![0.0; case.window.len()];
+        let mut best: Option<(Window, f64, usize)> = None;
+        for step in 1..=ctx.zoo.steps {
+            let at = apply_boost(&case.window, &delta, col, lo, hi);
+            let Some(g) = cgm_gradient(ctx.forecaster, &at, col) else {
+                break;
+            };
+            queries += 1;
+            let m = g.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+            // lint: allow(L4): exactly-zero gradient norm means a flat model; normalizing by it would divide by zero
+            if m == 0.0 {
+                break;
+            }
+            for (d, &gt) in delta.iter_mut().zip(&g) {
+                *d = (*d + lr * gt / m).clamp(0.0, ctx.zoo.eps);
+            }
+            let cand = apply_boost(&case.window, &delta, col, lo, hi);
+            let out = ctx.forecaster.predict(&cand);
+            queries += 1;
+            if best
+                .as_ref()
+                .is_none_or(|&(_, b, _)| goal.score(out) > goal.score(b))
+            {
+                best = Some((cand, out, step));
+            }
+            if out > threshold + ctx.zoo.kappa {
+                // Margin reached with confidence κ: shrink the boost while
+                // the attack still clears the bare threshold.
+                for _ in 0..4 {
+                    let half: Vec<f64> = delta.iter().map(|d| d * 0.5).collect();
+                    let cand = apply_boost(&case.window, &half, col, lo, hi);
+                    let out = ctx.forecaster.predict(&cand);
+                    queries += 1;
+                    if out > threshold {
+                        delta = half;
+                        best = Some((cand, out, step));
+                    } else {
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+        finish_outcome(ctx, case, benign, best, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{quick_cases, quick_forecaster};
+    use crate::ZooConfig;
+    use lgo_attack::cgm::CgmManipulationConstraint;
+    use lgo_attack::Constraint;
+
+    fn all_constrained(outcomes: &[(CgmCase, WindowOutcome)], cfg: &ZooConfig) {
+        for (case, o) in outcomes {
+            let c = CgmManipulationConstraint::from_config(&cfg.attack, case.fasting);
+            assert!(
+                c.is_satisfied(&case.window, &o.result.best_input),
+                "adversarial window violates the manipulation constraint"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_attackers_respect_constraints_and_sometimes_succeed() {
+        let (forecaster, series) = quick_forecaster();
+        let cases = quick_cases(&series);
+        let zoo = ZooConfig::default();
+        let ctx = AttackContext {
+            forecaster: &forecaster,
+            zoo: &zoo,
+            seed: 7,
+            detector: None,
+        };
+        let attackers: [&dyn Attack; 4] = [&Fgsm, &Bim, &Pgd, &CwMargin];
+        for a in attackers {
+            let outcomes: Vec<(CgmCase, WindowOutcome)> = cases
+                .iter()
+                .map(|c| (c.clone(), a.run(&ctx, c)))
+                .collect();
+            all_constrained(&outcomes, &zoo);
+            for (_, o) in &outcomes {
+                assert!(o.result.queries >= 1, "{}: no queries counted", a.name());
+                assert!(
+                    o.result.best_output.is_finite(),
+                    "{}: non-finite output",
+                    a.name()
+                );
+                // The best output can never be worse than benign.
+                assert!(
+                    o.result.best_output >= o.benign_prediction
+                        || o.result.steps == 0,
+                    "{}: kept a worse-than-benign window",
+                    a.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pgd_is_deterministic_per_seed_and_sensitive_to_it() {
+        let (forecaster, series) = quick_forecaster();
+        let cases = quick_cases(&series);
+        let zoo = ZooConfig::default();
+        let run = |seed: u64| -> Vec<(f64, usize)> {
+            let ctx = AttackContext {
+                forecaster: &forecaster,
+                zoo: &zoo,
+                seed,
+                detector: None,
+            };
+            cases
+                .iter()
+                .map(|c| {
+                    let o = Pgd.run(&ctx, c);
+                    (o.result.best_output, o.result.queries)
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+    }
+
+    #[test]
+    fn fgsm_zero_gradient_leaves_window_benign() {
+        // direction() must not treat a zero gradient as +1 (f64::signum does).
+        assert_eq!(direction(0.0), 0.0);
+        assert_eq!(direction(-3.0), -1.0);
+        assert_eq!(direction(2.0), 1.0);
+    }
+}

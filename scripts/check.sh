@@ -78,4 +78,14 @@ LGO_SCALE=fast LGO_TRACE=json LGO_SERVE_PATIENTS=300 \
     cargo run -q -p lgo-bench --release --features trace --bin bench_serve > /dev/null
 cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_serve.json
 
+# Zoo tier: the attack subsystem must run its full eight-attacker study at
+# fast scale with tracing compiled in, write the canonical BENCH report,
+# and emit a schema-valid trace. Report determinism across thread counts
+# is pinned separately by tests/attack_zoo.rs in the tier-1 suite.
+echo "==> exp_attack_zoo (fast scale, traced): attack-zoo gate"
+rm -f results/trace_attack_zoo.json
+LGO_SCALE=fast LGO_TRACE=json \
+    cargo run -q -p lgo-bench --release --features trace --bin exp_attack_zoo > /dev/null
+cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_attack_zoo.json
+
 echo "==> all checks passed"

@@ -23,6 +23,9 @@
 //!   histograms) behind the `trace` cargo feature.
 //! - [`serve`] — fault-tolerant online scoring service: backpressure,
 //!   graded load-shedding, watchdog deadlines and patient quarantine.
+//! - [`zoo`] — the attack zoo: white-box gradient (FGSM/BIM/PGD/CW),
+//!   black-box (SPSA) and defense-aware adaptive attackers behind one
+//!   `Attack` trait, with a unified campaign harness.
 //!
 //! # Examples
 //!
@@ -48,3 +51,4 @@ pub use lgo_serve as serve;
 pub use lgo_series as series;
 pub use lgo_tensor as tensor;
 pub use lgo_trace as trace;
+pub use lgo_zoo as zoo;

@@ -1,0 +1,59 @@
+//! Determinism contract of the attack zoo, end to end.
+//!
+//! The `exp_attack_zoo` study fans eight attackers over per-patient window
+//! campaigns through `lgo_runtime::par_map`, with every random decision
+//! derived from `split_seed`. This test pins the outermost consequence:
+//! the canonical-JSON report of a fast-scale study is **byte-identical**
+//! at any `LGO_THREADS` — same clusters, same attack successes, same
+//! detector recalls, bit for bit.
+//!
+//! The test mutates the process-global thread override
+//! ([`lgo::runtime::set_threads`]), so both runs live in one `#[test]`
+//! and the override is restored before returning.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use lgo::runtime::set_threads;
+use lgo::zoo::{try_run_attack_zoo, ZooExperimentConfig};
+
+/// Serializes tests that mutate the process-global thread override.
+fn override_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Canonical report of a fast-scale zoo study at a fixed thread count.
+fn export_at(threads: usize) -> String {
+    set_threads(Some(threads));
+    let report = try_run_attack_zoo(&ZooExperimentConfig::fast()).expect("fast zoo study runs");
+    report.canonical_json()
+}
+
+#[test]
+fn attack_zoo_report_identical_across_thread_counts() {
+    let _serial_tests = override_guard();
+    let serial = export_at(1);
+    let parallel = export_at(4);
+    set_threads(None);
+    assert_eq!(
+        serial.len(),
+        parallel.len(),
+        "report length diverged between 1 and 4 threads"
+    );
+    assert!(
+        serial == parallel,
+        "canonical zoo report at 4 threads is not byte-identical to serial"
+    );
+    // The report is substantive, not vacuously equal empties: all eight
+    // attackers reported against both detector configurations.
+    for name in ["uret", "fgsm", "bim", "pgd", "cw", "spsa", "drift", "poison"] {
+        assert!(
+            serial.contains(&format!("\"name\": \"{name}\"")),
+            "attacker {name} missing from the report"
+        );
+    }
+    assert!(serial.contains("\"recall_lgo\""));
+    assert!(serial.contains("\"less_vulnerable\""));
+}
