@@ -17,7 +17,7 @@
 //!   types, per-function local type environments;
 //! * [`callgraph`] — workspace call graph and the interprocedural rules
 //!   (L3 twins, L11 panic reachability, L12 lock order);
-//! * [`rules`] — the lint catalog (L1–L12) and the two-pass engine;
+//! * [`rules`] — the lint catalog (L1–L13) and the two-pass engine;
 //! * [`allow`] — `// lint: allow(<rule>): <why>` suppression directives;
 //! * [`report`] — findings plus text/JSON rendering;
 //! * [`walk`] — workspace file discovery.

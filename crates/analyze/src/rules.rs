@@ -14,6 +14,7 @@
 //! | L10 | whole workspace (non-test) | closure passed to a `par_*`/`scope` adapter mutates captured shared state |
 //! | L11 | error-layer crates | `pub` API fn *transitively* reaches a panic through the call graph with no absorption point |
 //! | L12 | `lgo-runtime` / `lgo-serve` library code | a pair of locks acquired in both orders |
+//! | L13 | `lgo-nn` library code | per-timestep `.matvec()` / `.matmul()` inside a loop body — batch through `matmul_nt` / `matmul_batch` |
 //!
 //! L1–L8 are single-pass token rules from the original engine; L9/L10 run
 //! on the [`crate::ast`] produced by [`crate::parser`] with type evidence
@@ -57,6 +58,8 @@ pub struct FileScope {
     pub l10: bool,
     pub l11: bool,
     pub l12: bool,
+    /// L13: per-timestep dense products inside nn loop bodies.
+    pub l13: bool,
 }
 
 /// The defense-stack library crates where a stray panic corrupts risk
@@ -83,6 +86,7 @@ impl FileScope {
             l10: true,
             l11: true,
             l12: true,
+            l13: true,
         }
     }
 
@@ -104,6 +108,7 @@ impl FileScope {
             l10: false,
             l11: false,
             l12: false,
+            l13: false,
         }
     }
 
@@ -160,6 +165,10 @@ impl FileScope {
             // Lock-order discipline is owned by the two crates that hold
             // locks across work: the runtime pool and the serving stack.
             l12: matches!(krate, "runtime" | "serve") && in_lib_src && !is_test_file,
+            // Recurrent cells are the one place a per-timestep matvec in a
+            // loop silently costs a batched-matmul's worth of throughput;
+            // the batched forward paths exist precisely to avoid it.
+            l13: krate == "nn" && in_lib_src && !is_test_file,
         })
     }
 }
@@ -309,8 +318,52 @@ const COMPARATOR_FNS: &[&str] = &[
     "binary_search_by",
 ];
 
+/// Marks every significant-token index lexically inside a `for` / `while` /
+/// `loop` body (headers — the iterated expression or condition — are not
+/// marked). `impl Trait for Type` and HRTB `for<'a>` are excluded by
+/// requiring a depth-0 `in` between `for` and its body brace. Nested loops
+/// union their ranges, and tokens inside closures within a loop body count
+/// as in-loop: the products still run once per iteration.
+fn loop_body_mask(cur: &Cursor) -> Vec<bool> {
+    let mut mask = vec![false; cur.n()];
+    for i in 0..cur.n() {
+        let open = match cur.text(i) {
+            "loop" if cur.text_at(i as isize + 1) == "{" => Some(i + 1),
+            kw @ ("for" | "while") => loop_header_end(cur, i, kw == "for"),
+            _ => None,
+        };
+        if let Some(open) = open {
+            let close = cur.match_brace(open);
+            for m in &mut mask[open + 1..close] {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+/// From a `for` / `while` keyword at `kw`, the index of the body `{`: the
+/// first depth-0 brace, provided a depth-0 `in` was seen first when
+/// `needs_in` (distinguishing a for-loop from `impl .. for ..` and
+/// `for<'a>` bounds). `None` when the header is not a loop header.
+fn loop_header_end(cur: &Cursor, kw: usize, needs_in: bool) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut saw_in = false;
+    for j in kw + 1..cur.n() {
+        match cur.text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => saw_in = true,
+            ";" if depth == 0 => return None,
+            "{" if depth == 0 => return (saw_in || !needs_in).then_some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Single pass emitting the site-local token rules: L1, L2, L4, L6, L7,
-/// L8, and L9's wall-clock / RNG sub-checks.
+/// L8, L13, and L9's wall-clock / RNG sub-checks.
 fn site_rules(
     file: &str,
     cur: &Cursor,
@@ -319,6 +372,7 @@ fn site_rules(
     out: &mut Vec<Finding>,
 ) {
     let n = cur.n();
+    let in_loop = if scope.l13 { loop_body_mask(cur) } else { Vec::new() };
     for (i, &masked) in test_mask.iter().enumerate() {
         if masked {
             continue;
@@ -445,6 +499,34 @@ fn site_rules(
                         .to_string(),
                 });
             }
+        }
+        // L13: per-timestep dense products in recurrent loops. A
+        // `.matvec(..)` (or square `.matmul(..)`) inside a loop body
+        // re-walks the whole weight matrix once per timestep; the batched
+        // forward paths hoist the input-side products into one tiled
+        // `matmul_nt` / `matmul_batch` call that is bitwise identical and
+        // several times faster. Only the exact method names are flagged —
+        // `matmul_nt` / `matmul_tiled` / `matmul_batch` /
+        // `matvec_transpose` are the batched/tiled replacements.
+        if scope.l13
+            && t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "matvec" | "matmul")
+            && cur.text_at(i as isize + 1) == "("
+            && cur.text_at(i as isize - 1) == "."
+            && in_loop.get(i).copied().unwrap_or(false)
+        {
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "L13",
+                message: format!(
+                    "`.{}()` inside a loop re-walks the weight matrix every \
+                     timestep; batch the products through `matmul_nt` / \
+                     `matmul_batch` (e.g. the cell's `forward_batch` path) \
+                     or justify with `// lint: allow(L13): <why>`",
+                    t.text
+                ),
+            });
         }
         // L9 (time): wall-clock reads outside the timing seams. Catches
         // both the call form `Instant::now()` and the fn-pointer form

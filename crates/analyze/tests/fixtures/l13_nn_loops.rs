@@ -1,0 +1,111 @@
+//! L13 fixture: per-timestep dense products inside loop bodies.
+//!
+//! A `.matvec()` or `.matmul()` in a recurrent loop re-walks the whole
+//! weight matrix once per timestep; the batched forward paths hoist the
+//! input-side products into one tiled `matmul_nt` / `matmul_batch` call
+//! that is bitwise identical and several times faster. Only the exact
+//! method names are flagged: `matmul_nt`, `matmul_tiled`, `matmul_batch`
+//! and `matvec_transpose` ARE the batched replacements, and a product
+//! outside any loop runs once by construction. Scope: L13 only.
+
+use lgo_tensor::Matrix;
+
+pub struct Cell {
+    w_x: Matrix,
+    w_h: Matrix,
+}
+
+impl Cell {
+    /// The classic per-timestep forward: both products re-read the weights
+    /// every iteration.
+    pub fn forward_seq(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut h = vec![0.0; self.w_h.rows()];
+        let mut out = Vec::new();
+        for x in xs {
+            let zx = self.w_x.matvec(x); //~ L13
+            let zh = self.w_h.matvec(&h); //~ L13
+            h = zx.iter().zip(&zh).map(|(a, b)| a + b).collect();
+            out.push(h.clone());
+        }
+        out
+    }
+
+    /// While- and loop-bodies count the same as `for` bodies.
+    pub fn drain(&self, stack: &mut Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            out.push(self.w_x.matvec(&x)); //~ L13
+        }
+        loop {
+            if out.len() >= 4 {
+                break;
+            }
+            out.push(self.w_h.matvec(out.last().unwrap())); //~ L13
+        }
+        out
+    }
+
+    /// A product inside a closure inside a loop still runs once per
+    /// iteration.
+    pub fn mapped(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let mut acc = Vec::new();
+        for x in xs {
+            let s = Some(x).map(|v| self.w_x.matvec(v)).unwrap(); //~ L13
+            acc.push(s[0]);
+        }
+        acc
+    }
+
+    /// The batched path: one input-side product outside the loop, and the
+    /// unavoidable recurrent product goes through the tiled `matmul_nt` —
+    /// neither is a violation.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        let zx = xs.matmul_nt(&self.w_x);
+        let mut h = Matrix::zeros(1, self.w_h.rows());
+        for _t in 0..zx.rows() {
+            h = h.matmul_nt(&self.w_h);
+        }
+        zx.matmul_tiled(&h.transpose())
+    }
+
+    /// Products outside any loop body are fine; so is a product in a loop
+    /// *header* (it runs once to build the iterator).
+    pub fn single(&self, x: &[f64]) -> Vec<f64> {
+        let zx = self.w_x.matvec(x);
+        for v in self.w_h.matvec(&zx).into_iter().take(2) {
+            let _ = v;
+        }
+        zx
+    }
+
+    /// An excused site: warm-up runs once per restart, not per timestep.
+    pub fn warmup(&self, xs: &[Vec<f64>]) {
+        for x in xs.iter().take(1) {
+            let _ = self.w_x.matvec(x); // lint: allow(L13): one-shot cache warm-up, loop runs a single probe
+        }
+    }
+}
+
+/// `impl Trait for Type` is not a loop header.
+pub trait Product {
+    fn apply(&self, m: &Matrix, x: &[f64]) -> Vec<f64>;
+}
+
+pub struct Plain;
+
+impl Product for Plain {
+    fn apply(&self, m: &Matrix, x: &[f64]) -> Vec<f64> {
+        m.matvec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_loops_in_tests_are_masked() {
+        let m = lgo_tensor::Matrix::zeros(2, 2);
+        for _ in 0..2 {
+            let _ = m.matvec(&[0.0, 0.0]);
+        }
+    }
+}

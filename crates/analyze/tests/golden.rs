@@ -117,6 +117,11 @@ fn l12_lock_order() {
 }
 
 #[test]
+fn l13_nn_loop_products() {
+    check_fixture("l13_nn_loops.rs", FileScope { l13: true, ..FileScope::none() });
+}
+
+#[test]
 fn allowlist_hygiene() {
     check_fixture("allow_hygiene.rs", FileScope::all());
 }
@@ -188,6 +193,11 @@ fn workspace_path_scoping() {
     assert!(FileScope::for_path("crates/serve/src/watchdog.rs").unwrap().l12);
     assert!(!core.l12);
     assert!(!FileScope::for_path("crates/runtime/tests/pool.rs").unwrap().l12);
+    // L13 is owned by the recurrent-cell crate: nn library sources only.
+    assert!(FileScope::for_path("crates/nn/src/lstm.rs").unwrap().l13);
+    assert!(!core.l13);
+    assert!(!FileScope::for_path("crates/tensor/src/block.rs").unwrap().l13);
+    assert!(!FileScope::for_path("crates/nn/tests/lstm_golden.rs").unwrap().l13);
 }
 
 /// The whole point of the crate: the workspace itself stays lint-clean.

@@ -393,7 +393,11 @@ pub fn evaluate_on_patient(
     let flagged =
         |windows: &[Window]| -> usize {
             lgo_runtime::par_chunks(windows, BATCH, |chunk| {
-                chunk.iter().filter(|w| detector.is_anomalous(w)).count()
+                // score_batch routes each chunk through the detector's
+                // batched algebra (one Gram-row product per chunk for the
+                // OC-SVM) and returns bit-identical scores to per-window
+                // `score`, so the flag counts match the naive loop exactly.
+                detector.score_batch(chunk).iter().filter(|&&s| s > 0.0).count()
             })
             .into_iter()
             .sum()

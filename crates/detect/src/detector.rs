@@ -1,6 +1,32 @@
 /// A window of multivariate time-series rows (time-major).
 pub type Window = Vec<Vec<f64>>;
 
+/// Reusable buffers for the allocation-free scoring path
+/// ([`AnomalyDetector::score_into`]). One scratch serves any number of
+/// sequential scoring calls against any detectors; after the first call
+/// the buffers are warm and a score allocates nothing.
+///
+/// The fields are deliberately public and generic — adapters borrow what
+/// they need (the summary wrapper its single-row window, the SVM its flat
+/// and standardized feature buffers) and custom detectors outside this
+/// crate can do the same.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    /// Reusable single-row window for summary-style adapters.
+    pub summary_win: Window,
+    /// Reusable flattened-feature buffer.
+    pub flat: Vec<f64>,
+    /// Reusable transformed-feature buffer.
+    pub row: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// Fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Common interface of all anomaly detectors.
 ///
 /// Implementations are trained by their own `fit` constructors (supervised
@@ -25,6 +51,25 @@ pub trait AnomalyDetector: Send + Sync {
     fn is_anomalous(&self, window: &Window) -> bool {
         self.score(window) > 0.0
     }
+
+    /// [`score`](Self::score) with caller-owned buffers, for hot loops that
+    /// score many windows (the serving ladder, the evaluation grid).
+    ///
+    /// Must return exactly the bits [`score`](Self::score) returns. The
+    /// default delegates to `score` (correct for every detector); detectors
+    /// with per-call allocations override it to reuse `scratch` instead.
+    fn score_into(&self, window: &Window, scratch: &mut ScoreScratch) -> f64 {
+        let _ = scratch;
+        self.score(window)
+    }
+
+    /// Scores a batch of windows, in order. Must return exactly the bits
+    /// of scoring each window individually — overrides may batch the
+    /// linear algebra (shared matrix products, one scratch) but not change
+    /// a single value. The default maps [`score`](Self::score).
+    fn score_batch(&self, windows: &[Window]) -> Vec<f64> {
+        windows.iter().map(|w| self.score(w)).collect()
+    }
 }
 
 /// Boxed detectors delegate, so trait-object pipelines (the fallback
@@ -41,6 +86,14 @@ impl<D: AnomalyDetector + ?Sized> AnomalyDetector for Box<D> {
 
     fn is_anomalous(&self, window: &Window) -> bool {
         (**self).is_anomalous(window)
+    }
+
+    fn score_into(&self, window: &Window, scratch: &mut ScoreScratch) -> f64 {
+        (**self).score_into(window, scratch)
+    }
+
+    fn score_batch(&self, windows: &[Window]) -> Vec<f64> {
+        (**self).score_batch(windows)
     }
 }
 
@@ -76,5 +129,14 @@ mod tests {
     fn flag_all_maps_decisions() {
         let ws: Vec<Window> = vec![vec![vec![0.0]]; 3];
         assert_eq!(flag_all(&Fixed(2.0), &ws), vec![true, true, true]);
+    }
+
+    #[test]
+    fn scratch_and_batch_defaults_delegate_to_score() {
+        let d: Box<dyn AnomalyDetector> = Box::new(Fixed(2.5));
+        let w: Window = vec![vec![0.0]];
+        let mut s = ScoreScratch::new();
+        assert_eq!(d.score_into(&w, &mut s), 2.5);
+        assert_eq!(d.score_batch(&[w.clone(), w]), vec![2.5, 2.5]);
     }
 }

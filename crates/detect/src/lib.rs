@@ -35,18 +35,24 @@
 mod detector;
 mod error;
 mod kdtree;
+mod kernel_cache;
 mod knn;
 mod madgan;
 mod ocsvm;
+pub mod perf;
 mod subsample;
 pub mod summary;
 
 pub use detector::AnomalyDetector;
 pub use error::DetectError;
 pub use kdtree::KdTree;
+pub use kernel_cache::{global as kernel_cache_global, KernelCache, KernelCacheStats};
 pub use knn::{KnnAlgorithm, KnnConfig, KnnDetector};
 pub use madgan::{MadGan, MadGanConfig};
-pub use detector::{flag_all, Window};
+pub use detector::{flag_all, ScoreScratch, Window};
 pub use ocsvm::{Kernel, KernelSpec, OcSvmConfig, OneClassSvm};
 pub use subsample::{subsample_cap, subsample_indices};
-pub use summary::{cgm_summary, cgm_summary_mode, summarize_all, summarize_all_mode, CgmSummaryDetector, SummaryMode};
+pub use summary::{
+    cgm_summary, cgm_summary_mode, cgm_summary_mode_into, summarize_all, summarize_all_mode,
+    CgmSummaryDetector, SummaryMode,
+};

@@ -1,8 +1,11 @@
+use std::sync::Arc;
+
 use lgo_series::window::flatten;
 use lgo_series::StandardScaler;
 use lgo_tensor::vector::dot;
+use lgo_tensor::Matrix;
 
-use crate::detector::{AnomalyDetector, Window};
+use crate::detector::{AnomalyDetector, ScoreScratch, Window};
 use crate::error::DetectError;
 
 /// Kernel functions for the one-class SVM.
@@ -139,7 +142,9 @@ impl Default for OcSvmConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OneClassSvm {
-    support: Vec<Vec<f64>>,
+    /// Support vectors as rows of one flat matrix — contiguous storage for
+    /// the batched scoring path ([`AnomalyDetector::score_batch`]).
+    support: Matrix,
     alphas: Vec<f64>,
     rho: f64,
     kernel: Kernel,
@@ -217,23 +222,37 @@ impl OneClassSvm {
         let l = points.len();
         let upper = 1.0 / (config.nu * l as f64);
 
-        // Kernel matrix (l <= max_samples keeps this affordable). The rows
-        // of the upper triangle are independent, so fan them out across the
-        // lgo-runtime pool; each entry is a pure function of its pair, so
-        // the matrix is identical at any thread count.
-        let rows = lgo_runtime::par_map_indexed(l, |i| {
-            (i..l)
-                .map(|j| kernel.eval(&points[i], &points[j]))
-                .collect::<Vec<f64>>()
-        });
-        let mut q = vec![vec![0.0; l]; l];
-        for (i, row) in rows.into_iter().enumerate() {
-            for (off, v) in row.into_iter().enumerate() {
-                let j = i + off;
-                q[i][j] = v;
-                q[j][i] = v;
+        // Standardized points as one flat matrix: the Gram computation,
+        // the SMO loop, and (later) the support set all want contiguous
+        // rows.
+        let pts = Matrix::from_rows(&points.iter().map(Vec::as_slice).collect::<Vec<_>>());
+
+        // Kernel (Gram) matrix, l <= max_samples keeps this affordable.
+        // The optimized path funnels through the shared KernelCache — one
+        // tiled computation per distinct (kernel, roster), reused across
+        // the whole strategy × detector grid. The legacy path keeps the
+        // original per-pair fan-out for exp_perf's before/after timing.
+        // Both produce bit-identical matrices (each entry is a pure
+        // function of its pair), pinned by tests.
+        let q: Arc<Matrix> = if crate::perf::optimized() {
+            crate::kernel_cache::lock_global().gram(kernel, &pts)
+        } else {
+            let rows = lgo_runtime::par_map_indexed(l, |i| {
+                (i..l)
+                    .map(|j| kernel.eval(pts.row(i), pts.row(j)))
+                    .collect::<Vec<f64>>()
+            });
+            let mut q = Matrix::zeros(l, l);
+            for (i, row) in rows.into_iter().enumerate() {
+                for (off, v) in row.into_iter().enumerate() {
+                    let j = i + off;
+                    let s = q.as_mut_slice();
+                    s[i * l + j] = v;
+                    s[j * l + i] = v;
+                }
             }
-        }
+            Arc::new(q)
+        };
 
         // libsvm's one-class initialization: the first ⌊νl⌋ points get the
         // box maximum, the next gets the fractional remainder.
@@ -247,9 +266,9 @@ impl OneClassSvm {
             alpha[n_full] *= upper;
         }
 
-        // Gradient g_i = (Qα)_i.
+        // Gradient g_i = (Qα)_i, over contiguous Gram rows.
         let mut g: Vec<f64> = (0..l)
-            .map(|i| (0..l).map(|j| q[i][j] * alpha[j]).sum())
+            .map(|i| q.row(i).iter().zip(&alpha).map(|(&qv, &a)| qv * a).sum())
             .collect();
 
         let max_iter = config.max_iter.unwrap_or(100 * l.max(100));
@@ -276,7 +295,8 @@ impl OneClassSvm {
                 break; // KKT satisfied within tolerance
             }
             // Pairwise update preserving α_i + α_j (equality constraint).
-            let quad = (q[i][i] + q[j][j] - 2.0 * q[i][j]).max(1e-12);
+            let (qi, qj) = (q.row(i), q.row(j));
+            let quad = (qi[i] + qj[j] - 2.0 * qi[j]).max(1e-12);
             let mut delta = (g[j] - g[i]) / quad;
             delta = delta.min(upper - alpha[i]).min(alpha[j]);
             if delta <= 0.0 {
@@ -284,8 +304,8 @@ impl OneClassSvm {
             }
             alpha[i] += delta;
             alpha[j] -= delta;
-            for t in 0..l {
-                g[t] += delta * (q[i][t] - q[j][t]);
+            for (gt, (&qit, &qjt)) in g.iter_mut().zip(qi.iter().zip(qj)) {
+                *gt += delta * (qit - qjt);
             }
             iterations += 1;
         }
@@ -315,15 +335,16 @@ impl OneClassSvm {
             }
         };
 
-        // Keep only support vectors.
-        let mut support = Vec::new();
+        // Keep only support vectors (Σα = 1 guarantees at least one).
+        let mut sv_rows: Vec<&[f64]> = Vec::new();
         let mut alphas = Vec::new();
-        for (p, &a) in points.iter().zip(&alpha) {
+        for (t, &a) in alpha.iter().enumerate() {
             if a > 1e-12 {
-                support.push(p.clone());
+                sv_rows.push(pts.row(t));
                 alphas.push(a);
             }
         }
+        let support = Matrix::from_rows(&sv_rows);
         let mut svm = Self {
             support,
             alphas,
@@ -379,13 +400,56 @@ impl OneClassSvm {
             .pop()
             // lint: allow(L1): StandardScaler::transform returns exactly one row per input row
             .expect("one row in, one row out");
+        Ok(self.decide(&x))
+    }
+
+    /// The decision sum over a standardized feature row — shared by every
+    /// scoring path so they cannot drift apart.
+    fn decide(&self, x: &[f64]) -> f64 {
         let s: f64 = self
             .support
-            .iter()
+            .iter_rows()
             .zip(&self.alphas)
-            .map(|(sv, &a)| a * self.kernel.eval(sv, &x))
+            .map(|(sv, &a)| a * self.kernel.eval(sv, x))
             .sum();
-        Ok(s - self.rho)
+        s - self.rho
+    }
+
+    /// [`decision_function`](Self::decision_function) against caller-owned
+    /// buffers: zero allocations once the scratch is warm, identical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened window width differs from the training
+    /// windows' (the same contract as
+    /// [`decision_function`](Self::decision_function)).
+    pub fn decision_function_into(&self, window: &Window, scratch: &mut ScoreScratch) -> f64 {
+        scratch.flat.clear();
+        for row in window {
+            scratch.flat.extend_from_slice(row);
+        }
+        if let Err(e) = self.scaler.transform_row_into(&scratch.flat, &mut scratch.row) {
+            // lint: allow(L1): mirrors decision_function's documented panicking contract
+            panic!("decision_function: {e}");
+        }
+        self.decide(&scratch.row)
+    }
+
+    /// The scalar kernel transform applied to a precomputed dot product —
+    /// the per-entry step of the batched scoring path. Only meaningful for
+    /// the dot-product kernel families.
+    fn transform_dot(&self, d: f64) -> f64 {
+        match self.kernel {
+            Kernel::Linear => d,
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * d + coef0).tanh(),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * d + coef0).powi(degree as i32),
+            // lint: allow(L1): score_batch routes RBF to the per-window path before this
+            Kernel::Rbf { .. } => unreachable!("rbf is not a dot-product kernel"),
+        }
     }
 
     /// The calibrated anomaly cutoff on the decision function (0 when the
@@ -396,7 +460,7 @@ impl OneClassSvm {
 
     /// Number of support vectors retained.
     pub fn support_vector_count(&self) -> usize {
-        self.support.len()
+        self.support.rows()
     }
 
     /// SMO iterations spent during training.
@@ -420,6 +484,68 @@ impl AnomalyDetector for OneClassSvm {
     fn score(&self, window: &Window) -> f64 {
         lgo_trace::counter("detect/ocsvm/scores", 1);
         self.threshold - self.decision_function(window)
+    }
+
+    fn score_into(&self, window: &Window, scratch: &mut ScoreScratch) -> f64 {
+        lgo_trace::counter("detect/ocsvm/scores", 1);
+        self.threshold - self.decision_function_into(window, scratch)
+    }
+
+    /// Batched scoring. Dot-product kernels compute every
+    /// (window × support-vector) dot in one tiled `X · SVᵀ` product, then
+    /// apply the scalar kernel transform and α-sum per window in support
+    /// order — the identical operations, in the identical order, as
+    /// scoring each window alone (products commute bit-exactly), so the
+    /// results are bit-identical; RBF (not a dot-product form) and the
+    /// legacy-path toggle fall back to the per-window loop.
+    fn score_batch(&self, windows: &[Window]) -> Vec<f64> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        lgo_trace::counter("detect/ocsvm/scores", windows.len() as u64);
+        let mut scratch = ScoreScratch::new();
+        let batchable = crate::perf::optimized() && !matches!(self.kernel, Kernel::Rbf { .. });
+        if !batchable {
+            return windows
+                .iter()
+                .map(|w| self.threshold - self.decision_function_into(w, &mut scratch))
+                .collect();
+        }
+        let mut xrows: Vec<Vec<f64>> = Vec::with_capacity(windows.len());
+        for w in windows {
+            scratch.flat.clear();
+            for row in w {
+                scratch.flat.extend_from_slice(row);
+            }
+            let mut x = Vec::new();
+            if let Err(e) = self.scaler.transform_row_into(&scratch.flat, &mut x) {
+                // lint: allow(L1): mirrors decision_function's documented panicking contract
+                panic!("decision_function: {e}");
+            }
+            xrows.push(x);
+        }
+        if xrows.iter().flatten().any(|v| !v.is_finite()) {
+            // A corrupted window would trip matmul_nt's strict-numerics
+            // guard; the per-window path propagates its NaN exactly like
+            // single-window scoring.
+            return windows
+                .iter()
+                .map(|w| self.threshold - self.decision_function_into(w, &mut scratch))
+                .collect();
+        }
+        let x = Matrix::from_rows(&xrows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let dots = x.matmul_nt(&self.support);
+        (0..dots.rows())
+            .map(|i| {
+                let s: f64 = dots
+                    .row(i)
+                    .iter()
+                    .zip(&self.alphas)
+                    .map(|(&d, &a)| a * self.transform_dot(d))
+                    .sum();
+                self.threshold - (s - self.rho)
+            })
+            .collect()
     }
 }
 
@@ -527,6 +653,76 @@ mod tests {
         let b = OneClassSvm::fit(&ring(30), &rbf_cfg(0.2));
         let w = vec![vec![0.3, -0.4]];
         assert_eq!(a.decision_function(&w), b.decision_function(&w));
+    }
+
+    #[test]
+    fn scratch_and_batch_scoring_match_score_bitwise() {
+        // Both kernel families: sigmoid exercises the batched dot-product
+        // path, RBF the per-window fallback.
+        for cfg in [rbf_cfg(0.2), OcSvmConfig::default()] {
+            let svm = OneClassSvm::fit(&ring(50), &cfg);
+            let queries: Vec<Window> = (0..20)
+                .map(|i| vec![vec![i as f64 * 0.17 - 1.5, (i as f64 * 0.29).cos()]])
+                .collect();
+            let mut scratch = ScoreScratch::new();
+            let batch = svm.score_batch(&queries);
+            assert_eq!(batch.len(), queries.len());
+            for (w, &b) in queries.iter().zip(&batch) {
+                let direct = svm.score(w);
+                assert_eq!(
+                    svm.score_into(w, &mut scratch).to_bits(),
+                    direct.to_bits(),
+                    "score_into diverged ({:?})",
+                    svm.kernel()
+                );
+                assert_eq!(b.to_bits(), direct.to_bits(), "score_batch diverged ({:?})", svm.kernel());
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_and_optimized_fits_agree_bitwise() {
+        let _g = crate::perf::test_guard()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let data = ring(40);
+        for cfg in [rbf_cfg(0.3), OcSvmConfig::default()] {
+            let was = crate::perf::set_optimized(false);
+            let legacy = OneClassSvm::fit(&data, &cfg);
+            crate::perf::set_optimized(true);
+            let optimized = OneClassSvm::fit(&data, &cfg);
+            crate::perf::set_optimized(was);
+            assert_eq!(legacy.support_vector_count(), optimized.support_vector_count());
+            assert_eq!(legacy.iterations(), optimized.iterations());
+            assert_eq!(legacy.threshold().to_bits(), optimized.threshold().to_bits());
+            for w in &data {
+                assert_eq!(
+                    legacy.decision_function(w).to_bits(),
+                    optimized.decision_function(w).to_bits(),
+                    "legacy/optimized fit diverged ({:?})",
+                    optimized.kernel()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_fits_hit_the_global_kernel_cache() {
+        let _g = crate::perf::test_guard()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A roster shape no other test uses, so its key is ours alone.
+        let data = ring(23);
+        let cfg = rbf_cfg(0.45);
+        let before = crate::kernel_cache::lock_global().stats();
+        let a = OneClassSvm::fit(&data, &cfg);
+        let mid = crate::kernel_cache::lock_global().stats();
+        let b = OneClassSvm::fit(&data, &cfg);
+        let after = crate::kernel_cache::lock_global().stats();
+        assert!(mid.misses > before.misses, "first fit must miss");
+        assert!(after.hits > mid.hits, "identical refit must hit");
+        let w = vec![vec![0.2, 0.8]];
+        assert_eq!(a.decision_function(&w).to_bits(), b.decision_function(&w).to_bits());
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Bench-only switch between the legacy and optimized detector hot paths.
+//!
+//! The optimized paths (flat Gram matrix through `lgo_tensor::matmul_nt`,
+//! the [`crate::KernelCache`], batched scoring) are bit-identical to the
+//! legacy ones — that is pinned by tests — so this switch exists for one
+//! consumer only: the `exp_perf` bench, which times both implementations in
+//! a single process and asserts their outputs agree. Production code never
+//! touches it; the default is optimized.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static OPTIMIZED: AtomicBool = AtomicBool::new(true);
+
+/// Whether the optimized hot paths are active (the default).
+pub fn optimized() -> bool {
+    OPTIMIZED.load(Ordering::Relaxed)
+}
+
+/// Switches the optimized hot paths on or off, returning the previous
+/// setting. Bench/test use only — flipping this mid-pipeline is safe for
+/// correctness (both paths produce identical bits) but makes timings
+/// meaningless.
+pub fn set_optimized(on: bool) -> bool {
+    OPTIMIZED.swap(on, Ordering::Relaxed)
+}
+
+/// Serializes tests that flip the toggle or assert on global-cache
+/// statistics, so they cannot race each other under the parallel test
+/// runner. (Races would not corrupt *values* — both paths are
+/// bit-identical — but would make counter assertions flaky.)
+#[cfg(test)]
+pub(crate) fn test_guard() -> &'static std::sync::Mutex<()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    &GUARD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_round_trips() {
+        let _g = test_guard().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let was = set_optimized(false);
+        assert!(!optimized());
+        set_optimized(true);
+        assert!(optimized());
+        set_optimized(was);
+    }
+}

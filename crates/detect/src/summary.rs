@@ -63,25 +63,38 @@ pub fn cgm_summary(window: &Window) -> Vec<f64> {
 ///
 /// Panics if the window is empty or rows lack the CGM column.
 pub fn cgm_summary_mode(window: &Window, mode: SummaryMode) -> Vec<f64> {
+    let mut out = Vec::new();
+    cgm_summary_mode_into(window, mode, &mut out);
+    out
+}
+
+/// [`cgm_summary_mode`] into a caller-owned buffer — the allocation-free
+/// variant for hot scoring loops. `out` is cleared and refilled with
+/// identical values (same float operations in the same order) to the
+/// allocating path.
+///
+/// # Panics
+///
+/// Panics if the window is empty or rows lack the CGM column.
+pub fn cgm_summary_mode_into(window: &Window, mode: SummaryMode, out: &mut Vec<f64>) {
     assert!(!window.is_empty(), "cgm_summary: empty window");
-    let cgm: Vec<f64> = window.iter().map(|r| r[CGM_COLUMN]).collect();
-    let n = cgm.len();
-    let last = cgm[n - 1];
-    let recent = &cgm[n.saturating_sub(3)..];
+    let n = window.len();
+    let cgm = |i: usize| window[i][CGM_COLUMN];
+    let last = cgm(n - 1);
     // IEEE `f64::max` ignores NaN operands, which would silently drop a
     // corrupted reading from the summary; total_cmp ranks NaN above every
     // real, so corruption surfaces in the feature instead of vanishing.
-    let max_recent = recent
-        .iter()
-        .copied()
+    let max_recent = (n.saturating_sub(3)..n)
+        .map(cgm)
         .max_by(|a, b| a.total_cmp(b))
         .unwrap_or(f64::MIN);
+    out.clear();
     match mode {
-        SummaryMode::Value => vec![last, max_recent],
+        SummaryMode::Value => out.extend([last, max_recent]),
         SummaryMode::Context => {
-            let mean = cgm.iter().sum::<f64>() / n as f64;
-            let var = cgm.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-            vec![last, mean, var.sqrt(), max_recent]
+            let mean = (0..n).map(cgm).sum::<f64>() / n as f64;
+            let var = (0..n).map(|i| (cgm(i) - mean) * (cgm(i) - mean)).sum::<f64>() / n as f64;
+            out.extend([last, mean, var.sqrt(), max_recent]);
         }
     }
 }
@@ -151,6 +164,30 @@ impl<D: AnomalyDetector> AnomalyDetector for CgmSummaryDetector<D> {
     fn score(&self, window: &Window) -> f64 {
         self.inner.score(&vec![cgm_summary_mode(window, self.mode)])
     }
+
+    fn score_into(&self, window: &Window, scratch: &mut crate::detector::ScoreScratch) -> f64 {
+        // Reuse the scratch's single-row window for the summary. The row
+        // is taken out of the scratch for the duration of the inner call
+        // so the inner detector can borrow the remaining buffers freely.
+        let mut win = std::mem::take(&mut scratch.summary_win);
+        if win.is_empty() {
+            win.push(Vec::new());
+        }
+        win.truncate(1);
+        cgm_summary_mode_into(window, self.mode, &mut win[0]);
+        let score = self.inner.score_into(&win, scratch);
+        scratch.summary_win = win;
+        score
+    }
+
+    fn score_batch(&self, windows: &[Window]) -> Vec<f64> {
+        // Summarize once, then let the inner detector batch the algebra.
+        let summaries: Vec<Window> = windows
+            .iter()
+            .map(|w| vec![cgm_summary_mode(w, self.mode)])
+            .collect();
+        self.inner.score_batch(&summaries)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +244,46 @@ mod tests {
         assert!(!det.is_anomalous(&window(&[105.0, 104.0, 103.0, 104.0])));
         assert_eq!(det.name(), "knn");
         assert_eq!(det.inner().name(), "knn");
+    }
+
+    #[test]
+    fn summary_into_matches_allocating_path_bitwise() {
+        let w = window(&[100.0, 110.0, f64::NAN, 180.0]);
+        let mut buf = vec![7.0; 9]; // stale content must not leak through
+        for mode in [SummaryMode::Value, SummaryMode::Context] {
+            cgm_summary_mode_into(&w, mode, &mut buf);
+            let reference = cgm_summary_mode(&w, mode);
+            assert_eq!(buf.len(), reference.len());
+            for (a, b) in buf.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_scratch_and_batch_match_score() {
+        let benign: Vec<Window> = (0..20)
+            .map(|i| window(&[100.0 + i as f64, 101.0, 102.0, 103.0]))
+            .collect();
+        let malicious: Vec<Window> = (0..20)
+            .map(|i| window(&[100.0 + i as f64, 101.0, 102.0, 300.0]))
+            .collect();
+        let knn = KnnDetector::fit(
+            &summarize_all(&benign),
+            &summarize_all(&malicious),
+            &KnnConfig::default(),
+        );
+        let det = CgmSummaryDetector::new(knn);
+        let queries: Vec<Window> = (0..10)
+            .map(|i| window(&[105.0, 104.0, 103.0, 100.0 + i as f64 * 25.0]))
+            .collect();
+        let mut scratch = crate::detector::ScoreScratch::new();
+        let batch = det.score_batch(&queries);
+        for (w, &b) in queries.iter().zip(&batch) {
+            let direct = det.score(w);
+            assert_eq!(det.score_into(w, &mut scratch).to_bits(), direct.to_bits());
+            assert_eq!(b.to_bits(), direct.to_bits());
+        }
     }
 
     #[test]

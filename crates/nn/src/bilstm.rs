@@ -6,7 +6,7 @@ use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::error::TrainError;
 use crate::loss::Loss;
-use crate::lstm::{LstmCell, LstmState};
+use crate::lstm::{LstmCell, LstmTrace};
 use crate::optimizer::{clip_global_norm, Adam, Trainable};
 
 /// Recovery attempts [`BiLstmRegressor::try_fit`] makes before reporting
@@ -74,16 +74,11 @@ impl BiLstmRegressor {
     /// Panics if the window is empty or a row width mismatches.
     pub fn predict(&self, window: &[Vec<f64>]) -> f64 {
         assert!(!window.is_empty(), "predict: empty window");
-        let mut sf = LstmState::zeros(self.fwd.hidden_size());
-        for x in window {
-            sf = self.fwd.step(x, &sf);
-        }
-        let mut sb = LstmState::zeros(self.bwd.hidden_size());
-        for x in window.iter().rev() {
-            sb = self.bwd.step(x, &sb);
-        }
-        let mut cat = sf.h;
-        cat.extend_from_slice(&sb.h);
+        let trace_f = self.fwd.forward_seq(window);
+        let rev: Vec<Vec<f64>> = window.iter().rev().cloned().collect();
+        let trace_b = self.bwd.forward_seq(&rev);
+        let mut cat = trace_f.last_hidden().to_vec();
+        cat.extend_from_slice(trace_b.last_hidden());
         self.head.infer(&cat)[0]
     }
 
@@ -141,6 +136,20 @@ impl BiLstmRegressor {
         let trace_f = self.fwd.forward_seq(window);
         let rev: Vec<Vec<f64>> = window.iter().rev().cloned().collect();
         let trace_b = self.bwd.forward_seq(&rev);
+        self.accumulate_traced(&trace_f, &trace_b, window.len(), target, loss)
+    }
+
+    /// Loss + backward for one sample whose direction traces were already
+    /// computed — the tail of [`Self::accumulate`], shared with the batched
+    /// minibatch loop of [`Self::try_fit_with_recoveries`].
+    fn accumulate_traced(
+        &mut self,
+        trace_f: &LstmTrace,
+        trace_b: &LstmTrace,
+        n: usize,
+        target: f64,
+        loss: Loss,
+    ) -> f64 {
         let mut cat = trace_f.last_hidden().to_vec();
         cat.extend_from_slice(trace_b.last_hidden());
         let pred = self.head.forward(&cat)[0];
@@ -149,13 +158,13 @@ impl BiLstmRegressor {
         let dcat = self.head.backward(&[dpred]);
 
         let h = self.fwd.hidden_size();
-        let mut dh_f = vec![vec![0.0; h]; window.len()];
-        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec(); // lint: allow(L1): dh_f has window.len() > 0 entries (asserted at entry)
-        self.fwd.backward_seq(&trace_f, &dh_f);
+        let mut dh_f = vec![vec![0.0; h]; n];
+        *dh_f.last_mut().expect("nonempty") = dcat[..h].to_vec(); // lint: allow(L1): dh_f has n > 0 entries (asserted by callers)
+        self.fwd.backward_seq(trace_f, &dh_f);
 
-        let mut dh_b = vec![vec![0.0; h]; window.len()];
-        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec(); // lint: allow(L1): dh_b has window.len() > 0 entries (asserted at entry)
-        self.bwd.backward_seq(&trace_b, &dh_b);
+        let mut dh_b = vec![vec![0.0; h]; n];
+        *dh_b.last_mut().expect("nonempty") = dcat[h..].to_vec(); // lint: allow(L1): dh_b has n > 0 entries (asserted by callers)
+        self.bwd.backward_seq(trace_b, &dh_b);
         l
     }
 
@@ -254,8 +263,27 @@ impl BiLstmRegressor {
             let mut finite = true;
             'batches: for batch in samples.chunks(batch_size) {
                 self.zero_grads();
-                for (w, y) in batch {
-                    let l = self.accumulate(w, *y, Loss::Mse);
+                // Forward every window of the minibatch through each
+                // direction at once (pure, and bit-identical per window to
+                // the stepwise path), then walk the samples in order for
+                // the loss/backward bookkeeping so the gradient
+                // accumulation order is exactly the per-sample loop's.
+                let fwd_refs: Vec<&[Vec<f64>]> = batch
+                    .iter()
+                    .map(|(w, _)| {
+                        assert!(!w.is_empty(), "accumulate: empty window");
+                        w.as_slice()
+                    })
+                    .collect();
+                let rev: Vec<Vec<Vec<f64>>> = batch
+                    .iter()
+                    .map(|(w, _)| w.iter().rev().cloned().collect())
+                    .collect();
+                let bwd_refs: Vec<&[Vec<f64>]> = rev.iter().map(Vec::as_slice).collect();
+                let traces_f = self.fwd.forward_batch(&fwd_refs);
+                let traces_b = self.bwd.forward_batch(&bwd_refs);
+                for (((w, y), tf), tb) in batch.iter().zip(&traces_f).zip(&traces_b) {
+                    let l = self.accumulate_traced(tf, tb, w.len(), *y, Loss::Mse);
                     if !l.is_finite() {
                         finite = false;
                         break 'batches;
@@ -501,6 +529,44 @@ mod tests {
             all_finite &= p.as_slice().iter().all(|v| v.is_finite());
         });
         assert!(all_finite, "diverged model must be left at a finite state");
+    }
+
+    #[test]
+    fn batched_minibatch_matches_per_sample_accumulate_bitwise() {
+        let samples = mean_task(12);
+        let mut batched = model(1, 4);
+        let mut reference = batched.clone();
+        let hb = batched.try_fit(&samples, 2, 4, 0.01).unwrap();
+        // Reference: the pre-batching training loop — one accumulate
+        // (single-window forwards + backward) per sample, in order.
+        let mut opt = Adam::new(0.01);
+        let mut href = Vec::new();
+        for _ in 0..2 {
+            let mut total = 0.0;
+            for batch in samples.chunks(4) {
+                reference.zero_grads();
+                for (w, y) in batch {
+                    total += reference.accumulate(w, *y, Loss::Mse);
+                }
+                let scale = 1.0 / batch.len() as f64;
+                reference.visit_params(&mut |_, g| g.map_inplace(|x| x * scale));
+                clip_global_norm(&mut reference, 5.0);
+                opt.step(&mut reference);
+            }
+            href.push(total / samples.len() as f64);
+        }
+        for (a, b) in hb.iter().zip(&href) {
+            assert_eq!(a.to_bits(), b.to_bits(), "loss history diverged");
+        }
+        let mut pa = Vec::new();
+        batched.visit_params(&mut |p, _| pa.push(p.clone()));
+        let mut pb = Vec::new();
+        reference.visit_params(&mut |p, _| pb.push(p.clone()));
+        for (a, b) in pa.iter().zip(&pb) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "parameters diverged");
+            }
+        }
     }
 
     #[test]

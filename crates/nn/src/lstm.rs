@@ -159,10 +159,25 @@ impl LstmCell {
 
     fn step_internal(&self, x: &[f64], state: &LstmState) -> StepCache {
         assert_eq!(x.len(), self.input, "LstmCell: input width mismatch");
-        let h = self.hidden;
-        let mut z = self.w_x.matvec(x);
+        let z = self.w_x.matvec(x);
         let zh = self.w_h.matvec(&state.h);
-        for ((zi, &zhi), &bi) in z.iter_mut().zip(&zh).zip(self.b.as_slice()) {
+        self.finish_step(z, &zh, x, &state.h, &state.c)
+    }
+
+    /// Applies the recurrent/bias combine and the gate nonlinearities to a
+    /// precomputed input-side product `z = W_x x`. Shared verbatim by the
+    /// stepwise and batched forward paths, so both produce identical bits
+    /// for every gate, cell and hidden value.
+    fn finish_step(
+        &self,
+        mut z: Vec<f64>,
+        zh: &[f64],
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+    ) -> StepCache {
+        let h = self.hidden;
+        for ((zi, &zhi), &bi) in z.iter_mut().zip(zh).zip(self.b.as_slice()) {
             *zi += zhi + bi;
         }
         let mut i = vec![0.0; h];
@@ -179,7 +194,7 @@ impl LstmCell {
         let mut tanh_c = vec![0.0; h];
         let mut h_out = vec![0.0; h];
         for j in 0..h {
-            c[j] = f[j] * state.c[j] + i[j] * g[j];
+            c[j] = f[j] * c_prev[j] + i[j] * g[j];
             tanh_c[j] = c[j].tanh();
             h_out[j] = o[j] * tanh_c[j];
         }
@@ -188,8 +203,8 @@ impl LstmCell {
         lgo_tensor::sanitize::check_finite(&h_out, "LstmCell hidden state");
         StepCache {
             x: x.to_vec(),
-            h_prev: state.h.clone(),
-            c_prev: state.c.clone(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
             i,
             f,
             g,
@@ -218,21 +233,99 @@ impl LstmCell {
     /// Runs a whole sequence from the zero state, retaining the trace needed
     /// for [`Self::backward_seq`].
     ///
+    /// Routed through [`Self::forward_batch`], so the input-side gate
+    /// products go through one tiled matmul instead of a matvec per
+    /// timestep; the trace is bit-identical to the stepwise loop.
+    ///
     /// # Panics
     ///
     /// Panics if any input row has the wrong width.
     pub fn forward_seq(&self, xs: &[Vec<f64>]) -> LstmTrace {
-        let mut state = LstmState::zeros(self.hidden);
-        let mut steps = Vec::with_capacity(xs.len());
-        for x in xs {
-            let cache = self.step_internal(x, &state);
-            state = LstmState {
-                h: cache.h.clone(),
-                c: cache.c.clone(),
-            };
-            steps.push(cache);
+        let mut traces = self.forward_batch(&[xs]);
+        // lint: allow(L1): forward_batch returns one trace per sequence
+        traces.pop().expect("one trace for one sequence")
+    }
+
+    /// Runs several sequences from the zero state at once, returning one
+    /// trace per sequence (in input order).
+    ///
+    /// This is the batched hot path: the input-side gate products of every
+    /// sequence and timestep are computed by a single tiled
+    /// [`Matrix::matmul_nt`], and the recurrent products of each timestep
+    /// are batched across sequences. Each output row of those products is
+    /// bitwise identical to the corresponding `matvec` (pinned by
+    /// lgo-tensor tests) and the scalar gate combine is shared with the
+    /// stepwise path, so every trace is bit-for-bit what
+    /// [`Self::forward_seq`]'s naive loop would produce.
+    ///
+    /// Sequences of different lengths are grouped internally; the batching
+    /// applies within each length group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input row has the wrong width.
+    pub fn forward_batch(&self, seqs: &[&[Vec<f64>]]) -> Vec<LstmTrace> {
+        let mut out: Vec<Option<LstmTrace>> = vec![None; seqs.len()];
+        let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (k, s) in seqs.iter().enumerate() {
+            by_len.entry(s.len()).or_default().push(k);
         }
-        LstmTrace { steps }
+        for (t_len, idxs) in by_len {
+            if t_len == 0 {
+                for k in idxs {
+                    out[k] = Some(LstmTrace { steps: Vec::new() });
+                }
+                continue;
+            }
+            let group: Vec<&[Vec<f64>]> = idxs.iter().map(|&k| seqs[k]).collect();
+            for (k, trace) in idxs.into_iter().zip(self.forward_batch_uniform(&group, t_len)) {
+                out[k] = Some(trace);
+            }
+        }
+        out.into_iter()
+            // lint: allow(L1): every index is filled by exactly one length group
+            .map(|t| t.expect("trace computed for every sequence"))
+            .collect()
+    }
+
+    /// [`Self::forward_batch`] for sequences of one shared length `t_len`.
+    fn forward_batch_uniform(&self, seqs: &[&[Vec<f64>]], t_len: usize) -> Vec<LstmTrace> {
+        let bsz = seqs.len();
+        for s in seqs {
+            for x in *s {
+                assert_eq!(x.len(), self.input, "LstmCell: input width mismatch");
+            }
+        }
+        // Stack every timestep of every sequence (row b*t_len + t) and push
+        // the whole block through one tiled product against W_x.
+        let rows: Vec<&[f64]> = seqs.iter().flat_map(|s| s.iter().map(Vec::as_slice)).collect();
+        let zx_all = Matrix::from_rows(&rows).matmul_nt(&self.w_x);
+        let mut h_prev = Matrix::zeros(bsz, self.hidden);
+        let mut c_prev = vec![vec![0.0; self.hidden]; bsz];
+        let mut traces: Vec<LstmTrace> = (0..bsz)
+            .map(|_| LstmTrace { steps: Vec::with_capacity(t_len) })
+            .collect();
+        // Time-major walk: `t` indexes into every sequence inside the
+        // nested batch loop, so an enumerate over one of them misleads.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..t_len {
+            // All recurrent products for this timestep in one (B, 4H)
+            // product; the time dependency makes this the batching limit.
+            let zh_all = h_prev.matmul_nt(&self.w_h);
+            for b in 0..bsz {
+                let cache = self.finish_step(
+                    zx_all.row(b * t_len + t).to_vec(),
+                    zh_all.row(b),
+                    &seqs[b][t],
+                    h_prev.row(b),
+                    &c_prev[b],
+                );
+                h_prev.row_mut(b).copy_from_slice(&cache.h);
+                c_prev[b].copy_from_slice(&cache.c);
+                traces[b].steps.push(cache);
+            }
+        }
+        traces
     }
 
     /// Backpropagation through time.
@@ -393,6 +486,39 @@ mod tests {
             st = c.step(x, &st);
             assert_eq!(st.h, trace.hidden(t));
         }
+    }
+
+    #[test]
+    fn forward_batch_is_bitwise_identical_to_step_loop() {
+        let c = cell(3, 5);
+        // Ragged batch: exercises the length grouping and the row indexing
+        // of the stacked input product.
+        let seqs: Vec<Vec<Vec<f64>>> = vec![seq(6, 3), seq(9, 3), seq(6, 3), seq(1, 3)];
+        let refs: Vec<&[Vec<f64>]> = seqs.iter().map(Vec::as_slice).collect();
+        let traces = c.forward_batch(&refs);
+        assert_eq!(traces.len(), seqs.len());
+        for (xs, trace) in seqs.iter().zip(&traces) {
+            // Reference: the naive per-timestep matvec loop via `step`.
+            let mut st = LstmState::zeros(5);
+            for (t, x) in xs.iter().enumerate() {
+                st = c.step(x, &st);
+                assert_eq!(st.h.len(), trace.hidden(t).len());
+                for (a, b) in st.h.iter().zip(trace.hidden(t)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "seq len {} step {t}", xs.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_handles_empty_inputs() {
+        let c = cell(2, 3);
+        assert!(c.forward_batch(&[]).is_empty());
+        let empty: &[Vec<f64>] = &[];
+        let traces = c.forward_batch(&[empty, &seq(2, 2)]);
+        assert!(traces[0].is_empty());
+        assert_eq!(traces[1].len(), 2);
+        assert!(c.forward_seq(&[]).is_empty());
     }
 
     #[test]

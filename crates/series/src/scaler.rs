@@ -348,6 +348,34 @@ impl StandardScaler {
             .collect()
     }
 
+    /// Standardizes a single row into a caller-owned buffer — the
+    /// allocation-free variant of [`transform`](Self::transform) for hot
+    /// scoring loops. `out` is cleared and refilled; identical values
+    /// (same float operations in the same order) to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalerError`] if unfitted or the width differs (`out` is
+    /// left cleared in that case).
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) -> Result<(), ScalerError> {
+        out.clear();
+        if !self.is_fitted() {
+            return Err(ScalerError::NotFitted);
+        }
+        if row.len() != self.means.len() {
+            return Err(ScalerError::WidthMismatch {
+                fitted: self.means.len(),
+                got: row.len(),
+            });
+        }
+        out.extend(
+            row.iter()
+                .enumerate()
+                .map(|(j, &v)| (v - self.means[j]) / self.stds[j]),
+        );
+        Ok(())
+    }
+
     /// Maps standardized data back to the original units.
     ///
     /// # Errors
@@ -499,6 +527,32 @@ mod tests {
         let s = StandardScaler::new();
         assert_eq!(
             s.inverse_transform(&[vec![0.0]]).unwrap_err(),
+            ScalerError::NotFitted
+        );
+    }
+
+    #[test]
+    fn standard_transform_row_into_matches_allocating_path() {
+        let data = vec![vec![2.0, 0.0], vec![4.0, 10.0], vec![6.0, 20.0]];
+        let mut s = StandardScaler::new();
+        s.fit(&data);
+        let mut buf = vec![99.0; 7]; // stale content must not leak through
+        for row in &data {
+            s.transform_row_into(row, &mut buf).unwrap();
+            let reference = &s.transform(std::slice::from_ref(row)).unwrap()[0];
+            assert_eq!(buf.len(), reference.len());
+            for (a, b) in buf.iter().zip(reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(
+            s.transform_row_into(&[1.0], &mut buf).unwrap_err(),
+            ScalerError::WidthMismatch { fitted: 2, got: 1 }
+        );
+        assert!(buf.is_empty(), "errors must leave the buffer cleared");
+        let unfitted = StandardScaler::new();
+        assert_eq!(
+            unfitted.transform_row_into(&[1.0], &mut buf).unwrap_err(),
             ScalerError::NotFitted
         );
     }

@@ -239,12 +239,28 @@ impl ScoringService {
                 let d = std::sync::Arc::clone(&detector);
                 let ws = job_windows.clone();
                 move || {
-                    lgo_runtime::par_map(&ws, |w| {
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            d.is_anomalous(w)
-                        }))
-                        .map_err(panic_message)
+                    // One scratch per chunk keeps the hot ladder
+                    // allocation-free across a chunk (score_into reuses the
+                    // summary/feature buffers) while each window keeps its
+                    // own catch_unwind so a panicking window quarantines
+                    // only its patient. score_into returns the same bits
+                    // as score, so decisions are unchanged.
+                    const BATCH: usize = 32;
+                    lgo_runtime::par_chunks(&ws, BATCH, |chunk| {
+                        let mut scratch = lgo_detect::ScoreScratch::new();
+                        chunk
+                            .iter()
+                            .map(|w| {
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    d.score_into(w, &mut scratch) > 0.0
+                                }))
+                                .map_err(panic_message)
+                            })
+                            .collect::<Vec<_>>()
                     })
+                    .into_iter()
+                    .flatten()
+                    .collect::<Vec<_>>()
                 }
             };
             match self.watchdog.run(make_job, &mut core.wstats) {

@@ -22,10 +22,12 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod block;
 mod error;
 mod matrix;
 pub mod sanitize;
 pub mod vector;
 
+pub use block::PackedRhs;
 pub use error::ShapeError;
 pub use matrix::Matrix;

@@ -26,7 +26,7 @@ if [ -z "${SKIP_CLIPPY:-}" ]; then
         --all-targets -- -D warnings
 fi
 
-# Analyze tier: the workspace must be clean under L1–L12, the machine-
+# Analyze tier: the workspace must be clean under L1–L13, the machine-
 # readable report must match the checked-in expectation byte for byte
 # (drift in either direction — new findings or silently vanished coverage
 # — fails the gate), and the analyzer's wall time is recorded for the
@@ -77,6 +77,26 @@ rm -f results/trace_serve.json
 LGO_SCALE=fast LGO_TRACE=json LGO_SERVE_PATIENTS=300 \
     cargo run -q -p lgo-bench --release --features trace --bin bench_serve > /dev/null
 cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_serve.json
+
+# Perf tier: the hot-path accelerations (pruned DTW, interleaved/tiled
+# matmul + syrk, kernel cache) must stay bitwise equal to their legacy
+# reference paths — exp_perf asserts per-stage output identity internally
+# and exits non-zero on any divergence — and the canonical report must
+# carry the expected schema. Speedup magnitudes are NOT gated here: CI
+# machines vary too much for a hard ratio; the committed
+# results/BENCH_perf.json records the measured trajectory instead.
+echo "==> exp_perf (fast scale, traced): hot-path equivalence + report gate"
+LGO_PERF_SCALE=fast \
+    cargo run -q -p lgo-bench --release --features trace --bin exp_perf > /dev/null
+for key in '"stages"' '"dtw_matrix"' '"detector_grid"' '"lstm_forward"' \
+           '"speedup"' '"identical": true'; do
+    grep -q "$key" results/BENCH_perf.json \
+        || { echo "BENCH_perf.json missing $key"; exit 1; }
+done
+if grep -q '"identical": false' results/BENCH_perf.json; then
+    echo "BENCH_perf.json reports an optimized path diverging from legacy"
+    exit 1
+fi
 
 # Zoo tier: the attack subsystem must run its full eight-attacker study at
 # fast scale with tracing compiled in, write the canonical BENCH report,
