@@ -1,0 +1,152 @@
+//! Defense experiment: the pluggable defense strategies (LGO-selective,
+//! indiscriminate, ROAST outlier exposure, iterative adversarial
+//! retraining) versus the attack-zoo test panel, Table-2 style — recall
+//! and FPR per defense × ladder level × attacker.
+//!
+//! Knobs: `LGO_SCALE=fast|mid|paper` picks the cohort/fidelity tier;
+//! `LGO_DEFENSE=<name>[,<name>...]` (or `all`, the default) filters the
+//! defense roster; `LGO_ROAST_ROUNDS` overrides both the ROAST fit-round
+//! count and the iterative-retraining round count; `LGO_ZOO_EPS` /
+//! `LGO_ZOO_STEPS` override the shared attacker budget.
+//!
+//! Writes the canonical-JSON report to `results/BENCH_defense.json`
+//! (byte-identical at any `LGO_THREADS`; pinned by `tests/defense.rs`).
+
+use lgo_bench::{banner, percent_or_na, pipeline_config, write_trace, Scale};
+use lgo_glucosim::PatientId;
+use lgo_zoo::defense::{DEFENSE_NAMES, TEST_ATTACKERS};
+use lgo_zoo::{run_defense_bench, DefenseBenchConfig, ZooConfig, ZooExperimentConfig};
+
+/// Maps the shared bench scale onto a defense study configuration.
+fn config_for(scale: Scale) -> DefenseBenchConfig {
+    let pc = pipeline_config(scale);
+    let mut config = DefenseBenchConfig::fast();
+    config.base = ZooExperimentConfig {
+        patients: pc.patients.unwrap_or_else(PatientId::all),
+        train_days: pc.train_days,
+        test_days: pc.test_days,
+        forecast: pc.forecast,
+        profiler: pc.profiler,
+        detectors: pc.detectors,
+        zoo: ZooConfig::default(),
+        train_attack_stride: pc.train_attack_stride,
+        detector_stride: pc.detector_stride,
+    };
+    config
+}
+
+/// Parses a positive numeric env override, ignoring unset/invalid values.
+fn env_parse<T: std::str::FromStr + PartialOrd + Default>(key: &str) -> Option<T> {
+    let value: T = std::env::var(key).ok()?.parse().ok()?;
+    (value > T::default()).then_some(value)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Defense strategies",
+        "extension: ROAST/retraining vs LGO-selective (Table 2 style)",
+        scale,
+    );
+    let mut config = config_for(scale);
+    if let Some(eps) = env_parse::<f64>("LGO_ZOO_EPS") {
+        config.base.zoo.eps = eps;
+    }
+    if let Some(steps) = env_parse::<usize>("LGO_ZOO_STEPS") {
+        config.base.zoo.steps = steps;
+    }
+    if let Some(rounds) = env_parse::<usize>("LGO_ROAST_ROUNDS") {
+        config.roast.rounds = rounds;
+        config.retrain.rounds = rounds;
+    }
+    if let Ok(filter) = std::env::var("LGO_DEFENSE") {
+        if !filter.is_empty() && filter != "all" {
+            config.defenses = filter.split(',').map(|s| s.trim().to_string()).collect();
+            for d in &config.defenses {
+                if !DEFENSE_NAMES.contains(&d.as_str()) {
+                    eprintln!("warning: unknown defense `{d}` (known: {DEFENSE_NAMES:?})");
+                }
+            }
+        }
+    }
+    eprintln!(
+        "cohort: {} patients, {}+{} days  eps: {} mg/dL  steps: {}  roast rounds: {}",
+        config.base.patients.len(),
+        config.base.train_days,
+        config.base.test_days,
+        config.base.zoo.eps,
+        config.base.zoo.steps,
+        config.roast.rounds,
+    );
+
+    let report = run_defense_bench(&config);
+
+    println!(
+        "\nclusters: less-vulnerable {:?}  more-vulnerable {:?}",
+        report
+            .less_vulnerable
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>(),
+        report
+            .more_vulnerable
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "attacker panel: {}\n",
+        report
+            .attackers
+            .iter()
+            .map(|(name, n)| format!("{name} ({n} windows)"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    println!(
+        "{:<22} {:<8} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "defense", "level", "fpr", "r(uret)", "r(pgd)", "r(spsa)", "cache h/m"
+    );
+    for row in &report.rows {
+        for level in &row.levels {
+            let recall_for = |name: &str| {
+                level
+                    .recalls
+                    .iter()
+                    .find(|r| r.attacker == name)
+                    .and_then(|r| r.recall)
+            };
+            println!(
+                "{:<22} {:<8} {:>9} {:>12} {:>12} {:>12} {:>12}",
+                if level.level == 0 { row.name } else { "" },
+                level.trained,
+                percent_or_na(level.fpr),
+                percent_or_na(recall_for(TEST_ATTACKERS[0])),
+                percent_or_na(recall_for(TEST_ATTACKERS[1])),
+                percent_or_na(recall_for(TEST_ATTACKERS[2])),
+                if level.level == 0 {
+                    format!("{}/{}", row.cache_hits, row.cache_misses)
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+    println!(
+        "\n(r(·) is detector recall over that attacker's manipulated windows;\n\
+         fpr is measured on {} pooled benign test windows; cache h/m counts\n\
+         kernel-cache hits/misses during that defense's fitting phase)",
+        report.benign_test_windows
+    );
+
+    let json = report.canonical_json();
+    let path = "results/BENCH_defense.json";
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: create results/: {e}");
+    }
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nreport: {path}"),
+        Err(e) => eprintln!("warning: write {path}: {e}"),
+    }
+    write_trace("defense");
+}

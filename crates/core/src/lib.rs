@@ -37,6 +37,10 @@
 
 /// Periodic cohort reassessment: re-profiling and re-clustering over epochs.
 pub mod adaptive;
+/// Pluggable defense strategies (LGO selective, ROAST outlier exposure,
+/// iterative adversarial retraining) behind the [`Defense`](defense::Defense)
+/// trait.
+pub mod defense;
 /// The crate-wide [`LgoError`](error::LgoError) type and conversions.
 pub mod error;
 /// Canonical full-precision JSON export (determinism byte-comparisons).

@@ -448,89 +448,31 @@ pub fn try_evaluate_strategy(
     more_vulnerable: &[PatientId],
     configs: &DetectorConfigs,
 ) -> Result<StrategyEvaluation, LgoError> {
-    // Stage 5 of the paper's pipeline: selective training + evaluation of
-    // one (strategy × detector) grid cell.
-    let _stage = lgo_trace::span("stage/train");
-    lgo_trace::counter("stage/train", 1);
-    let ids: Vec<PatientId> = cohort.iter().map(|d| d.patient).collect();
-    let rosters = try_training_rosters(strategy, &ids, less_vulnerable, more_vulnerable)?;
-    lgo_trace::counter("selective/runs", rosters.len() as u64);
-
-    // Each run trains its own detector from a fixed roster, so runs fan out
-    // across the lgo-runtime pool; only Random Samples has more than one.
-    struct RunOutcome {
-        training_windows: usize,
-        trained: DetectorKind,
-        confusion: Vec<ConfusionMatrix>,
-    }
-    let run_outcomes =
-        lgo_runtime::try_par_map(&rosters, |roster| -> Result<RunOutcome, LgoError> {
-            let mut benign = Vec::new();
-            let mut malicious = Vec::new();
-            for d in cohort.iter().filter(|d| roster.contains(&d.patient)) {
-                benign.extend(d.train_benign.iter().cloned());
-                malicious.extend(d.train_malicious.iter().cloned());
-            }
-            let (detector, trained) = {
-                let _fit = lgo_trace::span("selective/fit");
-                train_detector_with_fallback(kind, &benign, &malicious, configs)?
-            };
-            lgo_trace::counter("selective/fits", 1);
-            lgo_trace::counter("selective/training_windows", benign.len() as u64);
-            if trained != kind {
-                lgo_trace::counter("selective/fallbacks", 1);
-            }
-            Ok(RunOutcome {
-                training_windows: benign.len(),
-                trained,
-                confusion: cohort
-                    .iter()
-                    .map(|d| evaluate_on_patient(detector.as_ref(), d))
-                    .collect(),
-            })
-        })?;
-
-    // Fold in roster order: the metric sums accumulate in exactly the
-    // order the serial loop used, keeping the averages bit-identical.
-    let mut sums: Vec<PatientMetrics> = vec![PatientMetrics::default(); cohort.len()];
-    let mut total_windows = 0usize;
-    let mut detectors_trained = Vec::with_capacity(rosters.len());
-    for outcome in run_outcomes {
-        let outcome = outcome?;
-        total_windows += outcome.training_windows;
-        detectors_trained.push(outcome.trained);
-        for (s, cm) in sums.iter_mut().zip(&outcome.confusion) {
-            s.recall += cm.recall();
-            s.precision += cm.precision();
-            s.f1 += cm.f1();
-            s.fnr += cm.false_negative_rate();
-            s.fpr += cm.false_positive_rate();
-        }
-    }
-    let runs = rosters.len();
-    let per_patient = cohort
-        .iter()
-        .zip(sums)
-        .map(|(d, s)| {
-            (
-                d.patient,
-                PatientMetrics {
-                    recall: s.recall / runs as f64,
-                    precision: s.precision / runs as f64,
-                    f1: s.f1 / runs as f64,
-                    fnr: s.fnr / runs as f64,
-                    fpr: s.fpr / runs as f64,
-                },
-            )
-        })
-        .collect();
+    // The four paper strategies are one Defense implementation; this entry
+    // point survives as a thin adapter so the grid/pipeline callers (and
+    // their canonical exports) are untouched by the trait refactor. The
+    // confusion counts, fold order and divisions are identical, so the
+    // result is bit-identical to the pre-trait code.
+    let ctx = crate::defense::DefenseContext {
+        cohort,
+        less_vulnerable,
+        more_vulnerable,
+        configs,
+        seed: 0,
+        crafter: None,
+    };
+    let eval = crate::defense::try_evaluate_defense(
+        &crate::defense::LgoSelectiveDefense::new(strategy),
+        kind,
+        &ctx,
+    )?;
     Ok(StrategyEvaluation {
         strategy,
         detector: kind,
-        per_patient,
-        mean_training_windows: total_windows as f64 / runs as f64,
-        runs,
-        detectors_trained,
+        per_patient: eval.per_patient,
+        mean_training_windows: eval.mean_training_windows,
+        runs: eval.runs,
+        detectors_trained: eval.detectors_trained,
     })
 }
 

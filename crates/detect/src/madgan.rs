@@ -223,6 +223,166 @@ impl MadGan {
         Ok(gan)
     }
 
+    /// ROAST-style outlier-exposure fit: identical to
+    /// [`try_fit`](Self::try_fit), except that each discriminator batch
+    /// step additionally pushes one known-adversarial window (cycled
+    /// deterministically from `outliers`) toward the *fake* label. The
+    /// discriminator therefore learns to reject crafted manipulations
+    /// explicitly instead of only implicitly through the generator's
+    /// samples; the DR-Score and threshold calibration are unchanged and
+    /// computed on the benign windows only.
+    ///
+    /// The outlier pass draws no randomness, so the generator/
+    /// discriminator weight initialization, latent draws, and shuffling
+    /// are identical to the plain fit for the same seed. With an empty
+    /// (or fully malformed) outlier set this reduces **bit-exactly** to
+    /// [`try_fit`](Self::try_fit).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`try_fit`](Self::try_fit). Outlier windows
+    /// that are non-finite or have the wrong shape are silently dropped —
+    /// they are auxiliary training signal, not primary data.
+    pub fn try_fit_with_outliers(
+        windows: &[Window],
+        outliers: &[Window],
+        config: &MadGanConfig,
+    ) -> Result<Self, DetectError> {
+        // Keep only well-formed outliers; an empty usable set must reduce
+        // to the plain fit (same spans/counters, same bits).
+        let usable: Vec<Window> = outliers
+            .iter()
+            .filter(|w| {
+                w.len() == config.seq_len && w.iter().flatten().all(|v| v.is_finite())
+            })
+            .cloned()
+            .collect();
+        if usable.is_empty() {
+            return Self::try_fit(windows, config);
+        }
+        let _span = lgo_trace::span("detect/madgan/fit_oe");
+        if windows.is_empty() {
+            return Err(DetectError::NoTrainingWindows);
+        }
+        let finite: Vec<Window> = windows
+            .iter()
+            .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
+            .cloned()
+            .collect();
+        if finite.is_empty() {
+            return Err(DetectError::NoFiniteWindows);
+        }
+        let windows: Vec<Window> =
+            crate::subsample::subsample_cap(finite, config.max_windows.unwrap_or(0));
+        lgo_trace::counter("detect/madgan/fits", 1);
+        lgo_trace::counter("detect/madgan/fit_windows", windows.len() as u64);
+        let n_signals = windows[0][0].len();
+        for (i, w) in windows.iter().enumerate() {
+            if w.len() != config.seq_len {
+                return Err(DetectError::WindowLength {
+                    index: i,
+                    got: w.len(),
+                    expected: config.seq_len,
+                });
+            }
+            if !w.iter().all(|r| r.len() == n_signals) {
+                return Err(DetectError::RaggedWindow { index: i });
+            }
+        }
+
+        let mut scaler = MinMaxScaler::new();
+        let all_rows: Vec<Vec<f64>> = windows.iter().flatten().cloned().collect();
+        scaler.try_fit(&all_rows)?;
+        let scaled: Vec<Window> = windows
+            .iter()
+            .map(|w| scaler.transform(w))
+            .collect::<Result<_, _>>()?;
+        // Outliers ride in the *benign* feature frame — they must not
+        // stretch the scaler's range.
+        let scaled_outliers: Vec<Window> = usable
+            .iter()
+            .filter(|w| w.iter().all(|r| r.len() == n_signals))
+            .map(|w| scaler.transform(w))
+            .collect::<Result<_, _>>()?;
+        lgo_trace::counter(
+            "detect/madgan/outlier_windows",
+            scaled_outliers.len() as u64,
+        );
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut generator = LstmSeq2Seq::new(
+            config.latent_dim,
+            config.hidden,
+            n_signals,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let mut discriminator = LstmDiscriminator::new(n_signals, config.hidden, &mut rng);
+        let mut opt_g = Adam::new(config.learning_rate);
+        let mut opt_d = Adam::new(config.learning_rate);
+
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        let mut next_outlier = 0usize;
+        for _epoch in 0..config.epochs {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            for batch in order.chunks(config.batch_size) {
+                // --- Discriminator step: real -> 1, fake -> 0, outlier -> 0.
+                discriminator.zero_grads();
+                for &wi in batch {
+                    let real = &scaled[wi];
+                    let tr = discriminator.forward(real);
+                    discriminator.backward(&tr, Loss::Bce.gradient(tr.probability(), 1.0));
+                    let z = Self::draw_latent(config, &mut rng);
+                    let fake = generator.generate(&z);
+                    let tr = discriminator.forward(&fake);
+                    discriminator.backward(&tr, Loss::Bce.gradient(tr.probability(), 0.0));
+                }
+                if !scaled_outliers.is_empty() {
+                    // One exposure per optimizer step, cycled in order; no
+                    // RNG is consumed, keeping the plain-fit weight
+                    // trajectory reproducible when the set is empty.
+                    let o = &scaled_outliers[next_outlier % scaled_outliers.len()];
+                    next_outlier += 1;
+                    let tr = discriminator.forward(o);
+                    discriminator.backward(&tr, Loss::Bce.gradient(tr.probability(), 0.0));
+                }
+                opt_d.step(&mut discriminator);
+
+                // --- Generator step: make D(G(z)) -> 1.
+                generator.zero_grads();
+                for _ in 0..batch.len() {
+                    let z = Self::draw_latent(config, &mut rng);
+                    let g_trace = generator.forward(&z);
+                    let d_trace = discriminator.forward(g_trace.outputs());
+                    let dprob = Loss::Bce.gradient(d_trace.probability(), 1.0);
+                    let dxs = discriminator.backward(&d_trace, dprob);
+                    generator.backward(&g_trace, &dxs);
+                }
+                discriminator.zero_grads();
+                opt_g.step(&mut generator);
+            }
+        }
+
+        let mut gan = Self {
+            generator,
+            discriminator,
+            scaler,
+            threshold: 0.0,
+            config: config.clone(),
+        };
+        let stride = (windows.len() / 200).max(1);
+        let train_scores: Vec<f64> = windows
+            .iter()
+            .step_by(stride)
+            .map(|w| gan.dr_score(w))
+            .collect();
+        gan.threshold = lgo_series::stats::quantile(&train_scores, config.threshold_quantile)
+            // lint: allow(L1): windows is nonempty (checked at entry) and stride >= 1, so at least one score exists
+            .expect("nonempty scores");
+        Ok(gan)
+    }
+
     fn draw_latent(config: &MadGanConfig, rng: &mut StdRng) -> Window {
         (0..config.seq_len)
             .map(|_| {
@@ -417,6 +577,51 @@ mod tests {
         // lower the best-found residual, hence the DR-Score.
         let w = smooth_window(0.9);
         assert!(g_many.dr_score(&w) <= g_few.dr_score(&w) + 1e-9);
+    }
+
+    #[test]
+    fn outlier_exposure_with_no_outliers_is_bitwise_plain_fit() {
+        let train = training_set();
+        let cfg = quick_cfg();
+        let plain = MadGan::try_fit(&train, &cfg).unwrap();
+        let oe = MadGan::try_fit_with_outliers(&train, &[], &cfg).unwrap();
+        // Malformed outliers are dropped, so an all-malformed set also
+        // reduces to the plain fit.
+        let malformed = vec![vec![vec![0.5; 4]; 5], vec![vec![f64::NAN; 4]; 12]];
+        let dropped = MadGan::try_fit_with_outliers(&train, &malformed, &cfg).unwrap();
+        for gan in [&oe, &dropped] {
+            assert_eq!(plain.threshold().to_bits(), gan.threshold().to_bits());
+            for w in train.iter().take(6) {
+                assert_eq!(
+                    plain.dr_score(w).to_bits(),
+                    gan.dr_score(w).to_bits(),
+                    "empty-outlier reduction diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_exposure_raises_discrimination_score_on_outliers() {
+        let train = training_set();
+        // Pure discrimination score (λ = 0) isolates the discriminator's
+        // response, which is what outlier exposure trains.
+        let cfg = MadGanConfig {
+            lambda: 0.0,
+            ..quick_cfg()
+        };
+        let outliers: Vec<Window> = (0..8).map(|i| noise_window(900 + i)).collect();
+        let plain = MadGan::try_fit(&train, &cfg).unwrap();
+        let oe = MadGan::try_fit_with_outliers(&train, &outliers, &cfg).unwrap();
+        let mean = |gan: &MadGan| {
+            outliers.iter().map(|w| gan.dr_score(w)).sum::<f64>() / outliers.len() as f64
+        };
+        assert!(
+            mean(&oe) > mean(&plain),
+            "exposure did not raise outlier discrimination: oe {} vs plain {}",
+            mean(&oe),
+            mean(&plain)
+        );
     }
 
     #[test]

@@ -371,6 +371,276 @@ impl OneClassSvm {
         Ok(svm)
     }
 
+    /// ROAST-style outlier-exposure fit: benign `windows` keep the usual
+    /// ν-one-class objective while `outliers` (known-adversarial windows,
+    /// e.g. crafted against the more-vulnerable cohort) enter the SMO dual
+    /// as a *negative class* with total box mass `outlier_slack`, pushing
+    /// the margin away from them.
+    ///
+    /// Formulation: with signed variables `u` (positives in
+    /// `[0, 1/(ν·l⁺)]`, negatives in `[−s/l⁻, 0]` where
+    /// `s = outlier_slack` clamped to the feasible `1/ν − 1`), SMO solves
+    /// `min ½ uᵀKu` subject to `Σu = 1`. The decision function keeps the
+    /// plain-fit form `f(x) = Σ uᵢ K(xᵢ, x) − ρ`, so the signed support
+    /// coefficients flow through every existing scoring path unchanged.
+    /// The decision threshold is calibrated on the benign windows only,
+    /// exactly like [`try_fit`](Self::try_fit).
+    ///
+    /// The benign×benign Gram block goes through the shared
+    /// [`KernelCache`](crate::KernelCache) on the optimized path: ROAST
+    /// refits grow only the outlier set, so the (large) benign block is a
+    /// cache hit on every round and only the bordered outlier blocks are
+    /// recomputed.
+    ///
+    /// With an empty (or fully corrupt) outlier set, or non-positive
+    /// slack, this reduces **bit-exactly** to [`try_fit`](Self::try_fit).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`try_fit`](Self::try_fit);
+    /// [`DetectError::InconsistentShapes`] also covers outlier windows
+    /// whose flattened width differs from the benign windows'.
+    pub fn try_fit_with_outliers(
+        windows: &[Window],
+        outliers: &[Window],
+        outlier_slack: f64,
+        config: &OcSvmConfig,
+    ) -> Result<Self, DetectError> {
+        if windows.is_empty() {
+            return Err(DetectError::NoTrainingWindows);
+        }
+        if !(config.nu > 0.0 && config.nu <= 1.0) {
+            return Err(DetectError::InvalidNu { nu: config.nu });
+        }
+        // Feasibility: positives can carry at most 1/ν total mass, so the
+        // negative class gets at most 1/ν − 1 without breaking Σu = 1.
+        let slack = outlier_slack.min((1.0 / config.nu - 1.0).max(0.0));
+        let mut neg: Vec<Vec<f64>> = outliers
+            .iter()
+            .map(|w| flatten(w))
+            .filter(|p| p.iter().all(|v| v.is_finite()))
+            .collect();
+        if let Some(cap) = config.max_samples {
+            neg = crate::subsample::subsample_cap(neg, cap);
+        }
+        if neg.is_empty() || slack.is_nan() || slack <= 0.0 {
+            // No usable negatives: the objective is the plain one — reuse
+            // the plain fit so the reduction is bit-exact.
+            return Self::try_fit(windows, config);
+        }
+        let _span = lgo_trace::span("detect/ocsvm/fit_oe");
+        let mut pos: Vec<Vec<f64>> = windows
+            .iter()
+            .map(|w| flatten(w))
+            .filter(|p| p.iter().all(|v| v.is_finite()))
+            .collect();
+        if pos.is_empty() {
+            return Err(DetectError::NoFiniteWindows);
+        }
+        if let Some(cap) = config.max_samples {
+            pos = crate::subsample::subsample_cap(pos, cap);
+        }
+        lgo_trace::counter("detect/ocsvm/oe_fits", 1);
+        lgo_trace::counter("detect/ocsvm/fit_points", pos.len() as u64);
+        lgo_trace::counter("detect/ocsvm/outlier_points", neg.len() as u64);
+        let width = pos[0].len();
+        if !pos.iter().chain(&neg).all(|p| p.len() == width) {
+            return Err(DetectError::InconsistentShapes);
+        }
+        // Standardize with benign statistics only: the outlier class must
+        // not shift the feature frame the benign margin lives in.
+        let mut scaler = StandardScaler::new();
+        scaler.try_fit(&pos)?;
+        let pos = scaler.transform(&pos)?;
+        let neg = scaler.transform(&neg)?;
+        let kernel = match config.kernel {
+            KernelSpec::Fixed(k) => k,
+            KernelSpec::SigmoidAuto { coef0 } => Kernel::Sigmoid {
+                gamma: 1.0 / width as f64,
+                coef0,
+            },
+            KernelSpec::RbfAuto => Kernel::Rbf {
+                gamma: 1.0 / width as f64,
+            },
+        };
+
+        let n_pos = pos.len();
+        let n_neg = neg.len();
+        let l = n_pos + n_neg;
+        let upper = 1.0 / (config.nu * n_pos as f64);
+        let c_neg = slack / n_neg as f64;
+        // Per-index box `[lo, hi]`: positives push the margin out, the
+        // negative class pulls it in with bounded mass.
+        let lo = |t: usize| if t < n_pos { 0.0 } else { -c_neg };
+        let hi = |t: usize| if t < n_pos { upper } else { 0.0 };
+
+        let pts_pos = Matrix::from_rows(&pos.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        // Benign Gram block: shared-cache path exactly as in try_fit, so a
+        // ROAST refit with the same benign roster is a cache hit.
+        let q_pp: Arc<Matrix> = if crate::perf::optimized() {
+            crate::kernel_cache::lock_global().gram(kernel, &pts_pos)
+        } else {
+            let rows = lgo_runtime::par_map_indexed(n_pos, |i| {
+                (i..n_pos)
+                    .map(|j| kernel.eval(pts_pos.row(i), pts_pos.row(j)))
+                    .collect::<Vec<f64>>()
+            });
+            let mut q = Matrix::zeros(n_pos, n_pos);
+            for (i, row) in rows.into_iter().enumerate() {
+                for (off, v) in row.into_iter().enumerate() {
+                    let j = i + off;
+                    let s = q.as_mut_slice();
+                    s[i * n_pos + j] = v;
+                    s[j * n_pos + i] = v;
+                }
+            }
+            Arc::new(q)
+        };
+        // Full Gram with the (small) bordered outlier blocks computed
+        // directly; every entry is a pure function of its pair, so the
+        // assembled matrix is identical whether q_pp came from the cache
+        // or the fan-out.
+        let mut q = Matrix::zeros(l, l);
+        {
+            let s = q.as_mut_slice();
+            for i in 0..n_pos {
+                s[i * l..i * l + n_pos].copy_from_slice(q_pp.row(i));
+            }
+            for i in 0..n_pos {
+                for j in 0..n_neg {
+                    let v = kernel.eval(pts_pos.row(i), &neg[j]);
+                    s[i * l + n_pos + j] = v;
+                    s[(n_pos + j) * l + i] = v;
+                }
+            }
+            for i in 0..n_neg {
+                for j in i..n_neg {
+                    let v = kernel.eval(&neg[i], &neg[j]);
+                    s[(n_pos + i) * l + n_pos + j] = v;
+                    s[(n_pos + j) * l + n_pos + i] = v;
+                }
+            }
+        }
+
+        // libsvm-style init on the positive block (Σu = 1); negatives
+        // start inactive at their upper bound 0.
+        let mut u = vec![0.0; l];
+        let n_full = (config.nu * n_pos as f64).floor() as usize;
+        for a in u.iter_mut().take(n_full.min(n_pos)) {
+            *a = upper;
+        }
+        if n_full < n_pos {
+            u[n_full] = config.nu * n_pos as f64 - n_full as f64;
+            u[n_full] *= upper;
+        }
+
+        let mut g: Vec<f64> = (0..l)
+            .map(|i| q.row(i).iter().zip(&u).map(|(&qv, &a)| qv * a).sum())
+            .collect();
+
+        let max_iter = config.max_iter.unwrap_or(100 * l.max(100));
+        let mut iterations = 0;
+        while iterations < max_iter {
+            // First-order working-set selection over the signed boxes:
+            // i can still grow (u_i < hi_i), j can still shrink (u_j > lo_j).
+            let mut i_sel: Option<usize> = None;
+            let mut j_sel: Option<usize> = None;
+            for t in 0..l {
+                if u[t] < hi(t) - 1e-12 && i_sel.is_none_or(|i| g[t] < g[i]) {
+                    i_sel = Some(t);
+                }
+                if u[t] > lo(t) + 1e-12 && j_sel.is_none_or(|j| g[t] > g[j]) {
+                    j_sel = Some(t);
+                }
+            }
+            let (Some(i), Some(j)) = (i_sel, j_sel) else {
+                break;
+            };
+            if g[j] - g[i] < config.tol || i == j {
+                break; // KKT satisfied within tolerance
+            }
+            let (qi, qj) = (q.row(i), q.row(j));
+            let quad = (qi[i] + qj[j] - 2.0 * qi[j]).max(1e-12);
+            let mut delta = (g[j] - g[i]) / quad;
+            delta = delta.min(hi(i) - u[i]).min(u[j] - lo(j));
+            if delta <= 0.0 {
+                break;
+            }
+            u[i] += delta;
+            u[j] -= delta;
+            for (gt, (&qit, &qjt)) in g.iter_mut().zip(qi.iter().zip(qj)) {
+                *gt += delta * (qit - qjt);
+            }
+            iterations += 1;
+        }
+        lgo_trace::record("detect/ocsvm/smo_iterations", iterations as u64);
+
+        // ρ from strictly-interior vectors, or the boundary-gradient
+        // midpoint — the same KKT conditions as the plain fit, with the
+        // per-index boxes standing in for [0, C].
+        let free: Vec<usize> = (0..l)
+            .filter(|&t| u[t] > lo(t) + 1e-12 && u[t] < hi(t) - 1e-12)
+            .collect();
+        let rho = if !free.is_empty() {
+            free.iter().map(|&t| g[t]).sum::<f64>() / free.len() as f64
+        } else {
+            let ub = (0..l)
+                .filter(|&t| u[t] <= lo(t) + 1e-12)
+                .map(|t| g[t])
+                .fold(f64::INFINITY, f64::min);
+            let lb = (0..l)
+                .filter(|&t| u[t] >= hi(t) - 1e-12)
+                .map(|t| g[t])
+                .fold(f64::NEG_INFINITY, f64::max);
+            match (ub.is_finite(), lb.is_finite()) {
+                (true, true) => (ub + lb) / 2.0,
+                (true, false) => ub,
+                (false, true) => lb,
+                _ => 0.0,
+            }
+        };
+
+        // Keep support vectors of either sign; signed coefficients flow
+        // through decide()/score_batch unchanged.
+        let mut sv_rows: Vec<&[f64]> = Vec::new();
+        let mut alphas = Vec::new();
+        for t in 0..l {
+            if u[t].abs() > 1e-12 {
+                sv_rows.push(if t < n_pos {
+                    pts_pos.row(t)
+                } else {
+                    neg[t - n_pos].as_slice()
+                });
+                alphas.push(u[t]);
+            }
+        }
+        let support = Matrix::from_rows(&sv_rows);
+        let mut svm = Self {
+            support,
+            alphas,
+            rho,
+            kernel,
+            iterations,
+            scaler,
+            threshold: 0.0,
+        };
+        if let Some(q) = config.calibration_quantile {
+            assert!(
+                (0.0..1.0).contains(&q),
+                "OneClassSvm: calibration_quantile = {q} outside [0, 1)"
+            );
+            let decisions: Vec<f64> = windows
+                .iter()
+                .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
+                .map(|w| svm.try_decision_function(w))
+                .collect::<Result<_, _>>()?;
+            svm.threshold = lgo_series::stats::quantile(&decisions, q)
+                // lint: allow(L1): at least one finite window exists (NoFiniteWindows otherwise), so decisions is nonempty
+                .expect("nonempty training set");
+        }
+        Ok(svm)
+    }
+
     /// Decision function `f(x) = Σ αᵢ K(xᵢ, x) − ρ` on the standardized
     /// input; lower values are more anomalous.
     ///
@@ -723,6 +993,105 @@ mod tests {
         assert!(after.hits > mid.hits, "identical refit must hit");
         let w = vec![vec![0.2, 0.8]];
         assert_eq!(a.decision_function(&w).to_bits(), b.decision_function(&w).to_bits());
+    }
+
+    #[test]
+    fn outlier_exposure_with_no_outliers_is_bitwise_plain_fit() {
+        let data = ring(40);
+        for cfg in [rbf_cfg(0.3), OcSvmConfig::default()] {
+            let plain = OneClassSvm::try_fit(&data, &cfg).unwrap();
+            let oe = OneClassSvm::try_fit_with_outliers(&data, &[], 0.5, &cfg).unwrap();
+            let zero_slack =
+                OneClassSvm::try_fit_with_outliers(&data, &ring(4), 0.0, &cfg).unwrap();
+            for svm in [&oe, &zero_slack] {
+                assert_eq!(plain.support_vector_count(), svm.support_vector_count());
+                assert_eq!(plain.threshold().to_bits(), svm.threshold().to_bits());
+                for w in &data {
+                    assert_eq!(
+                        plain.decision_function(w).to_bits(),
+                        svm.decision_function(w).to_bits(),
+                        "empty-outlier reduction diverged ({:?})",
+                        svm.kernel()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_exposure_shapes_the_margin_against_outliers() {
+        // A filled blob (spiral of shrinking radius): interior points carry
+        // strictly positive decision values, unlike the pure ring where
+        // every training point sits at the margin.
+        let data: Vec<Window> = (0..60)
+            .map(|i| {
+                let a = i as f64 / 60.0 * std::f64::consts::TAU;
+                let r = 0.15 + 0.85 * ((i * 7919) % 60) as f64 / 60.0;
+                vec![vec![r * a.cos(), r * a.sin()]]
+            })
+            .collect();
+        let cfg = rbf_cfg(0.2);
+        let plain = OneClassSvm::try_fit(&data, &cfg).unwrap();
+        // Expose an adversarial cluster exactly where the plain fit is most
+        // confident — the worst case for the defender, and a guaranteed
+        // KKT violation for the negative class (decision > 0 there).
+        let anchor = data
+            .iter()
+            .max_by(|a, b| {
+                plain
+                    .decision_function(a)
+                    .total_cmp(&plain.decision_function(b))
+            })
+            .unwrap()
+            .clone();
+        assert!(plain.decision_function(&anchor) > 1e-3);
+        let outliers: Vec<Window> = vec![anchor; 6];
+        let oe = OneClassSvm::try_fit_with_outliers(&data, &outliers, 0.5, &cfg).unwrap();
+        // The negative class carries signed support coefficients.
+        assert!(
+            oe.alphas.iter().any(|&a| a < 0.0),
+            "no negative support coefficients retained"
+        );
+        // The decision value at the exposed outliers drops relative to the
+        // plain fit: the margin is pushed away from them.
+        let mean_at = |svm: &OneClassSvm| {
+            outliers.iter().map(|w| svm.decision_function(w)).sum::<f64>()
+                / outliers.len() as f64
+        };
+        assert!(
+            mean_at(&oe) < mean_at(&plain),
+            "exposure did not lower the decision value at the outliers: \
+             oe {} vs plain {}",
+            mean_at(&oe),
+            mean_at(&plain)
+        );
+        // Anomaly scores (threshold − decision) at the outliers rise.
+        let mean_score = |svm: &OneClassSvm| {
+            outliers.iter().map(|w| svm.score(w)).sum::<f64>() / outliers.len() as f64
+        };
+        assert!(mean_score(&oe) > mean_score(&plain));
+    }
+
+    #[test]
+    fn outlier_refit_reuses_cached_benign_gram_block() {
+        let _g = crate::perf::test_guard()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A roster shape unique to this test so the cache key is ours.
+        let data = ring(29);
+        let cfg = rbf_cfg(0.35);
+        let round1: Vec<Window> = vec![vec![vec![1.2, 0.1]]];
+        let mut round2 = round1.clone();
+        round2.push(vec![vec![1.3, -0.1]]);
+        let before = crate::kernel_cache::lock_global().stats();
+        let _a = OneClassSvm::try_fit_with_outliers(&data, &round1, 0.4, &cfg).unwrap();
+        let mid = crate::kernel_cache::lock_global().stats();
+        // ROAST round 2: grown outlier set, unchanged benign roster — the
+        // big benign×benign Gram block must be a cache hit.
+        let _b = OneClassSvm::try_fit_with_outliers(&data, &round2, 0.4, &cfg).unwrap();
+        let after = crate::kernel_cache::lock_global().stats();
+        assert!(mid.misses > before.misses, "first fit must miss");
+        assert!(after.hits > mid.hits, "refit must hit the benign block");
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub fn cgm_summary_mode_into(window: &Window, mode: SummaryMode, out: &mut Vec<f
     let max_recent = (n.saturating_sub(3)..n)
         .map(cgm)
         .max_by(|a, b| a.total_cmp(b))
-        .unwrap_or(f64::MIN);
+        // The range saturating_sub(3)..n is non-empty for any n >= 1
+        // (guaranteed by the is_empty assert above); a future off-by-one
+        // must panic here rather than leak f64::MIN into the feature vector.
+        // lint: allow(L1): range is non-empty for n >= 1, see comment above
+        .expect("cgm_summary: recent-max range is non-empty for n >= 1");
     out.clear();
     match mode {
         SummaryMode::Value => out.extend([last, max_recent]),

@@ -8,8 +8,10 @@
 /// One ROC operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {
-    /// Score threshold giving this point (samples with score > threshold
-    /// are flagged).
+    /// Score threshold giving this point. Flagging uses **≥ semantics**:
+    /// every sample with score `>= threshold` is counted as flagged, so
+    /// ties *at* the threshold are flagged too — exactly how
+    /// [`RocCurve::from_scores`] accumulates tied scores into one point.
     pub threshold: f64,
     /// False-positive rate at this threshold.
     pub fpr: f64,
@@ -94,6 +96,11 @@ impl RocCurve {
 
     /// The point with the best Youden index (`tpr − fpr`) — a common
     /// automatic threshold choice.
+    ///
+    /// The returned threshold inherits the curve's **≥ semantics**:
+    /// deploying it means flagging every sample with score
+    /// `>= best.threshold`, which reproduces the point's `tpr`/`fpr`
+    /// exactly even when scores tie at the threshold.
     pub fn best_youden(&self) -> RocPoint {
         *self
             .points
@@ -163,6 +170,48 @@ mod tests {
         let last = roc.points().last().unwrap();
         assert_eq!(last.fpr, 1.0);
         assert_eq!(last.tpr, 1.0);
+    }
+
+    #[test]
+    fn ties_at_threshold_are_flagged() {
+        // Two positives and one negative share score 0.7: with ≥ semantics
+        // all three count as flagged at threshold 0.7, so that operating
+        // point must read tp=3/4, fp=1/2 — not the > interpretation
+        // (tp=1, fp=0) the docs used to promise.
+        let scores = [0.9, 0.7, 0.7, 0.7, 0.1, 0.05];
+        let labels = [true, true, true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &labels);
+        let at = |t: f64| {
+            *roc.points()
+                .iter()
+                .find(|p| p.threshold == t)
+                .expect("threshold present")
+        };
+        let p = at(0.7);
+        assert_eq!(p.tpr, 3.0 / 4.0, "ties at 0.7 must count as flagged");
+        assert_eq!(p.fpr, 1.0 / 2.0);
+        // Manual ≥-rule replay over the raw scores reproduces the point.
+        let flagged_tp = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(s, &l)| **s >= 0.7 && l)
+            .count();
+        let flagged_fp = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(s, &l)| **s >= 0.7 && !l)
+            .count();
+        assert_eq!(flagged_tp, 3);
+        assert_eq!(flagged_fp, 1);
+        // best_youden picks among these ≥-semantics points.
+        let best = roc.best_youden();
+        let replay_tpr = scores
+            .iter()
+            .zip(&labels)
+            .filter(|(s, &l)| **s >= best.threshold && l)
+            .count() as f64
+            / 4.0;
+        assert_eq!(best.tpr, replay_tpr);
     }
 
     #[test]

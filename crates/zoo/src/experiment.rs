@@ -199,31 +199,34 @@ impl ZooReport {
 }
 
 /// `{:?}` float or `null`.
-fn fmt_opt(v: Option<f64>) -> String {
+pub(crate) fn fmt_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), |v| format!("{v:?}"))
 }
 
 /// Comma-joined quoted patient-id list.
-fn join_ids(ids: &[PatientId]) -> String {
+pub(crate) fn join_ids(ids: &[PatientId]) -> String {
     ids.iter()
         .map(|id| format!("\"{id}\""))
         .collect::<Vec<_>>()
         .join(", ")
 }
 
-/// Per-patient artifacts phase 1 produces before any zoo attacker runs.
-struct PatientSetup {
-    id: PatientId,
-    forecaster: GlucoseForecaster,
+/// Per-patient artifacts phase 1 produces before any zoo attacker runs
+/// (shared with the [`crate::defense`] study).
+pub(crate) struct PatientSetup {
+    pub(crate) id: PatientId,
+    pub(crate) forecaster: GlucoseForecaster,
     /// Test-period attack surface (risk-profile stride).
-    test_cases: Vec<CgmCase>,
+    pub(crate) test_cases: Vec<CgmCase>,
     /// Training-period attack surface (detector/poison stride).
-    train_cases: Vec<CgmCase>,
-    train_benign: Vec<Window>,
+    pub(crate) train_cases: Vec<CgmCase>,
+    pub(crate) train_benign: Vec<Window>,
     /// Minimal URET manipulations of the training period — the supervised
     /// detector's malicious training windows, as in the paper pipeline.
-    train_malicious: Vec<Window>,
-    profile: PatientAttackProfile,
+    pub(crate) train_malicious: Vec<Window>,
+    /// Benign test-period windows (false-positive-rate measurement).
+    pub(crate) test_benign: Vec<Window>,
+    pub(crate) profile: PatientAttackProfile,
 }
 
 /// Runs the attack-zoo study.
@@ -441,7 +444,7 @@ pub fn try_run_attack_zoo(config: &ZooExperimentConfig) -> Result<ZooReport, Lgo
 }
 
 /// Phase 1 for one patient (runs inside the cohort fan-out).
-fn build_patient(
+pub(crate) fn build_patient(
     config: &ZooExperimentConfig,
     d: &lgo_glucosim::PatientDataset,
     seed: u64,
@@ -463,6 +466,12 @@ fn build_patient(
     if train_benign.is_empty() {
         return Err(LgoError::NoWindows);
     }
+    // Benign test windows for FPR measurement; may be empty at extreme
+    // strides (rates then report as null rather than erroring).
+    let test_benign: Vec<Window> = benign_windows(&d.test, seq_len, config.detector_stride)
+        .into_iter()
+        .filter(|w| w.iter().flatten().all(|v| v.is_finite()))
+        .collect();
     // The supervised detector's malicious training data: minimal (early
     // exit) URET manipulations, what a stealthy adversary would inject.
     let minimal = run_attack_campaign(
@@ -498,17 +507,18 @@ fn build_patient(
         train_cases,
         train_benign,
         train_malicious,
+        test_benign,
         profile,
     })
 }
 
 /// `num / den` as a rate, `None` for an empty denominator.
-fn rate(num: usize, den: usize) -> Option<f64> {
+pub(crate) fn rate(num: usize, den: usize) -> Option<f64> {
     (den > 0).then(|| num as f64 / den as f64)
 }
 
 /// Fraction of windows a detector flags, `None` when there are none.
-fn recall(detector: &dyn AnomalyDetector, windows: &[Window]) -> Option<f64> {
+pub(crate) fn recall(detector: &dyn AnomalyDetector, windows: &[Window]) -> Option<f64> {
     let flagged = windows.iter().filter(|w| detector.is_anomalous(w)).count();
     rate(flagged, windows.len())
 }

@@ -65,11 +65,15 @@ use lgo_forecast::GlucoseForecaster;
 pub mod adaptive;
 pub mod blackbox;
 pub mod campaign;
+pub mod defense;
 pub mod experiment;
 pub mod gradient;
 pub mod uret;
 
 pub use campaign::{run_attack_campaign, try_profile_patient_with};
+pub use defense::{
+    run_defense_bench, try_run_defense_bench, DefenseBenchConfig, DefenseReport, ZooCrafter,
+};
 pub use experiment::{run_attack_zoo, try_run_attack_zoo, ZooExperimentConfig, ZooReport};
 
 /// The adversary's knowledge/access class, for the threat-model table.

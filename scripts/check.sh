@@ -108,4 +108,20 @@ LGO_SCALE=fast LGO_TRACE=json \
     cargo run -q -p lgo-bench --release --features trace --bin exp_attack_zoo > /dev/null
 cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_attack_zoo.json
 
+# Defense tier: the pluggable defense strategies (LGO-selective,
+# indiscriminate, ROAST, iterative retraining) must fit their full
+# detector ladders at fast scale with tracing compiled in, emit a
+# schema-valid trace, and reproduce the checked-in canonical report byte
+# for byte — recall/FPR cells, crafted-window counts and kernel-cache
+# deltas are all deterministic by contract (drift in any of them means a
+# behavior change, not noise). Thread-count determinism is pinned
+# separately by tests/defense.rs in the tier-1 suite.
+echo "==> exp_defense (fast scale, traced): defense-strategy gate"
+rm -f results/trace_defense.json
+LGO_SCALE=fast LGO_TRACE=json \
+    cargo run -q -p lgo-bench --release --features trace --bin exp_defense > /dev/null
+cargo run -q -p lgo-trace --release --bin trace_schema -- results/trace_defense.json
+diff -u expected/BENCH_defense.json results/BENCH_defense.json \
+    || { echo "BENCH_defense.json drifted from expected/BENCH_defense.json"; exit 1; }
+
 echo "==> all checks passed"

@@ -1,0 +1,120 @@
+//! Determinism and efficacy contract of the defense study, end to end.
+//!
+//! `exp_defense` fits every pluggable defense's detector ladder and scores
+//! it against the attack-zoo test panel. These tests pin the two outermost
+//! promises: the canonical-JSON report is **byte-identical** at any
+//! `LGO_THREADS` (clusters, crafted windows, cache deltas, every
+//! recall/FPR cell — bit for bit), and ROAST's risk-aware outlier exposure
+//! beats indiscriminate training on adversarial recall for at least one
+//! detector in the ladder.
+//!
+//! The tests mutate the process-global thread override
+//! ([`lgo::runtime::set_threads`]), so both runs live in one `#[test]`
+//! and the override is restored before returning.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use lgo::detect::MadGanConfig;
+use lgo::glucosim::{PatientId, Subset};
+use lgo::runtime::set_threads;
+use lgo::zoo::defense::{pooled_recall, try_run_defense_bench, DEFENSE_NAMES};
+use lgo::zoo::DefenseBenchConfig;
+
+/// Serializes tests that mutate the process-global thread override.
+fn override_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A reduced defense study: two patients, coarse strides, a tiny MAD-GAN —
+/// every defense still fits its full three-level ladder.
+fn tiny_config() -> DefenseBenchConfig {
+    let mut config = DefenseBenchConfig::fast();
+    config.base.patients = vec![PatientId::new(Subset::A, 2), PatientId::new(Subset::A, 5)];
+    config.base.profiler.stride = 96;
+    config.base.train_attack_stride = 96;
+    config.base.detector_stride = 48;
+    config.base.forecast.hidden = 6;
+    config.base.forecast.epochs = 1;
+    config.base.zoo.steps = 4;
+    config.base.zoo.restarts = 2;
+    config.base.detectors.madgan = MadGanConfig {
+        epochs: 2,
+        hidden: 6,
+        inversion_steps: 3,
+        ..MadGanConfig::default()
+    };
+    config.retrain.rounds = 1;
+    config
+}
+
+#[test]
+fn defense_report_identical_across_thread_counts() {
+    let _serial_tests = override_guard();
+    let config = tiny_config();
+    set_threads(Some(1));
+    let serial = try_run_defense_bench(&config)
+        .expect("tiny defense study runs")
+        .canonical_json();
+    set_threads(Some(4));
+    let parallel = try_run_defense_bench(&config)
+        .expect("tiny defense study runs")
+        .canonical_json();
+    set_threads(None);
+    assert_eq!(
+        serial.len(),
+        parallel.len(),
+        "report length diverged between 1 and 4 threads"
+    );
+    assert!(
+        serial == parallel,
+        "canonical defense report at 4 threads is not byte-identical to serial"
+    );
+    // The report is substantive: every defense reported its full ladder.
+    for name in DEFENSE_NAMES {
+        assert!(
+            serial.contains(&format!("\"name\": \"{name}\"")),
+            "defense {name} missing from the report"
+        );
+    }
+    assert!(serial.contains("\"fpr\""));
+    assert!(serial.contains("\"cache_hits\""));
+}
+
+#[test]
+fn roast_beats_indiscriminate_on_adversarial_recall() {
+    let _serial_tests = override_guard();
+    set_threads(Some(1));
+    let report = try_run_defense_bench(&tiny_config()).expect("tiny defense study runs");
+    set_threads(None);
+    // ROAST must strictly improve pooled adversarial recall over
+    // indiscriminate training on at least one ladder level, without its
+    // FPR exceeding 1 anywhere (sanity of the trade-off columns).
+    let mut improved = false;
+    for level in 0..3 {
+        let roast = pooled_recall(&report, "roast", level);
+        let all = pooled_recall(&report, "indiscriminate", level);
+        if let (Some(r), Some(a)) = (roast, all) {
+            if r > a {
+                improved = true;
+            }
+        }
+    }
+    assert!(
+        improved,
+        "roast never beat indiscriminate training on pooled adversarial recall: roast {:?} vs indiscriminate {:?}",
+        (0..3).map(|l| pooled_recall(&report, "roast", l)).collect::<Vec<_>>(),
+        (0..3)
+            .map(|l| pooled_recall(&report, "indiscriminate", l))
+            .collect::<Vec<_>>(),
+    );
+    for row in &report.rows {
+        for level in &row.levels {
+            if let Some(fpr) = level.fpr {
+                assert!((0.0..=1.0).contains(&fpr), "{}: fpr {fpr}", row.name);
+            }
+        }
+    }
+}
